@@ -1,0 +1,263 @@
+//! The CAAR and INCITE applications of Table 6 (KPP target: 4× over
+//! Summit).
+//!
+//! Each constructor documents the paper's own attribution of where the
+//! speedup came from; the software factor is the part the paper credits to
+//! code work, and the rest emerges from the machine models.
+
+use crate::fom::SpeedupRow;
+use crate::machine::MachineModel;
+use crate::model::{AppModel, Bound, GpuPrecision};
+
+/// CoMet: comparative genomics via mixed-precision GEMMs.
+///
+/// Paper: "optimized to achieve high performance on the AMD GPU
+/// architecture by making effective use of mixed-precision matrix
+/// multiplies"; 419.9 quadrillion comparisons/s on 9,074 nodes = 5.16× the
+/// Summit baseline of 81.2, at 6.71 EF of mixed precision.
+pub fn comet() -> AppModel {
+    AppModel {
+        name: "CoMet",
+        baseline: MachineModel::summit(),
+        frontier_nodes: 9_074,
+        baseline_nodes: 4_600,
+        per_gpu: false,
+        bound: Bound::compute(GpuPrecision::Fp16Matrix),
+        software_factor: 1.29,
+        software_attribution: "CAAR tuning of the 3-way CCC kernels onto MI250X \
+            mixed-precision matrix units (GEMM restructuring + bit-level ops)",
+        parallel_efficiency_frontier: 1.0,
+        parallel_efficiency_baseline: 1.0,
+        target: 4.0,
+        paper_achieved: 5.2,
+        baseline_fom: Some((81.2, "Pcomparisons/s")),
+    }
+}
+
+/// LSMS: first-principles electronic structure via multiple scattering —
+/// dense double-complex linear algebra (matrix inversion).
+///
+/// Paper: "kernels were ported ... by translating the kernels to their HIP
+/// and rocSolver equivalents ... a per GPU speedup averaging approximately
+/// 7.5× compared to Summit's V100 GPUs when including additional kernels
+/// ported and optimized during the CAAR project."
+pub fn lsms() -> AppModel {
+    AppModel {
+        name: "LSMS",
+        baseline: MachineModel::summit(),
+        frontier_nodes: 1, // per-GPU comparison
+        baseline_nodes: 1,
+        per_gpu: true,
+        bound: Bound::compute(GpuPrecision::Fp64Matrix),
+        software_factor: 1.22,
+        software_attribution: "HIP/rocSolver port plus additional kernels \
+            optimized during CAAR (matrix inversion for l_max = 7)",
+        parallel_efficiency_frontier: 1.0,
+        parallel_efficiency_baseline: 1.0,
+        target: 4.0,
+        paper_achieved: 7.5,
+        baseline_fom: Some((1.0, "per-GPU kernel rate, normalized")),
+    }
+}
+
+/// PIConGPU: particle-in-cell laser-plasma simulation.
+///
+/// Paper: "90 % weak scaling efficiency and 65.7e12 updates per second, a
+/// factor of 4.5× higher than full-scale Summit ... traced to a 25 %
+/// speedup in the single MI250X GCD vs V100 comparison, multiplied by the
+/// greater number of GPUs." PIC updates stream particles and fields
+/// through HBM.
+pub fn picongpu() -> AppModel {
+    AppModel {
+        name: "PIConGPU",
+        baseline: MachineModel::summit(),
+        frontier_nodes: 9_216,
+        baseline_nodes: 4_608,
+        per_gpu: false,
+        bound: Bound::memory(),
+        software_factor: 1.04,
+        software_attribution: "Alpaka portability layer adoption; kernels \
+            essentially unchanged (the paper attributes the gain to GPU count \
+            and per-GCD rate)",
+        parallel_efficiency_frontier: 0.90,
+        parallel_efficiency_baseline: 0.97,
+        target: 4.0,
+        paper_achieved: 4.7,
+        baseline_fom: Some((14.7e12, "particle+cell updates/s")),
+    }
+}
+
+/// Cholla: GPU-native astrophysical hydrodynamics.
+///
+/// Paper: "Cholla achieved 20× speedups on Frontier from its baseline run
+/// on Summit. About 4-5× of these speedups can be attributed to the
+/// intensive algorithmic optimizations while the rest comes from hardware
+/// improvements from Summit to Frontier."
+pub fn cholla() -> AppModel {
+    AppModel {
+        name: "Cholla",
+        baseline: MachineModel::summit(),
+        frontier_nodes: 9_472,
+        baseline_nodes: 4_608,
+        per_gpu: false,
+        bound: Bound::memory(),
+        software_factor: 4.02,
+        software_attribution: "intensive algorithmic optimizations during CAAR \
+            (the paper's own 4-5x attribution); HIP port of the CUDA code",
+        parallel_efficiency_frontier: 1.0,
+        parallel_efficiency_baseline: 1.0,
+        target: 4.0,
+        paper_achieved: 20.0,
+        baseline_fom: None,
+    }
+}
+
+/// GESTS: pseudo-spectral DNS of turbulence — 3D FFTs alternating
+/// HBM-resident transforms with global transposes (all-to-all).
+///
+/// Paper: FOM = N³/t_wall; 5.87× (1D decomposition) at N³ = 32768³ — "the
+/// largest known DNS computations to date", possible only in Frontier's
+/// memory.
+pub fn gests() -> AppModel {
+    AppModel {
+        name: "GESTS",
+        baseline: MachineModel::summit(),
+        frontier_nodes: 9_472,
+        baseline_nodes: 4_608,
+        per_gpu: false,
+        bound: Bound::memory_network(0.5, 0.5),
+        software_factor: 1.36,
+        software_attribution: "custom-designed 3D FFT on rocFFT with \
+            asynchronous overlap of transposes and transforms; OpenMP offload \
+            data management and GPU-direct MPI",
+        parallel_efficiency_frontier: 1.0,
+        parallel_efficiency_baseline: 1.0,
+        target: 4.0,
+        paper_achieved: 5.9,
+        baseline_fom: None,
+    }
+}
+
+/// AthenaPK: performance-portable AMR magnetohydrodynamics.
+///
+/// Paper: a Frontier node achieved 1.2× more cell-updates/s with an 8×
+/// larger problem than a Summit node; weak-scaled, 9,200 Frontier nodes
+/// achieved 4.6× with 96 % parallel efficiency vs 48 % on Summit — "the
+/// difference ... is attributed to Frontier's improved node design,
+/// specifically each GPU having a network interface card connected to it."
+pub fn athenapk() -> AppModel {
+    AppModel {
+        name: "AthenaPK",
+        baseline: MachineModel::summit(),
+        frontier_nodes: 9_200,
+        baseline_nodes: 4_600,
+        per_gpu: false,
+        bound: Bound::memory(),
+        // 1.2x per node instead of the 2.42x HBM ratio: the
+        // Kokkos/Parthenon conversion trades per-byte efficiency for
+        // portability.
+        software_factor: 0.475,
+        software_attribution: "Kokkos/Parthenon conversion of Athena++ \
+            (portable but at ~half the per-byte efficiency of the HBM ratio: \
+            1.2x per node measured); divergence-cleaning MHD solver",
+        parallel_efficiency_frontier: 0.96,
+        parallel_efficiency_baseline: 0.48,
+        target: 4.0,
+        paper_achieved: 4.6,
+        baseline_fom: None,
+    }
+}
+
+/// All Table 6 rows in paper order.
+pub fn caar_apps() -> Vec<AppModel> {
+    vec![comet(), lsms(), picongpu(), cholla(), gests(), athenapk()]
+}
+
+/// Evaluate Table 6.
+pub fn caar_results(frontier: &MachineModel) -> Vec<SpeedupRow> {
+    caar_apps()
+        .into_iter()
+        .map(|a| SpeedupRow::evaluate(&a, frontier))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_caar_app_beats_4x() {
+        let f = MachineModel::frontier();
+        for app in caar_apps() {
+            assert!(
+                app.meets_target(&f),
+                "{} modelled at {:.2}x misses 4x",
+                app.name,
+                app.speedup(&f)
+            );
+        }
+    }
+
+    #[test]
+    fn modelled_speedups_match_paper_within_8_percent() {
+        let f = MachineModel::frontier();
+        for app in caar_apps() {
+            let err = app.model_error(&f);
+            assert!(
+                err < 0.08,
+                "{}: model {:.2}x vs paper {:.2}x ({:.1}% off)",
+                app.name,
+                app.speedup(&f),
+                app.paper_achieved,
+                err * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn cholla_is_the_standout() {
+        // Table 6's largest speedup is Cholla's 20x.
+        let f = MachineModel::frontier();
+        let best = caar_apps()
+            .into_iter()
+            .max_by(|a, b| a.speedup(&f).partial_cmp(&b.speedup(&f)).unwrap())
+            .unwrap();
+        assert_eq!(best.name, "Cholla");
+    }
+
+    #[test]
+    fn comet_frontier_fom_near_420_quadrillion() {
+        let f = MachineModel::frontier();
+        let (fom, units) = comet().frontier_fom(&f).unwrap();
+        assert_eq!(units, "Pcomparisons/s");
+        assert!((fom - 419.9).abs() < 15.0, "{fom}");
+    }
+
+    #[test]
+    fn picongpu_frontier_fom_near_65e12() {
+        let f = MachineModel::frontier();
+        let (fom, _) = picongpu().frontier_fom(&f).unwrap();
+        assert!((fom / 1e12 - 65.7).abs() < 4.0, "{}", fom / 1e12);
+    }
+
+    #[test]
+    fn athenapk_speedup_is_mostly_parallel_efficiency() {
+        // Without the parallel-efficiency difference the speedup halves —
+        // the paper's point about NIC-per-GPU.
+        let f = MachineModel::frontier();
+        let mut app = athenapk();
+        let with = app.speedup(&f);
+        app.parallel_efficiency_baseline = app.parallel_efficiency_frontier;
+        let without = app.speedup(&f);
+        assert!(with > 1.9 * without);
+    }
+
+    #[test]
+    fn hardware_alone_misses_cholla_target() {
+        // Cholla's 20x is unreachable by hardware alone (~5x): the paper's
+        // algorithmic-optimization attribution is essential.
+        let f = MachineModel::frontier();
+        let hw = cholla().hardware_ratio(&f);
+        assert!((4.0..6.0).contains(&hw), "{hw}");
+    }
+}

@@ -1,0 +1,277 @@
+//! The ECP applications of Table 7 (KPP target: 50× over the ~20 PF
+//! systems Titan, Sequoia, Cori, Mira, Theta).
+//!
+//! DOE's 50× "could mean strong scaling ..., weak scaling ..., or some
+//! combination"; each FOM below follows the paper's description of the
+//! measured runs.
+
+use crate::fom::SpeedupRow;
+use crate::machine::MachineModel;
+use crate::model::{AppModel, Bound, GpuPrecision};
+use frontier_sim_core::stats::harmonic_mean;
+
+/// WarpX vs the older Warp code on Cori: electromagnetic PIC for
+/// plasma-wakefield accelerator design.
+///
+/// Paper: first ECP application to reach its KPP (July 2022), running on
+/// nearly full Frontier; 2022 Gordon Bell prize. The 500× compares the
+/// *pre-ECP Warp code on Cori's KNLs* against the rewritten WarpX — the
+/// software factor carries the AMReX rewrite, mesh refinement, and
+/// Lorentz-boosted-frame algorithms plus KNL's poor achieved fraction on
+/// irregular PIC kernels.
+pub fn warpx() -> AppModel {
+    AppModel {
+        name: "WarpX (vs Warp)",
+        baseline: MachineModel::cori(),
+        frontier_nodes: 9_472,
+        baseline_nodes: 9_688,
+        per_gpu: false,
+        bound: Bound::memory(),
+        software_factor: 18.0,
+        software_attribution: "complete rewrite of Warp into WarpX on AMReX: \
+            mesh-refined electromagnetic PIC, Lorentz-boosted frame, \
+            pseudo-spectral solvers; baseline Warp code was unvectorized on \
+            KNL",
+        parallel_efficiency_frontier: 1.0,
+        parallel_efficiency_baseline: 1.0,
+        target: 50.0,
+        paper_achieved: 500.0,
+        baseline_fom: None,
+    }
+}
+
+/// ExaSky/HACC vs Theta: cosmological structure formation.
+///
+/// Paper: baseline 3,072 Theta nodes rescaled to the full 4,392-node
+/// machine; Frontier runs on 4,096–8,192 nodes; "roughly a factor of two
+/// hardware single precision performance improvement between individual
+/// Summit and Frontier nodes" — HACC's force kernels are single-precision
+/// compute bound. FOM: geometric mean of gravity-only and hydro runs.
+pub fn exasky() -> AppModel {
+    AppModel {
+        name: "ExaSky",
+        baseline: MachineModel::theta(),
+        frontier_nodes: 8_192,
+        baseline_nodes: 4_392,
+        per_gpu: false,
+        bound: Bound::compute(GpuPrecision::Fp32),
+        software_factor: 1.74,
+        software_attribution: "CRK-SPH hydrodynamics integration (CRK-HACC) \
+            and GPU-resident force kernels; KNL baseline sustains a small \
+            fraction of nominal peak on the P3M kernels",
+        parallel_efficiency_frontier: 1.0,
+        parallel_efficiency_baseline: 1.0,
+        target: 50.0,
+        paper_achieved: 234.0,
+        baseline_fom: None,
+    }
+}
+
+/// EXAALT vs Mira: accelerated molecular dynamics (ParSplice + LAMMPS
+/// SNAP).
+///
+/// Paper: "sustained ... 3.57e9 atom timestep/s" on 7,000 nodes — 398.5×
+/// Mira — "enabled by a ~25× performance increase on a single V100 due to
+/// a near complete rewrite of the SNAP kernels ..., as well as by the
+/// increase in peak flop rate between Mira and Frontier." Relative to the
+/// tuned BG/Q baseline, the kernel rewrite carries ~3×; the rest is the
+/// machine.
+pub fn exaalt() -> AppModel {
+    AppModel {
+        name: "EXAALT",
+        baseline: MachineModel::mira(),
+        frontier_nodes: 7_000,
+        baseline_nodes: 49_152,
+        per_gpu: false,
+        bound: Bound::compute(GpuPrecision::Fp64Vector),
+        software_factor: 2.99,
+        software_attribution: "near-complete rewrite of the SNAP potential \
+            kernels (TestSNAP work, ~25x on a V100 vs the original GPU port) \
+            plus Sub-Lattice ParSplice time-parallelization",
+        parallel_efficiency_frontier: 1.0,
+        parallel_efficiency_baseline: 1.0,
+        target: 50.0,
+        paper_achieved: 398.5,
+        baseline_fom: Some((3.57e9 / 398.5, "atom-steps/s")),
+    }
+}
+
+/// ExaSMR's Monte Carlo component (Shift) vs Titan.
+///
+/// Paper: coupled run on 6,400 nodes; Shift FOM 54 vs Titan. MC transport
+/// chases cross-section tables through memory.
+pub fn exasmr_shift() -> AppModel {
+    AppModel {
+        name: "ExaSMR/Shift",
+        baseline: MachineModel::titan(),
+        frontier_nodes: 6_400,
+        baseline_nodes: 18_688,
+        per_gpu: false,
+        bound: Bound::memory(),
+        software_factor: 3.01,
+        software_attribution: "event-based GPU Monte Carlo in Shift with \
+            device-resident cross sections (vs the CPU-driven Titan \
+            implementation)",
+        parallel_efficiency_frontier: 1.0,
+        parallel_efficiency_baseline: 1.0,
+        target: 50.0,
+        paper_achieved: 54.0,
+        baseline_fom: None,
+    }
+}
+
+/// ExaSMR's CFD component (NekRS) vs Titan.
+///
+/// Paper: NekRS FOM 99.6 vs Titan; 376B DOF over 1,500 timesteps.
+/// Spectral-element CFD is memory-bandwidth bound.
+pub fn exasmr_nekrs() -> AppModel {
+    AppModel {
+        name: "ExaSMR/NekRS",
+        baseline: MachineModel::titan(),
+        frontier_nodes: 6_400,
+        baseline_nodes: 18_688,
+        per_gpu: false,
+        bound: Bound::memory(),
+        software_factor: 5.56,
+        software_attribution: "NekRS: ground-up GPU spectral-element solver \
+            (OCCA kernels, tuned gather-scatter) vs Nek5000-era baseline",
+        parallel_efficiency_frontier: 1.0,
+        parallel_efficiency_baseline: 1.0,
+        target: 50.0,
+        paper_achieved: 99.6,
+        baseline_fom: None,
+    }
+}
+
+/// WDMApp vs Titan: coupled gyrokinetic whole-device fusion modeling.
+pub fn wdmapp() -> AppModel {
+    AppModel {
+        name: "WDMApp",
+        baseline: MachineModel::titan(),
+        frontier_nodes: 9_472,
+        baseline_nodes: 18_688,
+        per_gpu: false,
+        bound: Bound::memory(),
+        software_factor: 5.66,
+        software_attribution: "GPU ports of the XGC and GENE gyrokinetic \
+            kernels and the coupled core-edge framework",
+        parallel_efficiency_frontier: 1.0,
+        parallel_efficiency_baseline: 1.0,
+        target: 50.0,
+        paper_achieved: 150.0,
+        baseline_fom: None,
+    }
+}
+
+/// The combined ExaSMR FOM: "a harmonic average of the Monte Carlo and CFD
+/// work rates" — 54 and 99.6 combine to 70.
+pub fn exasmr_combined_speedup(frontier: &MachineModel) -> f64 {
+    harmonic_mean(&[
+        exasmr_shift().speedup(frontier),
+        exasmr_nekrs().speedup(frontier),
+    ])
+}
+
+/// The Table 7 rows in paper order (ExaSMR as its combined FOM).
+pub fn ecp_results(frontier: &MachineModel) -> Vec<SpeedupRow> {
+    let mut rows: Vec<SpeedupRow> = [warpx(), exasky(), exaalt()]
+        .into_iter()
+        .map(|a| SpeedupRow::evaluate(&a, frontier))
+        .collect();
+    rows.push(SpeedupRow {
+        app: "ExaSMR".into(),
+        baseline: "Titan".into(),
+        target: 50.0,
+        achieved: exasmr_combined_speedup(frontier),
+        paper_achieved: 70.0,
+    });
+    rows.push(SpeedupRow::evaluate(&wdmapp(), frontier));
+    rows
+}
+
+/// All individual ECP app models (ExaSMR split into its two components).
+pub fn ecp_apps() -> Vec<AppModel> {
+    vec![
+        warpx(),
+        exasky(),
+        exaalt(),
+        exasmr_shift(),
+        exasmr_nekrs(),
+        wdmapp(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_ecp_row_beats_50x() {
+        let f = MachineModel::frontier();
+        for row in ecp_results(&f) {
+            assert!(
+                row.achieved >= 50.0,
+                "{} modelled at {:.0}x misses 50x",
+                row.app,
+                row.achieved
+            );
+        }
+    }
+
+    #[test]
+    fn modelled_speedups_match_paper_within_8_percent() {
+        let f = MachineModel::frontier();
+        for row in ecp_results(&f) {
+            let err = (row.achieved - row.paper_achieved).abs() / row.paper_achieved;
+            assert!(
+                err < 0.08,
+                "{}: model {:.1}x vs paper {:.1}x",
+                row.app,
+                row.achieved,
+                row.paper_achieved
+            );
+        }
+    }
+
+    #[test]
+    fn exasmr_is_harmonic_mean_of_components() {
+        let f = MachineModel::frontier();
+        let combined = exasmr_combined_speedup(&f);
+        let shift = exasmr_shift().speedup(&f);
+        let nekrs = exasmr_nekrs().speedup(&f);
+        assert!(combined > shift.min(nekrs) && combined < shift.max(nekrs));
+        assert!((combined - 70.0).abs() < 4.0, "{combined}");
+    }
+
+    #[test]
+    fn warpx_has_the_largest_speedup() {
+        let f = MachineModel::frontier();
+        let rows = ecp_results(&f);
+        let max = rows
+            .iter()
+            .max_by(|a, b| a.achieved.partial_cmp(&b.achieved).unwrap())
+            .unwrap();
+        assert_eq!(max.app, "WarpX (vs Warp)");
+    }
+
+    #[test]
+    fn exaalt_absolute_fom() {
+        let f = MachineModel::frontier();
+        let (fom, units) = exaalt().frontier_fom(&f).unwrap();
+        assert_eq!(units, "atom-steps/s");
+        assert!((fom / 1e9 - 3.57).abs() < 0.2, "{}", fom / 1e9);
+    }
+
+    #[test]
+    fn hardware_alone_exceeds_50x_for_most() {
+        // Even before software factors, the machine generation gap carries
+        // most apps past the target — the paper's argument that real
+        // application speedup is the right exascale metric.
+        let f = MachineModel::frontier();
+        let hw_wins = ecp_apps()
+            .iter()
+            .filter(|a| a.hardware_ratio(&f) >= 20.0)
+            .count();
+        assert!(hw_wins >= 4, "{hw_wins}");
+    }
+}

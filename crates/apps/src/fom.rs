@@ -1,0 +1,82 @@
+//! Figure-of-merit rows and table assembly for Tables 6 and 7.
+
+use crate::machine::MachineModel;
+use crate::model::AppModel;
+use frontier_sim_core::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One row of a speedup table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpeedupRow {
+    pub app: String,
+    pub baseline: String,
+    pub target: f64,
+    /// Modelled speedup.
+    pub achieved: f64,
+    /// The paper's reported value, for side-by-side display.
+    pub paper_achieved: f64,
+}
+
+impl SpeedupRow {
+    pub fn evaluate(app: &AppModel, frontier: &MachineModel) -> Self {
+        SpeedupRow {
+            app: app.name.to_string(),
+            baseline: app.baseline.name.to_string(),
+            target: app.target,
+            achieved: app.speedup(frontier),
+            paper_achieved: app.paper_achieved,
+        }
+    }
+
+    pub fn meets_target(&self) -> bool {
+        self.achieved >= self.target
+    }
+}
+
+/// Render rows as a paper-style table with a model-vs-paper column.
+pub fn render_table(title: &str, rows: &[SpeedupRow]) -> Table {
+    let mut t = Table::new(
+        title,
+        &["Application", "Baseline", "Target", "Model", "Paper"],
+    );
+    for r in rows {
+        t.row(&[
+            r.app.clone(),
+            r.baseline.clone(),
+            format!("{:.1}x", r.target),
+            format!("{:.1}x", r.achieved),
+            format!("{:.1}x", r.paper_achieved),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::caar::caar_results;
+    use crate::ecp::ecp_results;
+
+    #[test]
+    fn tables_render_all_rows() {
+        let f = MachineModel::frontier();
+        let caar = caar_results(&f);
+        let ecp = ecp_results(&f);
+        assert_eq!(caar.len(), 6);
+        assert_eq!(ecp.len(), 5);
+        let t6 = render_table("Table 6", &caar);
+        let t7 = render_table("Table 7", &ecp);
+        assert_eq!(t6.num_rows(), 6);
+        assert_eq!(t7.num_rows(), 5);
+        assert!(t6.to_string().contains("Cholla"));
+        assert!(t7.to_string().contains("ExaSMR"));
+    }
+
+    #[test]
+    fn all_rows_meet_targets() {
+        let f = MachineModel::frontier();
+        for row in caar_results(&f).iter().chain(ecp_results(&f).iter()) {
+            assert!(row.meets_target(), "{} at {:.1}x", row.app, row.achieved);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Machine models of Frontier and the baseline systems of Tables 6 and 7.
+//!
+//! Per-node published specs of each machine. "GPU" means GCD on Frontier —
+//! the schedulable accelerator unit — and the CPU-only machines (Mira's
+//! BG/Q, Theta/Cori's KNL) report their node-level numbers in the same
+//! fields with `gpus_per_node = 0`.
+
+use frontier_sim_core::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Node-level specification of one machine generation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MachineModel {
+    pub name: &'static str,
+    pub nodes: usize,
+    /// Accelerators per node (0 for CPU-only machines).
+    pub gpus_per_node: usize,
+    /// Peak FP64 per node (vector/SIMD path).
+    pub fp64_node: Flops,
+    /// Peak FP64 matrix/tensor path per node (equals `fp64_node` where no
+    /// matrix hardware exists).
+    pub fp64_matrix_node: Flops,
+    /// Peak FP32 per node.
+    pub fp32_node: Flops,
+    /// Peak FP16/mixed-precision matrix path per node.
+    pub fp16_matrix_node: Flops,
+    /// Fast-memory (HBM/GDDR/MCDRAM) bandwidth per node.
+    pub mem_bw_node: Bandwidth,
+    /// Fast-memory capacity per node.
+    pub mem_cap_node: Bytes,
+    /// Network injection per node.
+    pub injection_node: Bandwidth,
+    /// calibrated: fraction of injection sustained under global all-to-all
+    /// traffic. Frontier's 0.30 comes from this workspace's own dragonfly
+    /// analysis (§4.2.2: ~30 of 100 GB/s/node); Summit's 0.68 from its
+    /// non-blocking fat-tree at EDR protocol efficiency.
+    pub alltoall_efficiency: f64,
+}
+
+impl MachineModel {
+    /// Frontier (2022): 9,472 Bard Peak nodes, 8 GCDs each.
+    pub fn frontier() -> Self {
+        MachineModel {
+            name: "Frontier",
+            nodes: 9_472,
+            gpus_per_node: 8,
+            fp64_node: Flops::tf(8.0 * 23.95),
+            fp64_matrix_node: Flops::tf(8.0 * 47.9),
+            fp32_node: Flops::tf(8.0 * 47.9),
+            fp16_matrix_node: Flops::tf(8.0 * 191.5),
+            mem_bw_node: Bandwidth::tb_s(8.0 * 1.6352),
+            mem_cap_node: Bytes::gib(8 * 64),
+            injection_node: Bandwidth::gb_s(100.0),
+            alltoall_efficiency: 0.3,
+        }
+    }
+
+    /// Summit (2018): 4,608 nodes, 6 NVIDIA V100.
+    pub fn summit() -> Self {
+        MachineModel {
+            name: "Summit",
+            nodes: 4_608,
+            gpus_per_node: 6,
+            fp64_node: Flops::tf(6.0 * 7.8),
+            fp64_matrix_node: Flops::tf(6.0 * 7.8),
+            fp32_node: Flops::tf(6.0 * 15.7),
+            fp16_matrix_node: Flops::tf(6.0 * 125.0),
+            mem_bw_node: Bandwidth::tb_s(6.0 * 0.9),
+            mem_cap_node: Bytes::gib(6 * 16),
+            injection_node: Bandwidth::gb_s(25.0),
+            alltoall_efficiency: 0.68,
+        }
+    }
+
+    /// Titan (2012): 18,688 nodes, 1 NVIDIA K20X.
+    pub fn titan() -> Self {
+        MachineModel {
+            name: "Titan",
+            nodes: 18_688,
+            gpus_per_node: 1,
+            fp64_node: Flops::tf(1.31),
+            fp64_matrix_node: Flops::tf(1.31),
+            fp32_node: Flops::tf(3.93),
+            fp16_matrix_node: Flops::tf(3.93),
+            mem_bw_node: Bandwidth::gb_s(250.0),
+            mem_cap_node: Bytes::gib(6),
+            injection_node: Bandwidth::gb_s(5.8),
+            alltoall_efficiency: 0.5,
+        }
+    }
+
+    /// Mira (2012): 49,152 BlueGene/Q nodes (CPU only).
+    pub fn mira() -> Self {
+        MachineModel {
+            name: "Mira",
+            nodes: 49_152,
+            gpus_per_node: 0,
+            fp64_node: Flops::gf(204.8),
+            fp64_matrix_node: Flops::gf(204.8),
+            fp32_node: Flops::gf(204.8),
+            fp16_matrix_node: Flops::gf(204.8),
+            mem_bw_node: Bandwidth::gb_s(42.6),
+            mem_cap_node: Bytes::gib(16),
+            injection_node: Bandwidth::gb_s(20.0),
+            alltoall_efficiency: 0.6,
+        }
+    }
+
+    /// Theta (2017): 4,392 KNL nodes (CPU only).
+    pub fn theta() -> Self {
+        MachineModel {
+            name: "Theta",
+            nodes: 4_392,
+            gpus_per_node: 0,
+            fp64_node: Flops::tf(2.66),
+            fp64_matrix_node: Flops::tf(2.66),
+            fp32_node: Flops::tf(5.32),
+            fp16_matrix_node: Flops::tf(5.32),
+            mem_bw_node: Bandwidth::gb_s(450.0),
+            mem_cap_node: Bytes::gib(16),
+            injection_node: Bandwidth::gb_s(9.7),
+            alltoall_efficiency: 0.45,
+        }
+    }
+
+    /// Cori (2016): 9,688 KNL nodes (CPU only).
+    pub fn cori() -> Self {
+        MachineModel {
+            name: "Cori",
+            nodes: 9_688,
+            gpus_per_node: 0,
+            fp64_node: Flops::tf(3.05),
+            fp64_matrix_node: Flops::tf(3.05),
+            fp32_node: Flops::tf(6.1),
+            fp16_matrix_node: Flops::tf(6.1),
+            mem_bw_node: Bandwidth::gb_s(460.0),
+            mem_cap_node: Bytes::gib(16),
+            injection_node: Bandwidth::gb_s(9.7),
+            alltoall_efficiency: 0.45,
+        }
+    }
+
+    /// Total fast-memory bandwidth of the machine.
+    pub fn total_mem_bw(&self) -> Bandwidth {
+        self.mem_bw_node * self.nodes as f64
+    }
+
+    /// Total fast-memory capacity.
+    pub fn total_mem_cap(&self) -> Bytes {
+        self.mem_cap_node * self.nodes as u64
+    }
+
+    /// Total peak FP64 (vector path).
+    pub fn total_fp64(&self) -> Flops {
+        self.fp64_node * self.nodes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontier_node_matches_bardpeak() {
+        let f = MachineModel::frontier();
+        assert!((f.mem_bw_node.as_tb_s() - 13.08).abs() < 0.01);
+        assert_eq!(f.mem_cap_node, Bytes::gib(512));
+        assert!((f.fp64_node.as_tf() - 191.6).abs() < 0.1);
+    }
+
+    #[test]
+    fn frontier_vs_summit_hbm_ratio() {
+        // The per-node HBM bandwidth ratio driving the memory-bound CAAR
+        // speedups: 13.08 / 5.4 ≈ 2.42.
+        let f = MachineModel::frontier();
+        let s = MachineModel::summit();
+        let r = f.mem_bw_node.as_gb_s() / s.mem_bw_node.as_gb_s();
+        assert!((r - 2.42).abs() < 0.02, "{r}");
+    }
+
+    #[test]
+    fn machine_totals() {
+        let f = MachineModel::frontier();
+        // 4.6 PiB of HBM; ~124 PB/s of HBM bandwidth.
+        assert!((f.total_mem_cap().as_pib() - 4.625).abs() < 0.01);
+        assert!((f.total_mem_bw().as_tb_s() - 123_900.0).abs() < 300.0);
+    }
+
+    #[test]
+    fn baselines_are_20pf_class() {
+        // DOE's ECP baselines were "~20 PF" machines.
+        for m in [
+            MachineModel::titan(),
+            MachineModel::mira(),
+            MachineModel::theta(),
+            MachineModel::cori(),
+        ] {
+            let pf = m.total_fp64().as_pf();
+            assert!((8.0..32.0).contains(&pf), "{} is {pf} PF", m.name);
+        }
+    }
+
+    #[test]
+    fn summit_is_200pf_class() {
+        let pf = MachineModel::summit().total_fp64().as_pf();
+        assert!((180.0..230.0).contains(&pf), "{pf}");
+    }
+}

@@ -1,0 +1,256 @@
+//! Application performance model: bound profiles, hardware ratios, and
+//! speedups.
+//!
+//! Each application is paced by a blend of three machine resources —
+//! compute at a given precision/pipeline, fast-memory bandwidth, and
+//! network throughput. A work unit's time on machine `M` is
+//!
+//! ```text
+//! t(M) = cw / C(M) + mw / B(M) + nw / N(M)
+//! ```
+//!
+//! with each resource normalized to Frontier's per-node value, so the
+//! weights are dimensionless fractions of the Frontier-node step time.
+//! The machine's rate is `nodes × parallel_efficiency / t`, and the
+//! reported speedup is `rate(Frontier) / rate(baseline) × software_factor`,
+//! where the software factor carries the code-work part of the speedup with
+//! the paper's own attribution quoted at each app's definition.
+
+use crate::machine::MachineModel;
+use serde::{Deserialize, Serialize};
+
+/// Which compute pipeline an app's hot kernels use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GpuPrecision {
+    Fp64Vector,
+    Fp64Matrix,
+    Fp32,
+    Fp16Matrix,
+}
+
+/// A bound profile: how a unit of work splits across resources.
+/// Weights need not sum to 1; only ratios between machines matter.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Bound {
+    pub compute_weight: f64,
+    pub precision: GpuPrecision,
+    pub memory_weight: f64,
+    pub network_weight: f64,
+}
+
+impl Bound {
+    /// Purely compute-bound at the given precision.
+    pub fn compute(precision: GpuPrecision) -> Self {
+        Bound {
+            compute_weight: 1.0,
+            precision,
+            memory_weight: 0.0,
+            network_weight: 0.0,
+        }
+    }
+
+    /// Purely fast-memory-bandwidth bound.
+    pub fn memory() -> Self {
+        Bound {
+            compute_weight: 0.0,
+            precision: GpuPrecision::Fp64Vector,
+            memory_weight: 1.0,
+            network_weight: 0.0,
+        }
+    }
+
+    /// A memory/network blend (e.g. distributed FFT).
+    pub fn memory_network(memory_weight: f64, network_weight: f64) -> Self {
+        assert!(memory_weight >= 0.0 && network_weight >= 0.0);
+        assert!(memory_weight + network_weight > 0.0);
+        Bound {
+            compute_weight: 0.0,
+            precision: GpuPrecision::Fp64Vector,
+            memory_weight,
+            network_weight,
+        }
+    }
+}
+
+fn compute_rate(m: &MachineModel, p: GpuPrecision) -> f64 {
+    match p {
+        GpuPrecision::Fp64Vector => m.fp64_node.as_tf(),
+        GpuPrecision::Fp64Matrix => m.fp64_matrix_node.as_tf(),
+        GpuPrecision::Fp32 => m.fp32_node.as_tf(),
+        GpuPrecision::Fp16Matrix => m.fp16_matrix_node.as_tf(),
+    }
+}
+
+impl Bound {
+    /// Per-node step time on `m`, normalized so a Frontier node is 1.0 when
+    /// all weight sits on one resource.
+    pub fn step_time(&self, m: &MachineModel) -> f64 {
+        let f = MachineModel::frontier();
+        let mut t = 0.0;
+        if self.compute_weight > 0.0 {
+            t += self.compute_weight * compute_rate(&f, self.precision)
+                / compute_rate(m, self.precision);
+        }
+        if self.memory_weight > 0.0 {
+            t += self.memory_weight * f.mem_bw_node.as_bytes_per_sec()
+                / m.mem_bw_node.as_bytes_per_sec();
+        }
+        if self.network_weight > 0.0 {
+            let fn_ = f.injection_node.as_bytes_per_sec() * f.alltoall_efficiency;
+            let mn = m.injection_node.as_bytes_per_sec() * m.alltoall_efficiency;
+            t += self.network_weight * fn_ / mn;
+        }
+        t
+    }
+}
+
+/// A modelled application with its run configuration and speedup target.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AppModel {
+    pub name: &'static str,
+    pub baseline: MachineModel,
+    /// Frontier nodes (or GPUs when `per_gpu`) used in the paper's run.
+    pub frontier_nodes: usize,
+    /// Baseline nodes (or GPUs when `per_gpu`) of the reference run.
+    pub baseline_nodes: usize,
+    /// Compare per accelerator rather than per machine (LSMS reports a
+    /// per-GPU kernel speedup).
+    pub per_gpu: bool,
+    pub bound: Bound,
+    /// Code-work part of the speedup, with the paper's attribution.
+    pub software_factor: f64,
+    pub software_attribution: &'static str,
+    pub parallel_efficiency_frontier: f64,
+    pub parallel_efficiency_baseline: f64,
+    /// KPP target (4.0 for CAAR, 50.0 for ECP).
+    pub target: f64,
+    /// The paper's reported achieved speedup, for validation.
+    pub paper_achieved: f64,
+    /// Absolute baseline FOM, when published: (value, units).
+    pub baseline_fom: Option<(f64, &'static str)>,
+}
+
+impl AppModel {
+    /// Hardware-only rate ratio Frontier : baseline for this app's bound
+    /// profile and run sizes.
+    pub fn hardware_ratio(&self, frontier: &MachineModel) -> f64 {
+        let tf = self.bound.step_time(frontier);
+        let tb = self.bound.step_time(&self.baseline);
+        let (nf, nb) = if self.per_gpu {
+            // Normalize to single accelerators; step_time is per *node*.
+            (
+                self.frontier_nodes as f64 / frontier.gpus_per_node.max(1) as f64,
+                self.baseline_nodes as f64 / self.baseline.gpus_per_node.max(1) as f64,
+            )
+        } else {
+            (self.frontier_nodes as f64, self.baseline_nodes as f64)
+        };
+        (nf * self.parallel_efficiency_frontier / tf)
+            / (nb * self.parallel_efficiency_baseline / tb)
+    }
+
+    /// Modelled end-to-end speedup: hardware ratio × software factor.
+    pub fn speedup(&self, frontier: &MachineModel) -> f64 {
+        self.hardware_ratio(frontier) * self.software_factor
+    }
+
+    /// Modelled Frontier FOM in the app's own units, when a baseline FOM is
+    /// published.
+    pub fn frontier_fom(&self, frontier: &MachineModel) -> Option<(f64, &'static str)> {
+        self.baseline_fom
+            .map(|(v, u)| (v * self.speedup(frontier), u))
+    }
+
+    /// Does the modelled speedup beat the KPP target?
+    pub fn meets_target(&self, frontier: &MachineModel) -> bool {
+        self.speedup(frontier) >= self.target
+    }
+
+    /// Relative error of the model against the paper's achieved number.
+    pub fn model_error(&self, frontier: &MachineModel) -> f64 {
+        (self.speedup(frontier) - self.paper_achieved).abs() / self.paper_achieved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_time_is_1_on_frontier_for_pure_bounds() {
+        let f = MachineModel::frontier();
+        for b in [
+            Bound::compute(GpuPrecision::Fp64Vector),
+            Bound::compute(GpuPrecision::Fp16Matrix),
+            Bound::memory(),
+            Bound::memory_network(0.0, 1.0),
+        ] {
+            assert!((b.step_time(&f) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn summit_memory_step_is_2_42x() {
+        let s = MachineModel::summit();
+        let t = Bound::memory().step_time(&s);
+        assert!((t - 2.42).abs() < 0.02, "{t}");
+    }
+
+    #[test]
+    fn blend_times_add() {
+        let s = MachineModel::summit();
+        let m = Bound::memory().step_time(&s);
+        let n = Bound::memory_network(0.0, 1.0).step_time(&s);
+        let blend = Bound::memory_network(0.5, 0.5).step_time(&s);
+        assert!((blend - 0.5 * m - 0.5 * n).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hardware_ratio_scales_with_nodes() {
+        let f = MachineModel::frontier();
+        let mk = |nodes| AppModel {
+            name: "t",
+            baseline: MachineModel::summit(),
+            frontier_nodes: nodes,
+            baseline_nodes: 4_608,
+            per_gpu: false,
+            bound: Bound::memory(),
+            software_factor: 1.0,
+            software_attribution: "",
+            parallel_efficiency_frontier: 1.0,
+            parallel_efficiency_baseline: 1.0,
+            target: 4.0,
+            paper_achieved: 1.0,
+            baseline_fom: None,
+        };
+        let a = mk(4_608).hardware_ratio(&f);
+        let b = mk(9_216).hardware_ratio(&f);
+        assert!((b / a - 2.0).abs() < 1e-9);
+        // At equal node counts, the memory-bound ratio is the per-node HBM
+        // ratio.
+        assert!((a - 2.42).abs() < 0.02, "{a}");
+    }
+
+    #[test]
+    fn per_gpu_normalizes_accelerator_counts() {
+        let f = MachineModel::frontier();
+        let app = AppModel {
+            name: "t",
+            baseline: MachineModel::summit(),
+            frontier_nodes: 1,
+            baseline_nodes: 1,
+            per_gpu: true,
+            bound: Bound::compute(GpuPrecision::Fp64Matrix),
+            software_factor: 1.0,
+            software_attribution: "",
+            parallel_efficiency_frontier: 1.0,
+            parallel_efficiency_baseline: 1.0,
+            target: 4.0,
+            paper_achieved: 6.1,
+            baseline_fom: None,
+        };
+        // Per GPU: GCD matrix FP64 47.9 vs V100 7.8 -> ~6.14.
+        let r = app.hardware_ratio(&f);
+        assert!((r - 6.14).abs() < 0.05, "{r}");
+    }
+}

@@ -1,0 +1,31 @@
+//! Tables 6-7 benches: the CAAR and ECP speedup evaluations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use frontier_bench::experiments as exp;
+use frontier_core::apps::caar::caar_results;
+use frontier_core::apps::ecp::ecp_results;
+use frontier_core::apps::machine::MachineModel;
+use std::hint::black_box;
+
+fn bench_caar(c: &mut Criterion) {
+    println!("{}", exp::table6_text());
+    let f = MachineModel::frontier();
+    c.bench_function("table6_caar_evaluation", |b| {
+        b.iter(|| black_box(caar_results(&f)))
+    });
+}
+
+fn bench_ecp(c: &mut Criterion) {
+    println!("{}", exp::table7_text());
+    let f = MachineModel::frontier();
+    c.bench_function("table7_ecp_evaluation", |b| {
+        b.iter(|| black_box(ecp_results(&f)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_caar, bench_ecp
+}
+criterion_main!(benches);

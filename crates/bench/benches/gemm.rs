@@ -1,0 +1,24 @@
+//! Fig. 3 bench: the CoralGemm sweep on the GCD execution model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use frontier_bench::experiments as exp;
+use frontier_core::node::gemm::{GemmModel, Precision};
+use std::hint::black_box;
+
+fn bench_gemm(c: &mut Criterion) {
+    println!("{}", exp::fig3_text());
+    let m = GemmModel::mi250x_gcd();
+    let sizes = [1024usize, 2048, 4096, 8192, 14336];
+    for p in Precision::ALL {
+        c.bench_function(&format!("fig3_gemm_sweep_{}", p.name()), |b| {
+            b.iter(|| black_box(m.sweep(p, &sizes)))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_gemm
+}
+criterion_main!(benches);

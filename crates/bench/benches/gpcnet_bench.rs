@@ -1,0 +1,27 @@
+//! Table 5 bench: GPCNeT on the reduced dragonfly, congestion control on
+//! and off (the CC ablation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use frontier_bench::{experiments as exp, Scale};
+use frontier_core::fabric::gpcnet::{run, GpcnetConfig};
+use std::hint::black_box;
+
+fn bench_gpcnet(c: &mut Criterion) {
+    println!("{}", exp::table5_text(Scale::Small));
+    c.bench_function("table5_gpcnet_cc_on", |b| {
+        b.iter(|| black_box(run(&GpcnetConfig::scaled_for_tests())))
+    });
+    let mut off = GpcnetConfig::scaled_for_tests();
+    off.congestion_control = false;
+    c.bench_function("table5_gpcnet_cc_off", |b| b.iter(|| black_box(run(&off))));
+    let mut ppn32 = GpcnetConfig::scaled_for_tests();
+    ppn32.ppn = 32;
+    c.bench_function("table5_gpcnet_32ppn", |b| b.iter(|| black_box(run(&ppn32))));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_gpcnet
+}
+criterion_main!(benches);

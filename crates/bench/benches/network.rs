@@ -1,0 +1,67 @@
+//! Fig. 6 and fabric benches: the mpiGraph max-min solve on the dragonfly
+//! and fat-tree, the routing-policy ablation, and the taper sweep.
+//!
+//! The timed solves run on a ratio-preserving 1,024-endpoint dragonfly;
+//! the printed figure is the same experiment (`repro -- fig6` runs the
+//! full 37,888-endpoint machine in ~10 s).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use frontier_bench::{experiments as exp, Scale};
+use frontier_core::fabric::dragonfly::{Dragonfly, DragonflyParams};
+use frontier_core::fabric::fattree::{FatTree, FatTreeParams};
+use frontier_core::fabric::mpigraph;
+use frontier_core::fabric::patterns::all_to_all_throughput;
+use frontier_core::fabric::routing::RoutePolicy;
+use std::hint::black_box;
+
+fn bench_mpigraph(c: &mut Criterion) {
+    println!("{}", exp::fig6_text(Scale::Small));
+    let df = Dragonfly::build(DragonflyParams::scaled(16, 8, 8));
+    c.bench_function("fig6_mpigraph_dragonfly_1k", |b| {
+        b.iter(|| {
+            black_box(mpigraph::run_dragonfly(
+                &df,
+                RoutePolicy::adaptive_default(),
+                7,
+            ))
+        })
+    });
+    let ft = FatTree::build(FatTreeParams::scaled(32, 32));
+    c.bench_function("fig6_mpigraph_fattree_1k", |b| {
+        b.iter(|| black_box(mpigraph::run_fattree(&ft, 7)))
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let df = Dragonfly::build(DragonflyParams::scaled(16, 8, 8));
+    for (name, policy) in [
+        ("minimal", RoutePolicy::Minimal),
+        ("adaptive", RoutePolicy::adaptive_default()),
+        ("valiant", RoutePolicy::Valiant),
+    ] {
+        c.bench_function(&format!("routing_ablation_{name}"), |b| {
+            b.iter(|| black_box(mpigraph::run_dragonfly(&df, policy, 3)))
+        });
+    }
+}
+
+fn bench_taper(c: &mut Criterion) {
+    println!("{}", exp::taper_text());
+    c.bench_function("taper_sweep_full_frontier", |b| {
+        b.iter(|| {
+            for bundles in [1usize, 2, 4] {
+                let mut p = DragonflyParams::frontier();
+                p.bundles_per_group_pair = bundles;
+                let df = Dragonfly::build(p);
+                black_box(all_to_all_throughput(&df, 1.0));
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_mpigraph, bench_routing, bench_taper
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! §5.1/§5.4 benches: the Green500 arithmetic and the MTTI model
+//! (analytic + Monte-Carlo failure injection).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use frontier_bench::experiments as exp;
+use frontier_core::power::green500::green500_entry;
+use frontier_core::resilience::fit::{FitModel, Inventory};
+use frontier_core::resilience::mtti::{analytic_mtti, monte_carlo_mtti};
+use std::hint::black_box;
+
+fn bench_power(c: &mut Criterion) {
+    println!("{}", exp::power_text());
+    c.bench_function("green500_entry", |b| b.iter(|| black_box(green500_entry())));
+}
+
+fn bench_mtti(c: &mut Criterion) {
+    println!("{}", exp::mtti_text());
+    let inv = Inventory::frontier();
+    let fits = FitModel::frontier();
+    c.bench_function("mtti_analytic", |b| {
+        b.iter(|| black_box(analytic_mtti(&inv, &fits)))
+    });
+    c.bench_function("mtti_monte_carlo_20k", |b| {
+        b.iter(|| black_box(monte_carlo_mtti(&inv, &fits, 20_000, 42)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_power, bench_mtti
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! §3.4.2 benches: topology-aware placement and the scheduler loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use frontier_bench::experiments as exp;
+use frontier_core::fabric::dragonfly::{Dragonfly, DragonflyParams};
+use frontier_core::prelude::*;
+use frontier_core::sched::placement::{allocate, PlacementPolicy};
+use frontier_core::sched::slurm::Scheduler;
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+fn bench_placement(c: &mut Criterion) {
+    println!("{}", exp::placement_text());
+    // Placement on the *full* Frontier dragonfly.
+    let df = Dragonfly::frontier();
+    let free: BTreeSet<usize> = (0..df.params().total_nodes()).collect();
+    for (name, policy) in [
+        ("pack", PlacementPolicy::Pack),
+        ("spread", PlacementPolicy::Spread),
+    ] {
+        c.bench_function(&format!("placement_{name}_1024_of_9472"), |b| {
+            b.iter(|| black_box(allocate(&df, &free, 1024, policy)))
+        });
+    }
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    c.bench_function("scheduler_100_jobs_to_completion", |b| {
+        b.iter(|| {
+            let df = Dragonfly::build(DragonflyParams::scaled(16, 8, 8));
+            let mut s = Scheduler::new(df, PlacementPolicy::TopologyAware);
+            let mut rng = StreamRng::from_seed(1);
+            for _ in 0..100 {
+                let nodes = 1 + rng.index(32);
+                s.submit(nodes, SimTime::from_secs(60 + rng.int_range(0, 3600)));
+            }
+            black_box(s.run_to_completion())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_placement, bench_scheduler
+}
+criterion_main!(benches);

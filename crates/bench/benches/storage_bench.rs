@@ -1,0 +1,70 @@
+//! §4.3 benches: node-local fio, Orion tier routing, the checkpoint-ingest
+//! scenario, and the PFL-boundary ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use frontier_bench::experiments as exp;
+use frontier_core::prelude::Bytes;
+use frontier_core::storage::fio::{run, FioJob};
+use frontier_core::storage::nodelocal::NodeLocalStorage;
+use frontier_core::storage::orion::{Orion, OrionConfig};
+use frontier_core::storage::pfl::PflLayout;
+use std::hint::black_box;
+
+fn bench_fio(c: &mut Criterion) {
+    println!("{}", exp::nodelocal_text());
+    let s = NodeLocalStorage::frontier();
+    c.bench_function("nodelocal_fio_seq_read_64GiB", |b| {
+        b.iter(|| black_box(run(&s, &FioJob::seq_read(Bytes::gib(64)))))
+    });
+    c.bench_function("nodelocal_fio_rand_8M_ops", |b| {
+        b.iter(|| black_box(run(&s, &FioJob::rand_read_4k(8_000_000))))
+    });
+}
+
+fn bench_orion(c: &mut Criterion) {
+    println!("{}", exp::orion_text());
+    let o = Orion::frontier();
+    c.bench_function("orion_checkpoint_ingest_700TiB", |b| {
+        b.iter(|| black_box(o.checkpoint_ingest_time(Bytes::tib(700), Bytes::gib(8))))
+    });
+}
+
+fn bench_pfl(c: &mut Criterion) {
+    // PFL-boundary ablation: how the flash boundary moves the mixed-size
+    // write rate.
+    let sizes = [Bytes::kib(64), Bytes::mib(1), Bytes::mib(8), Bytes::gib(1)];
+    println!("PFL ablation: aggregate write bandwidth by flash boundary");
+    for perf_mib in [2u64, 8, 64] {
+        let mut cfg = OrionConfig::frontier();
+        cfg.layout = PflLayout::with_limits(Bytes::kib(256), Bytes::mib(perf_mib));
+        let o = Orion::new(cfg);
+        let rates: Vec<String> = sizes
+            .iter()
+            .map(|&s| format!("{:.2}", o.file_write_bandwidth(s).as_tb_s()))
+            .collect();
+        println!(
+            "  boundary {perf_mib:>3} MiB -> {} TB/s for {:?}",
+            rates.join(" / "),
+            sizes
+        );
+    }
+    c.bench_function("pfl_boundary_ablation", |b| {
+        b.iter(|| {
+            for perf_mib in [2u64, 8, 64] {
+                let mut cfg = OrionConfig::frontier();
+                cfg.layout = PflLayout::with_limits(Bytes::kib(256), Bytes::mib(perf_mib));
+                let o = Orion::new(cfg);
+                for &s in &sizes {
+                    black_box(o.file_write_bandwidth(s));
+                }
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fio, bench_orion, bench_pfl
+}
+criterion_main!(benches);

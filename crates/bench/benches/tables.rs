@@ -1,0 +1,70 @@
+//! Benches for the spec tables and the STREAM models (Tables 1-4 and the
+//! NPS ablation). Each group prints its reproduced table once before
+//! timing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use frontier_bench::experiments as exp;
+use frontier_core::node::dram::{DramConfig, DramSystem, NpsMode, StoreMode, TrafficMix};
+use frontier_core::node::hbm::HbmStack;
+use frontier_core::node::stream::{cpu_stream, gpu_stream};
+use frontier_core::prelude::Bytes;
+use std::hint::black_box;
+
+fn bench_specs(c: &mut Criterion) {
+    println!("{}", exp::table1_text());
+    println!("{}", exp::table2_text());
+    c.bench_function("table1_derivation", |b| {
+        b.iter(|| black_box(exp::table1_text()))
+    });
+    c.bench_function("table2_derivation", |b| {
+        b.iter(|| black_box(exp::table2_text()))
+    });
+}
+
+fn bench_cpu_stream(c: &mut Criterion) {
+    println!("{}", exp::table3_text());
+    let dram = DramSystem::new(DramConfig::trento());
+    c.bench_function("table3_cpu_stream_analytic", |b| {
+        b.iter(|| {
+            black_box(cpu_stream(&dram, StoreMode::Temporal, NpsMode::Nps4));
+            black_box(cpu_stream(&dram, StoreMode::NonTemporal, NpsMode::Nps4));
+        })
+    });
+    c.bench_function("table3_cpu_stream_des_64MiB", |b| {
+        b.iter(|| {
+            black_box(dram.simulate_traffic(
+                Bytes::mib(64),
+                TrafficMix::new(2, 1),
+                StoreMode::Temporal,
+                NpsMode::Nps4,
+            ))
+        })
+    });
+}
+
+fn bench_gpu_stream(c: &mut Criterion) {
+    println!("{}", exp::table4_text());
+    let hbm = HbmStack::mi250x_gcd();
+    c.bench_function("table4_gpu_stream", |b| {
+        b.iter(|| black_box(gpu_stream(&hbm)))
+    });
+}
+
+fn bench_nps(c: &mut Criterion) {
+    println!("{}", exp::nps_text());
+    let dram = DramSystem::new(DramConfig::trento());
+    c.bench_function("nps_ablation", |b| {
+        b.iter(|| {
+            for nps in [NpsMode::Nps1, NpsMode::Nps4] {
+                black_box(cpu_stream(&dram, StoreMode::NonTemporal, nps));
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_specs, bench_cpu_stream, bench_gpu_stream, bench_nps
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Figs. 4-5 benches: host-to-device aggregation and GCD-to-GCD transfers
+//! over the xGMI twisted ladder, plus the NIC-attachment ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use frontier_bench::experiments as exp;
+use frontier_core::node::dram::{DramConfig, DramSystem, NpsMode};
+use frontier_core::node::transfer::{TransferEngine, TransferKind};
+use frontier_core::prelude::Bytes;
+use std::hint::black_box;
+
+fn bench_h2d(c: &mut Criterion) {
+    println!("{}", exp::fig4_text());
+    let e = TransferEngine::bard_peak();
+    let dram = DramSystem::new(DramConfig::trento());
+    c.bench_function("fig4_h2d_sweep", |b| {
+        b.iter(|| {
+            for exp2 in [16u32, 20, 24, 28] {
+                black_box(e.h2d_aggregate_at_size(&dram, NpsMode::Nps4, 8, Bytes::new(1 << exp2)));
+            }
+        })
+    });
+}
+
+fn bench_p2p(c: &mut Criterion) {
+    println!("{}", exp::fig5_text());
+    let e = TransferEngine::bard_peak();
+    c.bench_function("fig5_p2p_all_pairs", |b| {
+        b.iter(|| {
+            for (x, y, _) in e.topology().gcd_pairs() {
+                for kind in [TransferKind::CuKernel, TransferKind::Sdma] {
+                    black_box(e.peer_transfer_bandwidth(x, y, kind, Bytes::gib(1)));
+                }
+            }
+        })
+    });
+}
+
+fn bench_nic(c: &mut Criterion) {
+    println!("{}", exp::nic_text());
+    use frontier_core::apps::scaling::WeakScalingModel;
+    c.bench_function("nic_weak_scaling_curves", |b| {
+        b.iter(|| {
+            let f = WeakScalingModel::athenapk_frontier();
+            let s = WeakScalingModel::athenapk_summit();
+            for n in [64usize, 512, 4_600, 9_200] {
+                black_box((f.efficiency(n), s.efficiency(n)));
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_h2d, bench_p2p, bench_nic
+}
+criterion_main!(benches);

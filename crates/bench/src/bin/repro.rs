@@ -1,0 +1,99 @@
+//! `repro` — regenerate every table and figure of *Frontier: Exploring
+//! Exascale* (SC '23) from the simulator models.
+//!
+//! ```text
+//! cargo run --release -p frontier-bench --bin repro            # everything
+//! cargo run --release -p frontier-bench --bin repro -- table3  # one section
+//! cargo run --release -p frontier-bench --bin repro -- --small all
+//! ```
+
+use frontier_bench::experiments as exp;
+use frontier_bench::Scale;
+
+const SECTIONS: &[(&str, &str)] = &[
+    ("table1", "Frontier compute peak specifications"),
+    ("table2", "I/O subsystem specifications"),
+    ("table3", "CPU STREAM, temporal vs non-temporal"),
+    ("table4", "GPU STREAM"),
+    ("table5", "GPCNeT congestion (full scale: ~minutes)"),
+    ("table6", "CAAR application speedups"),
+    ("table7", "ECP application speedups"),
+    ("fig3", "GEMM sweep per precision"),
+    ("fig4", "CPU-to-GCD aggregate bandwidth"),
+    ("fig5", "GCD-to-GCD bandwidth, CU vs SDMA"),
+    ("fig6", "mpiGraph histograms (full scale: ~10 s)"),
+    ("nodelocal", "node-local storage (fio)"),
+    ("orion", "Orion rates and checkpoint ingest"),
+    ("power", "Green500 arithmetic"),
+    ("mtti", "MTTI and breakdown"),
+    ("taper", "taper/bundle-size ablation"),
+    ("placement", "scheduler pack-vs-spread"),
+    ("nps", "NPS-1 vs NPS-4 ablation"),
+    ("nic", "NIC-per-GPU weak-scaling ablation"),
+    ("hpl", "HPL panel-loop model / TOP500 entry"),
+    (
+        "collectives",
+        "collective-algorithm ablation on the message DES",
+    ),
+    ("ugal", "UGAL vs minimal routing on adversarial traffic"),
+    (
+        "ue",
+        "HBM uncorrectable-error scaling + storage-fabric headroom",
+    ),
+    ("all", "everything, in paper order"),
+];
+
+fn usage() -> ! {
+    eprintln!("usage: repro [--small] [SECTION ...]\n\nsections:");
+    for (name, desc) in SECTIONS {
+        eprintln!("  {name:<10} {desc}");
+    }
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut scale = Scale::Full;
+    let mut sections: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--small" => scale = Scale::Small,
+            "--full" => scale = Scale::Full,
+            "-h" | "--help" => usage(),
+            s if s.starts_with('-') => usage(),
+            s => sections.push(s.to_string()),
+        }
+    }
+    if sections.is_empty() {
+        sections.push("all".to_string());
+    }
+    for section in &sections {
+        let text = match section.as_str() {
+            "table1" => exp::table1_text(),
+            "table2" => exp::table2_text(),
+            "table3" => exp::table3_text(),
+            "table4" => exp::table4_text(),
+            "table5" => exp::table5_text(scale),
+            "table6" => exp::table6_text(),
+            "table7" => exp::table7_text(),
+            "fig3" => exp::fig3_text(),
+            "fig4" => exp::fig4_text(),
+            "fig5" => exp::fig5_text(),
+            "fig6" => exp::fig6_text(scale),
+            "nodelocal" => exp::nodelocal_text(),
+            "orion" => exp::orion_text(),
+            "power" => exp::power_text(),
+            "mtti" => exp::mtti_text(),
+            "taper" => exp::taper_text(),
+            "placement" => exp::placement_text(),
+            "nps" => exp::nps_text(),
+            "nic" => exp::nic_text(),
+            "hpl" => exp::hpl_text(),
+            "collectives" => exp::collectives_text(),
+            "ugal" => exp::ugal_text(),
+            "ue" => exp::ue_text(),
+            "all" => exp::all_text(scale),
+            _ => usage(),
+        };
+        println!("{text}");
+    }
+}

@@ -1,0 +1,10 @@
+//! # frontier-bench
+//!
+//! The reproduction harness: one function per table and figure of the
+//! paper's evaluation, each returning the rendered text the `repro` binary
+//! prints. The Criterion benches in `benches/` time the underlying solvers
+//! and models on the same code paths.
+
+pub mod experiments;
+
+pub use experiments::Scale;

@@ -1,0 +1,130 @@
+//! The assembled Frontier machine.
+
+use frontier_fabric::dragonfly::{Dragonfly, DragonflyParams};
+use frontier_node::bardpeak::{BardPeakNode, MachineAggregates};
+use frontier_power::green500::{green500_entry, Green500Entry};
+use frontier_resilience::fit::{FitModel, Inventory};
+use frontier_resilience::mtti::{analytic_mtti, MttiBreakdown};
+use frontier_sim_core::prelude::*;
+use frontier_storage::nodelocal::NodeLocalStorage;
+use frontier_storage::orion::Orion;
+
+use crate::specs;
+
+/// One handle over every subsystem model of Frontier.
+///
+/// Construction is cheap (the dragonfly graph is the largest piece, ~2 ms),
+/// so experiments build a fresh machine rather than sharing mutable state.
+pub struct FrontierMachine {
+    node: BardPeakNode,
+    fabric: Dragonfly,
+    orion: Orion,
+    node_local: NodeLocalStorage,
+    fits: FitModel,
+    inventory: Inventory,
+}
+
+impl Default for FrontierMachine {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+impl FrontierMachine {
+    /// Frontier as deployed: 9,472 Bard Peak nodes, the 74-group dragonfly,
+    /// Orion, and the production FIT/power models.
+    pub fn standard() -> Self {
+        FrontierMachine {
+            node: BardPeakNode::new(),
+            fabric: Dragonfly::build(DragonflyParams::frontier()),
+            orion: Orion::frontier(),
+            node_local: NodeLocalStorage::frontier(),
+            fits: FitModel::frontier(),
+            inventory: Inventory::frontier(),
+        }
+    }
+
+    pub fn nodes(&self) -> usize {
+        self.fabric.params().total_nodes()
+    }
+
+    /// The per-node hardware model.
+    pub fn node(&self) -> &BardPeakNode {
+        &self.node
+    }
+
+    /// The Slingshot fabric.
+    pub fn fabric(&self) -> &Dragonfly {
+        &self.fabric
+    }
+
+    /// The Orion parallel file system.
+    pub fn orion(&self) -> &Orion {
+        &self.orion
+    }
+
+    /// The node-local burst buffer of one node.
+    pub fn node_local(&self) -> &NodeLocalStorage {
+        &self.node_local
+    }
+
+    /// Table 1 aggregates from the node model.
+    pub fn aggregates(&self) -> MachineAggregates {
+        MachineAggregates::from_node(&self.node, self.nodes())
+    }
+
+    /// Render Table 1 (compute peak specifications).
+    pub fn table1(&self) -> Table {
+        specs::table1()
+    }
+
+    /// Render Table 2 (I/O subsystem specifications).
+    pub fn table2(&self) -> Table {
+        specs::table2()
+    }
+
+    /// The reliability breakdown (§5.4).
+    pub fn mtti(&self) -> MttiBreakdown {
+        analytic_mtti(&self.inventory, &self.fits)
+    }
+
+    /// The Green500 entry (§5.1).
+    pub fn green500(&self) -> Green500Entry {
+        green500_entry()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_machine_is_frontier_sized() {
+        let m = FrontierMachine::standard();
+        assert_eq!(m.nodes(), 9_472);
+        assert_eq!(m.node().gcd_count(), 8);
+        assert!((m.fabric().taper() - 0.57).abs() < 0.01);
+    }
+
+    #[test]
+    fn aggregates_match_table1() {
+        let m = FrontierMachine::standard();
+        let a = m.aggregates();
+        assert!((a.dgemm.as_ef() - 2.0).abs() < 0.01);
+        assert!((a.hbm_capacity.as_pib() - 4.625).abs() < 0.01);
+    }
+
+    #[test]
+    fn subsystem_handles_are_wired() {
+        let m = FrontierMachine::standard();
+        assert!(
+            m.orion()
+                .capacity(frontier_storage::orion::OrionTier::Capacity)
+                .as_pb()
+                > 600.0
+        );
+        assert!((m.node_local().measured_read().as_gb_s() - 7.1).abs() < 0.1);
+        assert!((3.5..6.0).contains(&m.mtti().mtti_hours));
+        assert!(m.green500().gf_per_watt > 50.0);
+    }
+}

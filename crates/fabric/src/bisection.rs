@@ -1,0 +1,113 @@
+//! Bisection bandwidth — the classic topology metric behind the paper's
+//! Clos-vs-dragonfly trade-off discussion (§4.2.2).
+//!
+//! "A dragonfly has ~50 % less ports and cables compared to a Clos and is
+//! similar to a 2:1 over-subscribed fat-tree." Bisection bandwidth makes
+//! that comparison quantitative: split the machine's endpoints in half and
+//! sum the capacity crossing the cut. For a dragonfly the worst even
+//! group-granular cut crosses only the global pipes between the halves;
+//! for a non-blocking fat-tree the core provides full bisection.
+
+use crate::dragonfly::Dragonfly;
+use crate::fattree::FatTree;
+use frontier_sim_core::prelude::*;
+
+/// Bisection bandwidth of a dragonfly for the canonical half-the-groups
+/// cut: groups `0..g/2` vs the rest (per direction).
+pub fn dragonfly_bisection(df: &Dragonfly) -> Bandwidth {
+    let g = df.params().groups;
+    let half = g / 2;
+    // Pipes crossing the cut: one per (left group, right group) pair,
+    // plus, for odd g, the middle group contributes its pipes to the
+    // larger side (we count the floor cut).
+    let crossing = half * (g - half);
+    df.params().pipe_capacity() * crossing as f64
+}
+
+/// Bisection bandwidth per endpoint of a dragonfly (per direction).
+pub fn dragonfly_bisection_per_endpoint(df: &Dragonfly) -> Bandwidth {
+    dragonfly_bisection(df) / df.params().total_endpoints() as f64
+}
+
+/// Bisection bandwidth of a (possibly oversubscribed) fat-tree: the
+/// aggregated uplinks of the smaller half of edge switches (per
+/// direction).
+pub fn fattree_bisection(ft: &FatTree) -> Bandwidth {
+    let p = ft.params();
+    let half_edges = p.edge_switches / 2;
+    p.link_rate * (half_edges * p.endpoints_per_edge) as f64 * p.uplink_ratio
+}
+
+/// Per-endpoint fat-tree bisection (per direction).
+pub fn fattree_bisection_per_endpoint(ft: &FatTree) -> Bandwidth {
+    fattree_bisection(ft) / ft.params().total_endpoints() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dragonfly::DragonflyParams;
+    use crate::fattree::FatTreeParams;
+
+    #[test]
+    fn frontier_bisection_is_half_the_global_bandwidth_ish() {
+        // 37 x 37 pipes of 100 GB/s = 136.9 TB/s per direction — almost
+        // exactly half the 270.1 TB/s total global bandwidth (a random
+        // cut severs ~half of all pipes).
+        let df = Dragonfly::frontier();
+        let b = dragonfly_bisection(&df);
+        assert!((b.as_tb_s() - 136.9).abs() < 0.1, "{}", b.as_tb_s());
+        let ratio = b.as_tb_s() / df.total_global_bandwidth().as_tb_s();
+        assert!((0.49..0.52).contains(&ratio), "{ratio}");
+    }
+
+    #[test]
+    fn frontier_per_endpoint_bisection_matches_the_oversubscription_story() {
+        // 136.9 TB/s over 37,888 endpoints = 3.6 GB/s per endpoint —
+        // ~14% of the 25 GB/s line rate. This is the arithmetic behind the
+        // bottom of Fig. 6's distribution (~3 GB/s after non-minimal
+        // halving) and the "similar to a 2:1 over-subscribed fat-tree"
+        // remark (which compares cost, not worst-case cuts).
+        let df = Dragonfly::frontier();
+        let per_ep = dragonfly_bisection_per_endpoint(&df);
+        assert!(
+            (per_ep.as_gb_s() - 3.61).abs() < 0.05,
+            "{}",
+            per_ep.as_gb_s()
+        );
+    }
+
+    #[test]
+    fn nonblocking_fattree_has_full_per_endpoint_bisection() {
+        let ft = FatTree::summit();
+        let per_ep = fattree_bisection_per_endpoint(&ft);
+        // Non-blocking: half the endpoints can drive full line rate across
+        // the cut -> per-endpoint bisection = line rate / 2.
+        assert!(
+            (per_ep.as_gb_s() - 12.5 / 2.0).abs() < 1e-9,
+            "{}",
+            per_ep.as_gb_s()
+        );
+    }
+
+    #[test]
+    fn oversubscribed_fattree_halves_bisection() {
+        let mut p = FatTreeParams::summit();
+        p.uplink_ratio = 0.5;
+        let two_to_one = FatTree::build(p);
+        let full = FatTree::summit();
+        let ratio = fattree_bisection(&two_to_one).as_gb_s() / fattree_bisection(&full).as_gb_s();
+        assert!((ratio - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_bundles_raise_dragonfly_bisection_linearly() {
+        let b = |bundles| {
+            let mut p = DragonflyParams::frontier();
+            p.bundles_per_group_pair = bundles;
+            dragonfly_bisection(&Dragonfly::build(p)).as_tb_s()
+        };
+        assert!((b(4) / b(2) - 2.0).abs() < 1e-9);
+        assert!((b(2) / b(1) - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,437 @@
+//! Frontier's Slingshot dragonfly (§3.2).
+//!
+//! Frontier is a *three-hop dragonfly* of 80 groups — 74 compute, 5 I/O, 1
+//! management. Compute groups hold 32 fully-connected blade switches with 16
+//! endpoints each (128 nodes × 4 NICs = 512 endpoints per group). Every
+//! switch has 64 ports: 16 L0 (endpoints), 32 L1 (intra-group), 16 L2
+//! (global).
+//!
+//! Connections between compute groups use a *bundle size of two*: two
+//! QSFP-DD cables × two 200 Gb/s links = 100 GB/s per direction per group
+//! pair. That provisions 73 × 100 GB/s = 7.3 TB/s of global bandwidth per
+//! group against 512 × 25 GB/s = 12.8 TB/s of injection — the 57 % *taper*
+//! the paper analyzes. Total compute-to-compute global bandwidth:
+//! C(74,2) × 100 GB/s = 270.1 TB/s per direction ("270+270 TB/s", Table 1).
+//!
+//! The model aggregates each group pair's four physical global links into
+//! one *pipe* attached to deterministic gateway switches; routing still pays
+//! the intra-group hop to reach the gateway, so local contention on the way
+//! to a hot gateway is captured.
+
+use crate::topology::{EndpointId, LinkId, LinkLevel, SwitchId, Topology};
+use frontier_sim_core::units::Bandwidth;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a dragonfly build.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DragonflyParams {
+    /// Number of compute groups (74 on Frontier).
+    pub groups: usize,
+    /// Switches per group, fully connected (32).
+    pub switches_per_group: usize,
+    /// Endpoints per switch (16 L0 ports).
+    pub endpoints_per_switch: usize,
+    /// NICs per node (4): `endpoints_per_switch * switches_per_group /
+    /// nics_per_node` nodes per group.
+    pub nics_per_node: usize,
+    /// Raw rate of one Slingshot link/port: 200 Gb/s = 25 GB/s.
+    pub link_rate: Bandwidth,
+    /// calibrated: payload fraction of line rate a NIC delivers (protocol,
+    /// headers, MPI overhead). Fig. 6's uncontended peak is 17.5 of
+    /// 25 GB/s → 0.70.
+    pub protocol_efficiency: f64,
+    /// QSFP-DD bundles per compute-group pair; each bundle carries two
+    /// 200 Gb/s links. Frontier: 2.
+    pub bundles_per_group_pair: usize,
+    /// Storage (I/O) groups. Frontier: 5. Each compute group connects to
+    /// each storage group with one bundle (§3.2).
+    pub io_groups: usize,
+    /// Bundles from each compute group to each storage group. Frontier: 1.
+    pub bundles_per_io_pair: usize,
+}
+
+impl DragonflyParams {
+    /// The full Frontier compute fabric.
+    pub fn frontier() -> Self {
+        DragonflyParams {
+            groups: 74,
+            switches_per_group: 32,
+            endpoints_per_switch: 16,
+            nics_per_node: 4,
+            link_rate: Bandwidth::gbit_s(200.0),
+            protocol_efficiency: 0.70,
+            bundles_per_group_pair: 2,
+            io_groups: 5,
+            bundles_per_io_pair: 1,
+        }
+    }
+
+    /// A reduced dragonfly with the same ratios, for fast tests: `groups`
+    /// groups of `spg` switches × `eps` endpoints.
+    pub fn scaled(groups: usize, spg: usize, eps: usize) -> Self {
+        DragonflyParams {
+            groups,
+            switches_per_group: spg,
+            endpoints_per_switch: eps,
+            nics_per_node: 4.min(eps.max(1)),
+            ..Self::frontier()
+        }
+    }
+
+    /// Per-direction capacity of one group-pair pipe (bundles × 2 links).
+    pub fn pipe_capacity(&self) -> Bandwidth {
+        self.link_rate * (self.bundles_per_group_pair * 2) as f64
+    }
+
+    /// Per-direction capacity of one compute-group-to-storage-group pipe.
+    pub fn io_pipe_capacity(&self) -> Bandwidth {
+        self.link_rate * (self.bundles_per_io_pair * 2) as f64
+    }
+
+    /// Effective endpoint payload rate (protocol-derated NIC throughput).
+    pub fn endpoint_rate(&self) -> Bandwidth {
+        self.link_rate * self.protocol_efficiency
+    }
+
+    pub fn endpoints_per_group(&self) -> usize {
+        self.switches_per_group * self.endpoints_per_switch
+    }
+
+    pub fn nodes_per_group(&self) -> usize {
+        self.endpoints_per_group() / self.nics_per_node
+    }
+
+    pub fn total_endpoints(&self) -> usize {
+        self.groups * self.endpoints_per_group()
+    }
+
+    pub fn total_nodes(&self) -> usize {
+        self.groups * self.nodes_per_group()
+    }
+}
+
+/// A built dragonfly with its routing lookup tables.
+#[derive(Debug, Clone)]
+pub struct Dragonfly {
+    params: DragonflyParams,
+    topo: Topology,
+    /// Directed intra-group links: `intra[g][s1 * spg + s2]` = link s1→s2.
+    /// Self-entries hold a sentinel and must not be used.
+    intra: Vec<Vec<LinkId>>,
+    /// Directed global pipes: `pipe[i * groups + j]` = link group i→j.
+    pipes: Vec<LinkId>,
+    /// Directed compute→storage pipes: `io[g * io_groups + s]` (and the
+    /// reverse direction at `io_rev`).
+    io_pipes: Vec<LinkId>,
+    io_pipes_rev: Vec<LinkId>,
+}
+
+/// Sentinel link id for the unused diagonal of the intra-group table.
+const NO_LINK: LinkId = LinkId(u32::MAX);
+
+impl Dragonfly {
+    /// Build the dragonfly described by `params`.
+    pub fn build(params: DragonflyParams) -> Self {
+        assert!(params.groups >= 2, "dragonfly needs at least two groups");
+        assert!(params.switches_per_group >= 1);
+        assert!(params.endpoints_per_switch >= 1);
+
+        let mut topo = Topology::new();
+        let g = params.groups;
+        let spg = params.switches_per_group;
+
+        topo.add_switches((g * spg) as u32);
+
+        // Endpoints, in (group, switch, port) order so index math is exact.
+        let ep_rate = params.endpoint_rate();
+        for sw in 0..(g * spg) as u32 {
+            for _ in 0..params.endpoints_per_switch {
+                topo.add_endpoint(SwitchId(sw), ep_rate);
+            }
+        }
+
+        // Intra-group full connectivity: one L1 port per switch pair,
+        // 25 GB/s per direction.
+        let mut intra = Vec::with_capacity(g);
+        for _ in 0..g {
+            let mut table = vec![NO_LINK; spg * spg];
+            for s1 in 0..spg {
+                for s2 in (s1 + 1)..spg {
+                    let (fwd, rev) = topo.add_duplex(params.link_rate, LinkLevel::Local);
+                    table[s1 * spg + s2] = fwd;
+                    table[s2 * spg + s1] = rev;
+                }
+            }
+            intra.push(table);
+        }
+
+        // Global pipes between every group pair.
+        let mut pipes = vec![NO_LINK; g * g];
+        let cap = params.pipe_capacity();
+        for i in 0..g {
+            for j in (i + 1)..g {
+                let (fwd, rev) = topo.add_duplex(cap, LinkLevel::Global);
+                pipes[i * g + j] = fwd;
+                pipes[j * g + i] = rev;
+            }
+        }
+
+        // Compute-group <-> storage-group pipes (one bundle each).
+        let io_cap = params.io_pipe_capacity();
+        let mut io_pipes = Vec::with_capacity(g * params.io_groups);
+        let mut io_pipes_rev = Vec::with_capacity(g * params.io_groups);
+        for _cg in 0..g {
+            for _sg in 0..params.io_groups {
+                let (fwd, rev) = topo.add_duplex(io_cap, LinkLevel::Global);
+                io_pipes.push(fwd);
+                io_pipes_rev.push(rev);
+            }
+        }
+
+        Dragonfly {
+            params,
+            topo,
+            intra,
+            pipes,
+            io_pipes,
+            io_pipes_rev,
+        }
+    }
+
+    /// The full Frontier compute fabric: 74 groups, 37,888 endpoints.
+    pub fn frontier() -> Self {
+        Self::build(DragonflyParams::frontier())
+    }
+
+    pub fn params(&self) -> &DragonflyParams {
+        &self.params
+    }
+
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Group that owns an endpoint.
+    pub fn group_of(&self, ep: EndpointId) -> usize {
+        (ep.0 as usize) / self.params.endpoints_per_group()
+    }
+
+    /// Switch index *within its group* of an endpoint's switch.
+    pub fn local_switch_of(&self, ep: EndpointId) -> usize {
+        let sw = self.topo.endpoint_switch(ep).0 as usize;
+        sw % self.params.switches_per_group
+    }
+
+    /// Endpoint ids belonging to node `n` (NICs are consecutive).
+    pub fn node_endpoints(&self, node: usize) -> Vec<EndpointId> {
+        let k = self.params.nics_per_node;
+        (0..k).map(|i| EndpointId((node * k + i) as u32)).collect()
+    }
+
+    /// Node that owns an endpoint.
+    pub fn node_of(&self, ep: EndpointId) -> usize {
+        ep.0 as usize / self.params.nics_per_node
+    }
+
+    /// Directed intra-group link between two switch indices of `group`.
+    ///
+    /// # Panics
+    /// Panics if `s1 == s2` (no self link exists).
+    pub fn intra_link(&self, group: usize, s1: usize, s2: usize) -> LinkId {
+        assert_ne!(s1, s2, "no intra-group self link");
+        let l = self.intra[group][s1 * self.params.switches_per_group + s2];
+        debug_assert_ne!(l, NO_LINK);
+        l
+    }
+
+    /// Directed global pipe from group `i` to group `j`.
+    pub fn global_pipe(&self, i: usize, j: usize) -> LinkId {
+        assert_ne!(i, j, "no global self pipe");
+        let l = self.pipes[i * self.params.groups + j];
+        debug_assert_ne!(l, NO_LINK);
+        l
+    }
+
+    /// Gateway switch (local index) in group `from` for traffic headed to
+    /// group `to` — deterministic spread of pipes over switches.
+    pub fn gateway(&self, from: usize, to: usize) -> usize {
+        debug_assert_ne!(from, to);
+        to % self.params.switches_per_group
+    }
+
+    /// Total per-direction global bandwidth between compute groups
+    /// (270.1 TB/s on Frontier).
+    pub fn total_global_bandwidth(&self) -> Bandwidth {
+        let g = self.params.groups;
+        let pairs = (g * (g - 1) / 2) as f64;
+        self.params.pipe_capacity() * pairs
+    }
+
+    /// Per-group global bandwidth: 7.3 TB/s on Frontier.
+    pub fn group_global_bandwidth(&self) -> Bandwidth {
+        self.params.pipe_capacity() * (self.params.groups - 1) as f64
+    }
+
+    /// Per-group injection bandwidth at line rate: 12.8 TB/s on Frontier.
+    pub fn group_injection_bandwidth(&self) -> Bandwidth {
+        self.params.link_rate * self.params.endpoints_per_group() as f64
+    }
+
+    /// Directed pipe from compute group `g` to storage group `s`.
+    pub fn io_pipe(&self, g: usize, s: usize) -> LinkId {
+        assert!(s < self.params.io_groups, "storage group {s} out of range");
+        self.io_pipes[g * self.params.io_groups + s]
+    }
+
+    /// Directed pipe from storage group `s` back to compute group `g`.
+    pub fn io_pipe_rev(&self, g: usize, s: usize) -> LinkId {
+        assert!(s < self.params.io_groups, "storage group {s} out of range");
+        self.io_pipes_rev[g * self.params.io_groups + s]
+    }
+
+    /// Per-direction fabric bandwidth between all compute groups and the
+    /// storage groups: 74 × 5 × 50 GB/s = 18.5 TB/s on Frontier — with
+    /// ample headroom over Orion's 10 TB/s contract, which is why the
+    /// paper's I/O numbers are storage-limited rather than fabric-limited.
+    pub fn storage_fabric_bandwidth(&self) -> Bandwidth {
+        self.params.io_pipe_capacity() * (self.params.groups * self.params.io_groups) as f64
+    }
+
+    /// The taper: global-to-injection ratio, 57 % on Frontier.
+    pub fn taper(&self) -> f64 {
+        self.group_global_bandwidth().as_bytes_per_sec()
+            / self.group_injection_bandwidth().as_bytes_per_sec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontier_scale_matches_paper() {
+        let p = DragonflyParams::frontier();
+        assert_eq!(p.total_nodes(), 9_472);
+        assert_eq!(p.total_endpoints(), 37_888);
+        assert_eq!(p.endpoints_per_group(), 512);
+        assert_eq!(p.nodes_per_group(), 128);
+        assert!((p.pipe_capacity().as_gb_s() - 100.0).abs() < 1e-9);
+        assert!((p.endpoint_rate().as_gb_s() - 17.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn taper_is_57_percent() {
+        let df = Dragonfly::build(DragonflyParams::frontier());
+        assert!((df.taper() - 0.5703).abs() < 0.001, "taper {}", df.taper());
+        assert!((df.group_global_bandwidth().as_tb_s() - 7.3).abs() < 0.01);
+        assert!((df.group_injection_bandwidth().as_tb_s() - 12.8).abs() < 0.01);
+    }
+
+    #[test]
+    fn global_bandwidth_is_270_tb_s() {
+        let df = Dragonfly::build(DragonflyParams::frontier());
+        assert!(
+            (df.total_global_bandwidth().as_tb_s() - 270.1).abs() < 0.1,
+            "{}",
+            df.total_global_bandwidth().as_tb_s()
+        );
+    }
+
+    #[test]
+    fn small_build_indexes_consistently() {
+        let df = Dragonfly::build(DragonflyParams::scaled(4, 4, 2));
+        assert_eq!(df.topology().num_switches(), 16);
+        assert_eq!(df.topology().num_endpoints(), 32);
+        // Endpoint 0 is on switch 0 of group 0; endpoint 9 on switch 4 of
+        // group 1 (local switch 0).
+        assert_eq!(df.group_of(EndpointId(0)), 0);
+        assert_eq!(df.group_of(EndpointId(9)), 1);
+        assert_eq!(df.local_switch_of(EndpointId(9)), 0);
+        assert_eq!(df.local_switch_of(EndpointId(11)), 1);
+    }
+
+    #[test]
+    fn pipes_are_directional_and_distinct() {
+        let df = Dragonfly::build(DragonflyParams::scaled(3, 2, 1));
+        let ab = df.global_pipe(0, 1);
+        let ba = df.global_pipe(1, 0);
+        assert_ne!(ab, ba);
+        assert_eq!(df.topology().link(ab).level, LinkLevel::Global);
+    }
+
+    #[test]
+    fn intra_links_are_directional() {
+        let df = Dragonfly::build(DragonflyParams::scaled(2, 3, 1));
+        let f = df.intra_link(0, 0, 2);
+        let r = df.intra_link(0, 2, 0);
+        assert_ne!(f, r);
+        assert_eq!(df.topology().link(f).level, LinkLevel::Local);
+    }
+
+    #[test]
+    #[should_panic(expected = "self link")]
+    fn no_intra_self_link() {
+        let df = Dragonfly::build(DragonflyParams::scaled(2, 2, 1));
+        df.intra_link(0, 1, 1);
+    }
+
+    #[test]
+    fn gateways_spread_over_switches() {
+        let df = Dragonfly::build(DragonflyParams::scaled(8, 4, 1));
+        let gws: Vec<usize> = (1..8).map(|to| df.gateway(0, to)).collect();
+        // All four switches serve as gateways for some destination.
+        for s in 0..4 {
+            assert!(gws.contains(&s), "switch {s} unused as gateway");
+        }
+    }
+
+    #[test]
+    fn node_endpoint_mapping_round_trips() {
+        let df = Dragonfly::build(DragonflyParams::frontier());
+        for node in [0usize, 1, 127, 128, 9_471] {
+            for ep in df.node_endpoints(node) {
+                assert_eq!(df.node_of(ep), node);
+            }
+        }
+        // 4 NICs per node, consecutive ids.
+        let eps = df.node_endpoints(2);
+        assert_eq!(
+            eps,
+            vec![EndpointId(8), EndpointId(9), EndpointId(10), EndpointId(11)]
+        );
+    }
+
+    #[test]
+    fn full_frontier_builds_quickly_and_sized_right() {
+        let df = Dragonfly::frontier();
+        // 75,776 endpoint links + 73,408 intra + 5,402 compute pipes +
+        // 740 storage pipes (74 x 5 duplex).
+        assert_eq!(df.topology().num_links(), 75_776 + 73_408 + 5_402 + 740);
+    }
+
+    #[test]
+    fn storage_fabric_has_headroom_over_orion() {
+        let df = Dragonfly::frontier();
+        let fabric = df.storage_fabric_bandwidth();
+        assert!(
+            (fabric.as_tb_s() - 18.5).abs() < 0.01,
+            "{}",
+            fabric.as_tb_s()
+        );
+        // Orion's 10 TB/s flash tier fits comfortably.
+        assert!(fabric.as_tb_s() > 10.0 * 1.5);
+    }
+
+    #[test]
+    fn io_pipes_are_indexed_consistently() {
+        let df = Dragonfly::frontier();
+        let a = df.io_pipe(0, 0);
+        let b = df.io_pipe(0, 4);
+        let c = df.io_pipe(73, 4);
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_ne!(df.io_pipe(3, 2), df.io_pipe_rev(3, 2));
+        let cap = df.topology().link(a).capacity;
+        assert!((cap.as_gb_s() - 50.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,194 @@
+//! Non-blocking fat-tree (Clos), the Summit baseline of Fig. 6.
+//!
+//! Summit's InfiniBand EDR network is a three-level non-blocking fat-tree:
+//! every endpoint can simultaneously drive full line rate through the core.
+//! In a flow-level model a non-blocking Clos never bottlenecks above the
+//! edge, so the interesting links are injection/ejection plus
+//! explicitly-provisioned up/down links sized at 1:1 (or the configured
+//! oversubscription, for the ablation comparing a 2:1 tree with the
+//! dragonfly).
+
+use crate::topology::{EndpointId, Flow, LinkId, LinkLevel, SwitchId, Topology};
+use frontier_sim_core::units::Bandwidth;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a two-tier (edge/core) Clos build. Three-level fat-trees
+/// collapse to this in a flow model when non-blocking.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FatTreeParams {
+    /// Number of edge switches.
+    pub edge_switches: usize,
+    /// Endpoints per edge switch.
+    pub endpoints_per_edge: usize,
+    /// Raw link rate. Summit EDR: 100 Gb/s = 12.5 GB/s.
+    pub link_rate: Bandwidth,
+    /// calibrated: payload fraction of line rate (Fig. 6: Summit's tight
+    /// distribution sits at ~8.5 of 12.5 GB/s → 0.68).
+    pub protocol_efficiency: f64,
+    /// Uplink capacity divided by downlink demand: 1.0 = non-blocking,
+    /// 0.5 = 2:1 oversubscribed (the ablation the paper likens the
+    /// dragonfly to).
+    pub uplink_ratio: f64,
+}
+
+impl FatTreeParams {
+    /// Summit: 4,608 nodes, one dual-rail EDR NIC each; we model the two
+    /// rails as two endpoints like the paper's per-NIC measurements do.
+    pub fn summit() -> Self {
+        FatTreeParams {
+            edge_switches: 256,
+            endpoints_per_edge: 36,
+            link_rate: Bandwidth::gbit_s(100.0),
+            protocol_efficiency: 0.68,
+            uplink_ratio: 1.0,
+        }
+    }
+
+    /// Scaled-down tree for tests.
+    pub fn scaled(edges: usize, eps: usize) -> Self {
+        FatTreeParams {
+            edge_switches: edges,
+            endpoints_per_edge: eps,
+            ..Self::summit()
+        }
+    }
+
+    pub fn total_endpoints(&self) -> usize {
+        self.edge_switches * self.endpoints_per_edge
+    }
+
+    pub fn endpoint_rate(&self) -> Bandwidth {
+        self.link_rate * self.protocol_efficiency
+    }
+}
+
+/// A built fat-tree with per-edge aggregated up/down trunk links.
+#[derive(Debug, Clone)]
+pub struct FatTree {
+    params: FatTreeParams,
+    topo: Topology,
+    /// Aggregated uplink (edge → core) per edge switch.
+    up: Vec<LinkId>,
+    /// Aggregated downlink (core → edge) per edge switch.
+    down: Vec<LinkId>,
+}
+
+impl FatTree {
+    pub fn build(params: FatTreeParams) -> Self {
+        assert!(params.edge_switches >= 1);
+        assert!(params.endpoints_per_edge >= 1);
+        let mut topo = Topology::new();
+        topo.add_switches(params.edge_switches as u32);
+        let ep_rate = params.endpoint_rate();
+        for sw in 0..params.edge_switches as u32 {
+            for _ in 0..params.endpoints_per_edge {
+                topo.add_endpoint(SwitchId(sw), ep_rate);
+            }
+        }
+        // Aggregated trunks: capacity = endpoints × line rate × ratio.
+        let trunk = params.link_rate * params.endpoints_per_edge as f64 * params.uplink_ratio;
+        let mut up = Vec::with_capacity(params.edge_switches);
+        let mut down = Vec::with_capacity(params.edge_switches);
+        for _ in 0..params.edge_switches {
+            up.push(topo.add_link(trunk, LinkLevel::Global));
+            down.push(topo.add_link(trunk, LinkLevel::Global));
+        }
+        FatTree {
+            params,
+            topo,
+            up,
+            down,
+        }
+    }
+
+    pub fn summit() -> Self {
+        Self::build(FatTreeParams::summit())
+    }
+
+    pub fn params(&self) -> &FatTreeParams {
+        &self.params
+    }
+
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Edge switch of an endpoint.
+    pub fn edge_of(&self, ep: EndpointId) -> usize {
+        ep.0 as usize / self.params.endpoints_per_edge
+    }
+
+    /// Route a flow: same edge → inj/ej only; otherwise through the source
+    /// uplink and destination downlink (the core itself is non-blocking).
+    pub fn route(&self, src: EndpointId, dst: EndpointId) -> Vec<LinkId> {
+        assert_ne!(src, dst, "flow to self");
+        let mut path = vec![self.topo.injection_link(src)];
+        let (es, ed) = (self.edge_of(src), self.edge_of(dst));
+        if es != ed {
+            path.push(self.up[es]);
+            path.push(self.down[ed]);
+        }
+        path.push(self.topo.ejection_link(dst));
+        path
+    }
+
+    /// Build saturating flows for a set of endpoint pairs.
+    pub fn flows_for_pairs(&self, pairs: &[(EndpointId, EndpointId)], vni: u32) -> Vec<Flow> {
+        pairs
+            .iter()
+            .map(|&(s, d)| Flow::saturating(s, d, self.route(s, d), vni))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summit_scale() {
+        let p = FatTreeParams::summit();
+        assert_eq!(p.total_endpoints(), 9_216);
+        assert!((p.endpoint_rate().as_gb_s() - 8.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_edge_route_is_two_links() {
+        let ft = FatTree::build(FatTreeParams::scaled(2, 4));
+        let p = ft.route(EndpointId(0), EndpointId(3));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn cross_edge_route_uses_trunks() {
+        let ft = FatTree::build(FatTreeParams::scaled(2, 4));
+        let p = ft.route(EndpointId(0), EndpointId(5));
+        assert_eq!(p.len(), 4);
+        assert_eq!(ft.topology().link(p[1]).level, LinkLevel::Global);
+        assert_eq!(ft.topology().link(p[2]).level, LinkLevel::Global);
+    }
+
+    #[test]
+    #[should_panic(expected = "flow to self")]
+    fn route_to_self_rejected() {
+        let ft = FatTree::build(FatTreeParams::scaled(2, 2));
+        ft.route(EndpointId(1), EndpointId(1));
+    }
+
+    #[test]
+    fn nonblocking_trunk_capacity_covers_all_endpoints() {
+        let ft = FatTree::build(FatTreeParams::scaled(3, 8));
+        let trunk = ft.topology().link(ft.up[0]).capacity;
+        let inj_total = ft.params().link_rate * 8.0;
+        assert!((trunk.as_gb_s() - inj_total.as_gb_s()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oversubscribed_tree_halves_trunks() {
+        let mut p = FatTreeParams::scaled(3, 8);
+        p.uplink_ratio = 0.5;
+        let ft = FatTree::build(p);
+        let trunk = ft.topology().link(ft.up[0]).capacity;
+        assert!((trunk.as_gb_s() - 8.0 * 12.5 * 0.5).abs() < 1e-9);
+    }
+}

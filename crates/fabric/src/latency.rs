@@ -1,0 +1,181 @@
+//! Latency model: per-hop switch traversal, NIC/MPI overhead, queueing
+//! jitter, and the log-depth allreduce.
+//!
+//! Calibrated to Table 5's isolated measurements: 8-byte random-ring
+//! two-sided latency of 2.6 µs average / 4.8 µs at the 99th percentile, and
+//! 8-byte multiple-allreduce of 51.5 µs on 9,400 × 8 ranks.
+
+use frontier_sim_core::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Latency parameters of a Slingshot-class fabric.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// calibrated: per-side NIC + MPI software overhead (send or receive).
+    pub nic_overhead: SimTime,
+    /// calibrated: per-switch traversal including the attached cable.
+    pub switch_hop: SimTime,
+    /// calibrated: log-normal sigma of per-message jitter (OS noise,
+    /// arbitration); p99/median = exp(2.326 σ) → σ = 0.263 gives the
+    /// 4.8/2.6 ratio of Table 5.
+    pub jitter_sigma: f64,
+    /// calibrated: per-stage software overhead of the allreduce
+    /// dissemination on top of the wire latency.
+    pub allreduce_stage_overhead: SimTime,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            nic_overhead: SimTime::from_nanos(950),
+            switch_hop: SimTime::from_nanos(175),
+            jitter_sigma: 0.263,
+            allreduce_stage_overhead: SimTime::from_nanos(1080),
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Mean one-way small-message latency over a path crossing `switches`
+    /// switches (a minimal inter-group dragonfly path crosses 4).
+    pub fn base_latency(&self, switches: usize) -> SimTime {
+        SimTime::from_picos(
+            2 * self.nic_overhead.as_picos() + switches as u64 * self.switch_hop.as_picos(),
+        )
+    }
+
+    /// The paper's canonical "RR two-sided" path: minimal inter-group,
+    /// 4 switches.
+    pub fn rr_latency_mean(&self) -> SimTime {
+        self.base_latency(4)
+    }
+
+    /// Sample one small-message latency with jitter, scaled by a congestion
+    /// multiplier (1.0 when isolated or fully protected).
+    pub fn sample_latency(
+        &self,
+        switches: usize,
+        congestion_multiplier: f64,
+        rng: &mut StreamRng,
+    ) -> SimTime {
+        debug_assert!(congestion_multiplier >= 1.0);
+        let mean = self.base_latency(switches).as_secs_f64() * congestion_multiplier;
+        // Log-normal with the configured sigma, median chosen so the mean
+        // matches: mean = median * exp(sigma^2 / 2).
+        let median = mean / (self.jitter_sigma * self.jitter_sigma / 2.0).exp();
+        SimTime::from_secs_f64(rng.log_normal(median, self.jitter_sigma))
+    }
+
+    /// Time for a message of `size` at allocated bandwidth `bw`, including
+    /// the synchronization overhead `sync` (GPCNeT's BW+Sync test reports
+    /// `size / total_time`).
+    pub fn message_time(&self, size: Bytes, bw: Bandwidth, sync: SimTime) -> SimTime {
+        sync + bw.time_for(size)
+    }
+
+    /// Mean latency of an 8-byte allreduce over `ranks` ranks:
+    /// a dissemination pattern of `ceil(log2(ranks))` stages, each paying
+    /// the wire latency plus the per-stage software overhead.
+    pub fn allreduce_mean(&self, ranks: u64) -> SimTime {
+        assert!(ranks >= 1);
+        let stages = (64 - (ranks - 1).leading_zeros()) as u64; // ceil(log2)
+        SimTime::from_picos(
+            stages * (self.rr_latency_mean().as_picos() + self.allreduce_stage_overhead.as_picos()),
+        )
+    }
+
+    /// Sample an allreduce latency with jitter (the slowest stage dominates;
+    /// jitter is applied to the aggregate with reduced sigma since stage
+    /// noise partially averages out).
+    pub fn sample_allreduce(
+        &self,
+        ranks: u64,
+        congestion_multiplier: f64,
+        rng: &mut StreamRng,
+    ) -> SimTime {
+        let mean = self.allreduce_mean(ranks).as_secs_f64() * congestion_multiplier;
+        let sigma = self.jitter_sigma * 0.2;
+        let median = mean / (sigma * sigma / 2.0).exp();
+        SimTime::from_secs_f64(rng.log_normal(median, sigma))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rr_latency_is_2_6_us() {
+        let m = LatencyModel::default();
+        let us = m.rr_latency_mean().as_micros_f64();
+        assert!((us - 2.6).abs() < 0.01, "{us}");
+    }
+
+    #[test]
+    fn p99_over_mean_matches_table5() {
+        let m = LatencyModel::default();
+        let mut rng = StreamRng::from_seed(5);
+        let samples: Vec<f64> = (0..40_000)
+            .map(|_| m.sample_latency(4, 1.0, &mut rng).as_micros_f64())
+            .collect();
+        let s = Summary::of(&samples);
+        assert!((s.mean - 2.6).abs() < 0.05, "mean {}", s.mean);
+        // Table 5: p99 = 4.8 us.
+        assert!((s.p99 - 4.8).abs() < 0.4, "p99 {}", s.p99);
+    }
+
+    #[test]
+    fn allreduce_matches_table5() {
+        let m = LatencyModel::default();
+        // 9,400 nodes x 8 PPN minus the congestors = 1,880 victim nodes
+        // x 8 = 15,040 ranks in the victim allreduce.
+        let us = m.allreduce_mean(15_040).as_micros_f64();
+        assert!((us - 51.5).abs() < 1.5, "{us}");
+    }
+
+    #[test]
+    fn allreduce_grows_logarithmically() {
+        let m = LatencyModel::default();
+        let a = m.allreduce_mean(1024).as_micros_f64();
+        let b = m.allreduce_mean(2048).as_micros_f64();
+        let c = m.allreduce_mean(4096).as_micros_f64();
+        assert!(
+            (b - a - (c - b)).abs() < 1e-9,
+            "one extra stage per doubling"
+        );
+    }
+
+    #[test]
+    fn congestion_multiplier_scales_latency() {
+        let m = LatencyModel::default();
+        let mut rng = StreamRng::from_seed(9);
+        let base: f64 = (0..5000)
+            .map(|_| m.sample_latency(4, 1.0, &mut rng).as_micros_f64())
+            .sum::<f64>()
+            / 5000.0;
+        let mut rng = StreamRng::from_seed(9);
+        let congested: f64 = (0..5000)
+            .map(|_| m.sample_latency(4, 1.5, &mut rng).as_micros_f64())
+            .sum::<f64>()
+            / 5000.0;
+        assert!((congested / base - 1.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn message_time_combines_sync_and_wire() {
+        let m = LatencyModel::default();
+        let t = m.message_time(
+            Bytes::kib(128),
+            Bandwidth::gb_s(8.75),
+            SimTime::from_micros(20),
+        );
+        let expect = 20e-6 + 131_072.0 / 8.75e9;
+        assert!((t.as_secs_f64() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_rank_allreduce_is_instant() {
+        let m = LatencyModel::default();
+        assert_eq!(m.allreduce_mean(1), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,215 @@
+//! The Slingshot Fabric Manager (§3.4.2).
+//!
+//! "HPE Slingshot switches boot without any configuration applied, and it
+//! is up to the Slingshot Fabric Manager to send port configuration and
+//! routing instructions to each Slingshot switch. The fabric manager
+//! periodically sweeps all the switches in the fabric to search for
+//! failures or changes to the topology and sends updated routing tables
+//! to all affected network switches."
+//!
+//! The model keeps a link-health mask over the dragonfly, lets failures
+//! be injected, and re-routes around dead global pipes by detouring
+//! through an intermediate group (the dragonfly's inherent path
+//! diversity). Experiments can measure both the *connectivity* guarantee
+//! and the bandwidth cost of running degraded.
+
+use crate::dragonfly::Dragonfly;
+use crate::routing::{RoutePolicy, Router};
+use crate::topology::{EndpointId, Flow, LinkId};
+use frontier_sim_core::prelude::*;
+use std::collections::HashSet;
+
+/// The fabric manager's view of the network.
+pub struct FabricManager<'a> {
+    df: &'a Dragonfly,
+    dead_links: HashSet<LinkId>,
+    /// Routing-table generation, bumped on every sweep that finds changes.
+    generation: u64,
+}
+
+impl<'a> FabricManager<'a> {
+    pub fn new(df: &'a Dragonfly) -> Self {
+        FabricManager {
+            df,
+            dead_links: HashSet::new(),
+            generation: 0,
+        }
+    }
+
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    pub fn dead_links(&self) -> usize {
+        self.dead_links.len()
+    }
+
+    /// A link failed (both directions of a pipe fail together when the
+    /// cable is the fault).
+    pub fn fail_pipe(&mut self, from_group: usize, to_group: usize) {
+        self.dead_links
+            .insert(self.df.global_pipe(from_group, to_group));
+        self.dead_links
+            .insert(self.df.global_pipe(to_group, from_group));
+    }
+
+    /// Repair a pipe.
+    pub fn repair_pipe(&mut self, from_group: usize, to_group: usize) {
+        self.dead_links
+            .remove(&self.df.global_pipe(from_group, to_group));
+        self.dead_links
+            .remove(&self.df.global_pipe(to_group, from_group));
+    }
+
+    /// The periodic sweep: (re)compute routing state. Returns true if the
+    /// tables changed (here: always bumps the generation when any dead
+    /// link exists, matching the "sends updated routing tables to all
+    /// affected switches" behavior).
+    pub fn sweep(&mut self) -> bool {
+        self.generation += 1;
+        !self.dead_links.is_empty()
+    }
+
+    /// Is a path usable under the current health mask?
+    pub fn path_alive(&self, path: &[LinkId]) -> bool {
+        path.iter().all(|l| !self.dead_links.contains(l))
+    }
+
+    /// Route around failures: try minimal; if it crosses a dead link,
+    /// detour through intermediate groups until a live path is found.
+    ///
+    /// # Panics
+    /// Panics if the pair is disconnected even via every intermediate
+    /// group (cannot happen while any two groups retain one live pipe to
+    /// a common neighbor).
+    pub fn route(&self, src: EndpointId, dst: EndpointId, rng: &mut StreamRng) -> Vec<LinkId> {
+        let minimal = Router::new(self.df, RoutePolicy::Minimal);
+        let p = minimal.route(src, dst, rng);
+        if self.path_alive(&p) {
+            return p;
+        }
+        // Valiant detours: try a bounded number of random intermediates.
+        let valiant = Router::new(self.df, RoutePolicy::Valiant);
+        for _ in 0..4 * self.df.params().groups {
+            let p = valiant.route(src, dst, rng);
+            if self.path_alive(&p) {
+                return p;
+            }
+        }
+        panic!("no live path between {src:?} and {dst:?}");
+    }
+
+    /// Route a batch of pairs with failure awareness.
+    pub fn flows_for_pairs(
+        &self,
+        pairs: &[(EndpointId, EndpointId)],
+        vni: u32,
+        rng: &mut StreamRng,
+    ) -> Vec<Flow> {
+        pairs
+            .iter()
+            .map(|&(s, d)| Flow::saturating(s, d, self.route(s, d, rng), vni))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dragonfly::DragonflyParams;
+    use crate::maxmin::solve_maxmin;
+
+    fn df() -> Dragonfly {
+        Dragonfly::build(DragonflyParams::scaled(6, 4, 4))
+    }
+
+    #[test]
+    fn healthy_fabric_routes_minimal() {
+        let df = df();
+        let fm = FabricManager::new(&df);
+        let mut rng = StreamRng::from_seed(1);
+        let p = fm.route(EndpointId(0), EndpointId(20), &mut rng);
+        let r = Router::new(&df, RoutePolicy::Minimal);
+        assert_eq!(r.global_hops(&p), 1);
+    }
+
+    #[test]
+    fn dead_pipe_is_detoured() {
+        let df = df();
+        let mut fm = FabricManager::new(&df);
+        // Endpoint 0 is in group 0; endpoint 20 in group 1. Kill the
+        // 0<->1 pipe.
+        fm.fail_pipe(0, 1);
+        assert!(fm.sweep());
+        let mut rng = StreamRng::from_seed(2);
+        let p = fm.route(EndpointId(0), EndpointId(20), &mut rng);
+        assert!(fm.path_alive(&p));
+        // The detour uses two global hops.
+        let r = Router::new(&df, RoutePolicy::Minimal);
+        assert_eq!(r.global_hops(&p), 2);
+    }
+
+    #[test]
+    fn repair_restores_minimal_routing() {
+        let df = df();
+        let mut fm = FabricManager::new(&df);
+        fm.fail_pipe(0, 1);
+        fm.repair_pipe(0, 1);
+        let mut rng = StreamRng::from_seed(3);
+        let p = fm.route(EndpointId(0), EndpointId(20), &mut rng);
+        let r = Router::new(&df, RoutePolicy::Minimal);
+        assert_eq!(r.global_hops(&p), 1);
+        assert_eq!(fm.dead_links(), 0);
+    }
+
+    #[test]
+    fn degraded_fabric_keeps_connectivity_at_reduced_bandwidth() {
+        let df = df();
+        let mut fm = FabricManager::new(&df);
+        let epg = df.params().endpoints_per_group() as u32;
+        // All group-0 endpoints talk to group 1.
+        let pairs: Vec<(EndpointId, EndpointId)> = (0..epg)
+            .map(|e| (EndpointId(e), EndpointId(e + epg)))
+            .collect();
+        let mut rng = StreamRng::from_seed(4);
+        let healthy_flows = fm.flows_for_pairs(&pairs, 0, &mut rng);
+        let healthy = solve_maxmin(df.topology(), &healthy_flows).total();
+
+        fm.fail_pipe(0, 1);
+        fm.sweep();
+        let degraded_flows = fm.flows_for_pairs(&pairs, 0, &mut rng);
+        let degraded = solve_maxmin(df.topology(), &degraded_flows).total();
+
+        // Every flow still gets bandwidth...
+        let alloc = solve_maxmin(df.topology(), &degraded_flows);
+        for (i, r) in alloc.rates.iter().enumerate() {
+            assert!(*r > 0.0, "flow {i} starved");
+        }
+        // ...but the aggregate dropped (detours share other groups' pipes,
+        // though path diversity can keep much of the throughput).
+        assert!(degraded < healthy, "{degraded:?} vs {healthy:?}");
+    }
+
+    #[test]
+    fn sweeps_bump_generation() {
+        let df = df();
+        let mut fm = FabricManager::new(&df);
+        assert!(!fm.sweep()); // healthy: no table changes needed
+        fm.fail_pipe(2, 3);
+        assert!(fm.sweep());
+        assert_eq!(fm.generation(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no live path")]
+    fn fully_partitioned_pair_panics() {
+        // Kill every pipe out of group 0: endpoints there are unreachable.
+        let df = df();
+        let mut fm = FabricManager::new(&df);
+        for g in 1..6 {
+            fm.fail_pipe(0, g);
+        }
+        let mut rng = StreamRng::from_seed(5);
+        fm.route(EndpointId(0), EndpointId(20), &mut rng);
+    }
+}

@@ -1,0 +1,310 @@
+//! Weighted max-min-fair bandwidth allocation by progressive filling.
+//!
+//! Given a topology and a set of routed flows, the solver raises every
+//! active flow's rate at a speed proportional to its weight until a link
+//! saturates (freezing the flows crossing it) or a flow reaches its offered
+//! demand, and repeats. The result is the classic (weighted) max-min fair
+//! allocation: no flow can be raised without lowering a flow of smaller or
+//! equal normalized rate.
+//!
+//! This is the flow-level idealization of per-flow fair queueing, which is
+//! what Slingshot's congestion control approximates in hardware. Weights
+//! express per-application (VNI) fairness: giving each flow weight
+//! `1 / (flows in its VNI)` makes applications — not individual flows —
+//! share contended links equally, which is how the congestion-control-ON
+//! configuration of the GPCNeT experiment is modelled.
+
+use crate::topology::{Flow, Topology};
+use frontier_sim_core::units::Bandwidth;
+
+/// Result of a max-min solve.
+#[derive(Debug, Clone)]
+pub struct Allocation {
+    /// Allocated rate per flow, bytes/s, parallel to the input slice.
+    pub rates: Vec<f64>,
+    /// Progressive-filling rounds used.
+    pub rounds: usize,
+}
+
+impl Allocation {
+    /// Rate of flow `i`.
+    pub fn rate(&self, i: usize) -> Bandwidth {
+        Bandwidth::bytes_per_sec(self.rates[i])
+    }
+
+    /// Aggregate allocated throughput.
+    pub fn total(&self) -> Bandwidth {
+        Bandwidth::bytes_per_sec(self.rates.iter().sum())
+    }
+
+    /// Minimum flow rate (the "victim" rate in contention studies).
+    pub fn min_rate(&self) -> Bandwidth {
+        Bandwidth::bytes_per_sec(self.rates.iter().copied().fold(f64::INFINITY, f64::min))
+    }
+}
+
+/// Unweighted max-min fairness (every flow weight 1).
+pub fn solve_maxmin(topo: &Topology, flows: &[Flow]) -> Allocation {
+    solve_maxmin_weighted(topo, flows, |_| 1.0)
+}
+
+/// Per-VNI fairness: each application's flow set shares contended links
+/// equally with other applications (Slingshot congestion control ON).
+pub fn solve_maxmin_per_vni(topo: &Topology, flows: &[Flow]) -> Allocation {
+    use std::collections::HashMap;
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for f in flows {
+        *counts.entry(f.vni).or_insert(0) += 1;
+    }
+    solve_maxmin_weighted(topo, flows, |f| 1.0 / counts[&f.vni] as f64)
+}
+
+/// Weighted progressive filling. `weight` must be strictly positive for
+/// every flow.
+pub fn solve_maxmin_weighted<W>(topo: &Topology, flows: &[Flow], weight: W) -> Allocation
+where
+    W: Fn(&Flow) -> f64,
+{
+    let nl = topo.num_links() as usize;
+    let nf = flows.len();
+    let weights: Vec<f64> = flows
+        .iter()
+        .map(|f| {
+            let w = weight(f);
+            assert!(w > 0.0 && w.is_finite(), "flow weight must be positive");
+            w
+        })
+        .collect();
+
+    let mut residual: Vec<f64> = topo
+        .links()
+        .iter()
+        .map(|l| l.capacity.as_bytes_per_sec())
+        .collect();
+    // Sum of active-flow weights per link.
+    let mut link_weight = vec![0.0f64; nl];
+    for (f, w) in flows.iter().zip(&weights) {
+        for l in &f.path {
+            link_weight[l.0 as usize] += w;
+        }
+    }
+
+    let mut rates = vec![0.0f64; nf];
+    let mut active: Vec<bool> = flows.iter().map(|f| !f.path.is_empty()).collect();
+    let mut n_active = active.iter().filter(|&&a| a).count();
+    let mut rounds = 0usize;
+
+    // Relative tolerance for saturation/demand checks.
+    const REL_EPS: f64 = 1e-9;
+
+    while n_active > 0 {
+        rounds += 1;
+        assert!(
+            rounds <= nl + nf + 1,
+            "progressive filling failed to converge"
+        );
+
+        // Normalized headroom: how much each unit of weight can still grow.
+        let mut delta = f64::INFINITY;
+        for l in 0..nl {
+            if link_weight[l] > REL_EPS {
+                delta = delta.min(residual[l] / link_weight[l]);
+            }
+        }
+        for f in 0..nf {
+            if active[f] {
+                let d = flows[f].demand.as_bytes_per_sec();
+                if d.is_finite() {
+                    delta = delta.min((d - rates[f]) / weights[f]);
+                }
+            }
+        }
+        assert!(
+            delta.is_finite(),
+            "no binding constraint: flows without links must have finite demand"
+        );
+        let delta = delta.max(0.0);
+
+        // Advance all active flows and consume link residuals.
+        for f in 0..nf {
+            if active[f] {
+                rates[f] += delta * weights[f];
+            }
+        }
+        for l in 0..nl {
+            if link_weight[l] > REL_EPS {
+                residual[l] -= delta * link_weight[l];
+            }
+        }
+
+        // Freeze flows on saturated links or at demand.
+        for f in 0..nf {
+            if !active[f] {
+                continue;
+            }
+            let demand = flows[f].demand.as_bytes_per_sec();
+            let at_demand = demand.is_finite() && rates[f] >= demand * (1.0 - REL_EPS);
+            let on_saturated = flows[f].path.iter().any(|l| {
+                let cap = topo.link(*l).capacity.as_bytes_per_sec();
+                residual[l.0 as usize] <= cap * REL_EPS
+            });
+            if at_demand || on_saturated {
+                active[f] = false;
+                n_active -= 1;
+                for l in &flows[f].path {
+                    link_weight[l.0 as usize] -= weights[f];
+                }
+            }
+        }
+    }
+
+    Allocation { rates, rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{EndpointId, Flow, LinkLevel, SwitchId};
+    use frontier_sim_core::units::Bandwidth;
+
+    /// Two endpoints on one switch, three saturating flows through one
+    /// shared 30 GB/s link: each gets 10.
+    fn shared_link_setup() -> (Topology, Vec<Flow>) {
+        let mut t = Topology::new();
+        t.add_switches(2);
+        let shared = t.add_link(Bandwidth::gb_s(30.0), LinkLevel::Local);
+        let mut flows = vec![];
+        for i in 0..3 {
+            let s = t.add_endpoint(SwitchId(0), Bandwidth::gb_s(100.0));
+            let d = t.add_endpoint(SwitchId(1), Bandwidth::gb_s(100.0));
+            let path = vec![t.injection_link(s), shared, t.ejection_link(d)];
+            flows.push(Flow::saturating(s, d, path, i));
+        }
+        (t, flows)
+    }
+
+    #[test]
+    fn equal_split_on_shared_bottleneck() {
+        let (t, flows) = shared_link_setup();
+        let a = solve_maxmin(&t, &flows);
+        for i in 0..3 {
+            assert!((a.rate(i).as_gb_s() - 10.0).abs() < 1e-6, "flow {i}");
+        }
+    }
+
+    #[test]
+    fn demand_limited_flow_frees_capacity() {
+        let (t, mut flows) = shared_link_setup();
+        flows[0].demand = Bandwidth::gb_s(4.0);
+        let a = solve_maxmin(&t, &flows);
+        assert!((a.rate(0).as_gb_s() - 4.0).abs() < 1e-6);
+        // The other two split the remaining 26 GB/s.
+        assert!((a.rate(1).as_gb_s() - 13.0).abs() < 1e-6);
+        assert!((a.rate(2).as_gb_s() - 13.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weighted_split_follows_weights() {
+        let (t, flows) = shared_link_setup();
+        // Weights 1, 2, 3 -> shares 5, 10, 15 of the 30 GB/s link.
+        let a = solve_maxmin_weighted(&t, &flows, |f| (f.vni + 1) as f64);
+        assert!((a.rate(0).as_gb_s() - 5.0).abs() < 1e-6);
+        assert!((a.rate(1).as_gb_s() - 10.0).abs() < 1e-6);
+        assert!((a.rate(2).as_gb_s() - 15.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn per_vni_fairness_protects_small_apps() {
+        // App 0 has one flow, app 1 has four; all share one link.
+        let mut t = Topology::new();
+        t.add_switches(2);
+        let shared = t.add_link(Bandwidth::gb_s(50.0), LinkLevel::Local);
+        let mut flows = vec![];
+        let mk = |t: &mut Topology, vni: u32, shared| {
+            let s = t.add_endpoint(SwitchId(0), Bandwidth::gb_s(1000.0));
+            let d = t.add_endpoint(SwitchId(1), Bandwidth::gb_s(1000.0));
+            let path = vec![t.injection_link(s), shared, t.ejection_link(d)];
+            Flow::saturating(s, d, path, vni)
+        };
+        flows.push(mk(&mut t, 0, shared));
+        for _ in 0..4 {
+            flows.push(mk(&mut t, 1, shared));
+        }
+        // Per-flow fairness: victim gets 10 of 50.
+        let per_flow = solve_maxmin(&t, &flows);
+        assert!((per_flow.rate(0).as_gb_s() - 10.0).abs() < 1e-6);
+        // Per-VNI fairness: victim app gets 25 of 50.
+        let per_vni = solve_maxmin_per_vni(&t, &flows);
+        assert!((per_vni.rate(0).as_gb_s() - 25.0).abs() < 1e-6);
+        for i in 1..5 {
+            assert!((per_vni.rate(i).as_gb_s() - 6.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn multi_bottleneck_chain() {
+        // Classic example: flows A (links 1,2), B (link 1), C (link 2);
+        // cap(1) = 10, cap(2) = 30. Max-min: A=5, B=5, C=25.
+        let mut t = Topology::new();
+        t.add_switches(2);
+        let l1 = t.add_link(Bandwidth::gb_s(10.0), LinkLevel::Local);
+        let l2 = t.add_link(Bandwidth::gb_s(30.0), LinkLevel::Local);
+        let e: Vec<EndpointId> = (0..6)
+            .map(|_| t.add_endpoint(SwitchId(0), Bandwidth::gb_s(1e6)))
+            .collect();
+        let flows = vec![
+            Flow::saturating(e[0], e[1], vec![l1, l2], 0),
+            Flow::saturating(e[2], e[3], vec![l1], 0),
+            Flow::saturating(e[4], e[5], vec![l2], 0),
+        ];
+        let a = solve_maxmin(&t, &flows);
+        assert!((a.rate(0).as_gb_s() - 5.0).abs() < 1e-6);
+        assert!((a.rate(1).as_gb_s() - 5.0).abs() < 1e-6);
+        assert!((a.rate(2).as_gb_s() - 25.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_link_overflows() {
+        let (t, flows) = shared_link_setup();
+        let a = solve_maxmin(&t, &flows);
+        let mut load = vec![0.0f64; t.num_links() as usize];
+        for (f, r) in flows.iter().zip(&a.rates) {
+            for l in &f.path {
+                load[l.0 as usize] += r;
+            }
+        }
+        for (i, l) in t.links().iter().enumerate() {
+            assert!(
+                load[i] <= l.capacity.as_bytes_per_sec() * (1.0 + 1e-6),
+                "link {i} overloaded"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_path_flow_with_demand_is_satisfied() {
+        let mut t = Topology::new();
+        t.add_switches(1);
+        let e0 = t.add_endpoint(SwitchId(0), Bandwidth::gb_s(10.0));
+        let e1 = t.add_endpoint(SwitchId(0), Bandwidth::gb_s(10.0));
+        // A zero-hop flow (e.g. shared-memory transfer) with finite demand.
+        let f = Flow {
+            src: e0,
+            dst: e1,
+            path: vec![],
+            demand: Bandwidth::gb_s(3.0),
+            vni: 0,
+        };
+        let a = solve_maxmin(&t, &[f]);
+        // No links -> not raised (path empty flows are inactive).
+        assert_eq!(a.rates[0], 0.0);
+    }
+
+    #[test]
+    fn total_is_sum() {
+        let (t, flows) = shared_link_setup();
+        let a = solve_maxmin(&t, &flows);
+        assert!((a.total().as_gb_s() - 30.0).abs() < 1e-6);
+        assert!((a.min_rate().as_gb_s() - 10.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the message-level DES and the collectives.
+
+use frontier_fabric::collectives::{AllreduceAlgo, Collectives};
+use frontier_fabric::des::{makespan, simulate, DesConfig, Message};
+use frontier_fabric::dragonfly::{Dragonfly, DragonflyParams};
+use frontier_fabric::routing::{RoutePolicy, Router};
+use frontier_fabric::topology::EndpointId;
+use frontier_sim_core::prelude::*;
+use proptest::prelude::*;
+
+fn df() -> Dragonfly {
+    Dragonfly::build(DragonflyParams::scaled(4, 4, 4))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every message arrives no earlier than its contention-free lower
+    /// bound: overheads + serialization on each hop + hop latencies.
+    #[test]
+    fn delivery_respects_lower_bound(
+        n_msgs in 1usize..20,
+        size_kib in 1u64..10_000,
+        seed in 0u64..500,
+    ) {
+        let df = df();
+        let cfg = DesConfig::default();
+        let router = Router::new(&df, RoutePolicy::Minimal);
+        let mut rng = StreamRng::from_seed(seed);
+        let ne = df.params().total_endpoints();
+        let msgs: Vec<Message> = (0..n_msgs)
+            .map(|i| {
+                let s = rng.index(ne);
+                let mut d = rng.index(ne);
+                if d == s {
+                    d = (d + 1) % ne;
+                }
+                Message {
+                    path: router.route(
+                        EndpointId(s as u32),
+                        EndpointId(d as u32),
+                        &mut rng,
+                    ),
+                    size: Bytes::kib(size_kib),
+                    inject_at: SimTime::ZERO,
+                    tag: i as u64,
+                }
+            })
+            .collect();
+        let deliveries = simulate(df.topology(), &cfg, &msgs);
+        for (m, d) in msgs.iter().zip(&deliveries) {
+            let mut bound = cfg.send_overhead + cfg.recv_overhead;
+            for l in &m.path {
+                bound += df.topology().link(*l).capacity.time_for(m.size);
+            }
+            bound += SimTime::from_picos(
+                (m.path.len() as u64 - 1) * cfg.hop_latency.as_picos(),
+            );
+            prop_assert!(
+                d.arrival >= bound,
+                "msg {} arrived {} before bound {}",
+                m.tag,
+                d.arrival,
+                bound
+            );
+        }
+    }
+
+    /// Adding a message never speeds up the rest of the batch (FIFO work
+    /// conservation).
+    #[test]
+    fn extra_message_never_helps(size_kib in 1u64..1_000, seed in 0u64..200) {
+        let df = df();
+        let cfg = DesConfig::default();
+        let router = Router::new(&df, RoutePolicy::Minimal);
+        let mut rng = StreamRng::from_seed(seed);
+        let mk = |s: u32, d: u32, rng: &mut StreamRng| Message {
+            path: router.route(EndpointId(s), EndpointId(d), rng),
+            size: Bytes::kib(size_kib),
+            inject_at: SimTime::ZERO,
+            tag: 0,
+        };
+        let base = vec![mk(0, 20, &mut rng), mk(1, 21, &mut rng)];
+        let with_extra = {
+            let mut v = base.clone();
+            v.push(mk(2, 20, &mut rng)); // contends at the destination switch
+            v
+        };
+        let t_base = makespan(df.topology(), &cfg, &base);
+        let t_extra = makespan(df.topology(), &cfg, &with_extra);
+        prop_assert!(t_extra >= t_base);
+    }
+
+    /// Allreduce time is monotone in message size for both algorithms.
+    #[test]
+    fn allreduce_monotone_in_size(log_size in 3u32..22, ranks in 4usize..24) {
+        let df = df();
+        let eps: Vec<EndpointId> = (0..ranks as u32).map(EndpointId).collect();
+        let c = Collectives::new(&df, eps, RoutePolicy::Minimal, 7);
+        for algo in [AllreduceAlgo::RecursiveDoubling, AllreduceAlgo::Ring] {
+            let small = c.allreduce(Bytes::new(1 << log_size), algo);
+            let large = c.allreduce(Bytes::new(1 << (log_size + 1)), algo);
+            prop_assert!(large >= small, "{algo:?}");
+        }
+    }
+
+    /// Broadcast reaches everyone in ceil(log2(p)) rounds of positive time.
+    #[test]
+    fn broadcast_time_grows_with_ranks(ranks in 2usize..30) {
+        let df = df();
+        let eps: Vec<EndpointId> = (0..ranks as u32).map(EndpointId).collect();
+        let c = Collectives::new(&df, eps, RoutePolicy::Minimal, 3);
+        let t = c.broadcast(Bytes::kib(4));
+        prop_assert!(t > SimTime::ZERO);
+        if ranks >= 4 {
+            let eps2: Vec<EndpointId> = (0..(ranks / 2) as u32).map(EndpointId).collect();
+            let c2 = Collectives::new(&df, eps2, RoutePolicy::Minimal, 3);
+            prop_assert!(t >= c2.broadcast(Bytes::kib(4)));
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests for the fabric: routing validity and max-min
+//! fairness invariants.
+
+use frontier_fabric::dragonfly::{Dragonfly, DragonflyParams};
+use frontier_fabric::maxmin::{solve_maxmin, solve_maxmin_weighted};
+use frontier_fabric::routing::{RoutePolicy, Router};
+use frontier_fabric::topology::{EndpointId, Flow, LinkLevel};
+use frontier_sim_core::prelude::*;
+use proptest::prelude::*;
+
+fn small_df() -> Dragonfly {
+    Dragonfly::build(DragonflyParams::scaled(6, 4, 4))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every routed path starts with the source's injection link, ends with
+    /// the destination's ejection link, and respects the dragonfly hop
+    /// bounds (<= 1 global pipe minimal, <= 2 Valiant).
+    #[test]
+    fn routes_are_valid(src in 0u32..96, dst in 0u32..96, seed in 0u64..100, valiant in proptest::bool::ANY) {
+        prop_assume!(src != dst);
+        let df = small_df();
+        let policy = if valiant { RoutePolicy::Valiant } else { RoutePolicy::Minimal };
+        let r = Router::new(&df, policy);
+        let mut rng = StreamRng::from_seed(seed);
+        let path = r.route(EndpointId(src), EndpointId(dst), &mut rng);
+        prop_assert_eq!(path[0], df.topology().injection_link(EndpointId(src)));
+        prop_assert_eq!(*path.last().unwrap(), df.topology().ejection_link(EndpointId(dst)));
+        let globals = r.global_hops(&path);
+        if df.group_of(EndpointId(src)) == df.group_of(EndpointId(dst)) {
+            prop_assert_eq!(globals, 0);
+            prop_assert!(path.len() <= 3);
+        } else if valiant {
+            prop_assert_eq!(globals, 2);
+            prop_assert!(path.len() <= 7);
+        } else {
+            prop_assert_eq!(globals, 1);
+            prop_assert!(path.len() <= 5);
+        }
+        // No repeated links (loop freedom).
+        let mut seen = std::collections::HashSet::new();
+        for l in &path {
+            prop_assert!(seen.insert(*l), "loop through {l:?}");
+        }
+    }
+
+    /// Max-min allocations are feasible (no link over capacity) and
+    /// satisfy the fairness property: every flow is either at its demand
+    /// or crosses a saturated link.
+    #[test]
+    fn maxmin_is_feasible_and_fair(seed in 0u64..200, nflows in 2usize..40) {
+        let df = small_df();
+        let n = df.params().total_endpoints();
+        let mut rng = StreamRng::from_seed(seed);
+        let router = Router::new(&df, RoutePolicy::adaptive_default());
+        let mut flows = Vec::new();
+        for i in 0..nflows {
+            let s = rng.index(n);
+            let mut d = rng.index(n);
+            if d == s { d = (d + 1) % n; }
+            let mut f = Flow::saturating(
+                EndpointId(s as u32),
+                EndpointId(d as u32),
+                router.route(EndpointId(s as u32), EndpointId(d as u32), &mut rng),
+                i as u32 % 3,
+            );
+            if i % 4 == 0 {
+                f.demand = Bandwidth::gb_s(1.0 + rng.uniform() * 10.0);
+            }
+            flows.push(f);
+        }
+        let topo = df.topology();
+        let alloc = solve_maxmin(topo, &flows);
+
+        // Feasibility.
+        let mut load = vec![0.0f64; topo.num_links() as usize];
+        for (f, &r) in flows.iter().zip(&alloc.rates) {
+            prop_assert!(r >= 0.0);
+            prop_assert!(r <= f.demand.as_bytes_per_sec() * (1.0 + 1e-6));
+            for l in &f.path {
+                load[l.0 as usize] += r;
+            }
+        }
+        for (i, l) in topo.links().iter().enumerate() {
+            prop_assert!(
+                load[i] <= l.capacity.as_bytes_per_sec() * (1.0 + 1e-6),
+                "link {i} over capacity"
+            );
+        }
+
+        // Max-min fairness: every flow is demand-limited or bottlenecked.
+        for (f, &r) in flows.iter().zip(&alloc.rates) {
+            let at_demand = r >= f.demand.as_bytes_per_sec() * (1.0 - 1e-6);
+            let bottlenecked = f.path.iter().any(|l| {
+                let cap = topo.link(*l).capacity.as_bytes_per_sec();
+                load[l.0 as usize] >= cap * (1.0 - 1e-6)
+            });
+            prop_assert!(at_demand || bottlenecked, "flow neither satisfied nor bottlenecked");
+        }
+    }
+
+    /// Scaling all weights by a constant does not change the allocation.
+    #[test]
+    fn weighted_maxmin_scale_invariant(seed in 0u64..100, k in 0.1f64..10.0) {
+        let df = small_df();
+        let n = df.params().total_endpoints();
+        let mut rng = StreamRng::from_seed(seed);
+        let router = Router::new(&df, RoutePolicy::Minimal);
+        let flows: Vec<Flow> = (0..12)
+            .map(|i| {
+                let s = rng.index(n);
+                let mut d = rng.index(n);
+                if d == s { d = (d + 1) % n; }
+                Flow::saturating(
+                    EndpointId(s as u32),
+                    EndpointId(d as u32),
+                    router.route(EndpointId(s as u32), EndpointId(d as u32), &mut rng),
+                    i,
+                )
+            })
+            .collect();
+        let a = solve_maxmin_weighted(df.topology(), &flows, |f| 1.0 + f.vni as f64);
+        let b = solve_maxmin_weighted(df.topology(), &flows, |f| k * (1.0 + f.vni as f64));
+        for (x, y) in a.rates.iter().zip(&b.rates) {
+            prop_assert!((x - y).abs() <= 1e-6 * (1.0 + x.abs()), "{x} vs {y}");
+        }
+    }
+
+    /// Dragonfly structural invariants hold for arbitrary (small) shapes.
+    #[test]
+    fn dragonfly_structure(groups in 2usize..8, spg in 1usize..6, eps in 1usize..5) {
+        let df = Dragonfly::build(DragonflyParams::scaled(groups, spg, eps));
+        let topo = df.topology();
+        prop_assert_eq!(topo.num_switches() as usize, groups * spg);
+        prop_assert_eq!(topo.num_endpoints() as usize, groups * spg * eps);
+        // Link count: endpoints*2 + intra duplex + pipes duplex + storage
+        // pipes duplex.
+        let intra = groups * spg * (spg - 1); // directed
+        let pipes = groups * (groups - 1);
+        let io = groups * df.params().io_groups * 2;
+        prop_assert_eq!(
+            topo.num_links() as usize,
+            groups * spg * eps * 2 + intra + pipes + io
+        );
+        // Global capacity at each level is positive and the taper formula
+        // holds.
+        let expect_taper = (pipes / groups) as f64 * df.params().pipe_capacity().as_gb_s()
+            / ((spg * eps) as f64 * df.params().link_rate.as_gb_s());
+        prop_assert!((df.taper() - expect_taper).abs() < 1e-9);
+        // Every endpoint maps into a valid group.
+        for e in 0..topo.num_endpoints() {
+            prop_assert!(df.group_of(EndpointId(e)) < groups);
+            prop_assert!(df.local_switch_of(EndpointId(e)) < spg);
+        }
+        let _ = topo.level_capacity(LinkLevel::Global);
+    }
+}

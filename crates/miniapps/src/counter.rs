@@ -1,0 +1,62 @@
+//! Operation/byte accounting for the mini-app kernels.
+
+use serde::{Deserialize, Serialize};
+
+/// A simple flop/byte counter threaded through the kernels.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCounter {
+    /// Floating-point operations (adds, muls, divs, sqrts each count 1).
+    pub flops: u64,
+    /// Bytes read from or written to the working arrays.
+    pub bytes: u64,
+}
+
+impl OpCounter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn add_flops(&mut self, n: u64) {
+        self.flops += n;
+    }
+
+    #[inline]
+    pub fn add_bytes(&mut self, n: u64) {
+        self.bytes += n;
+    }
+
+    /// Arithmetic intensity, flops per byte.
+    pub fn intensity(&self) -> f64 {
+        self.flops as f64 / self.bytes.max(1) as f64
+    }
+
+    pub fn merge(&mut self, other: &OpCounter) {
+        self.flops += other.flops;
+        self.bytes += other.bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_merges() {
+        let mut a = OpCounter::new();
+        a.add_flops(10);
+        a.add_bytes(40);
+        let mut b = OpCounter::new();
+        b.add_flops(5);
+        b.add_bytes(10);
+        a.merge(&b);
+        assert_eq!(a.flops, 15);
+        assert_eq!(a.bytes, 50);
+        assert!((a.intensity() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counter_intensity_is_finite() {
+        assert_eq!(OpCounter::new().intensity(), 0.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Radix-2 complex FFT — the building block of GESTS' pseudo-spectral
+//! solver.
+//!
+//! Iterative Cooley–Tukey with explicit bit-reversal. The classic
+//! operation count for a radix-2 complex transform is `5·N·log₂N` real
+//! flops (per butterfly: one complex multiply = 6, one add + one subtract
+//! = 4, amortized to 10 per two points); the instrumented kernel verifies
+//! the constant the GESTS proxy model assumes.
+
+use crate::counter::OpCounter;
+
+/// A complex number as (re, im). A minimal local type keeps the kernel
+/// dependency-free.
+pub type C64 = (f64, f64);
+
+#[inline]
+fn c_add(a: C64, b: C64) -> C64 {
+    (a.0 + b.0, a.1 + b.1)
+}
+
+#[inline]
+fn c_sub(a: C64, b: C64) -> C64 {
+    (a.0 - b.0, a.1 - b.1)
+}
+
+#[inline]
+fn c_mul(a: C64, b: C64) -> C64 {
+    (a.0 * b.0 - a.1 * b.1, a.0 * b.1 + a.1 * b.0)
+}
+
+fn bit_reverse_permute(data: &mut [C64]) {
+    let n = data.len();
+    let mut j = 0usize;
+    for i in 0..n {
+        if i < j {
+            data.swap(i, j);
+        }
+        let mut mask = n >> 1;
+        while mask > 0 && j & mask != 0 {
+            j &= !mask;
+            mask >>= 1;
+        }
+        j |= mask;
+    }
+}
+
+fn fft_in_place(data: &mut [C64], inverse: bool, ops: &mut OpCounter) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "radix-2 FFT needs a power-of-two size");
+    bit_reverse_permute(data);
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2usize;
+    while len <= n {
+        let ang = sign * std::f64::consts::TAU / len as f64;
+        let wlen = (ang.cos(), ang.sin());
+        let mut i = 0usize;
+        while i < n {
+            let mut w: C64 = (1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[i + k];
+                let v = c_mul(data[i + k + len / 2], w);
+                data[i + k] = c_add(u, v);
+                data[i + k + len / 2] = c_sub(u, v);
+                w = c_mul(w, wlen);
+                // One butterfly: complex mul (6 flops) + 2 complex
+                // adds (4 flops).
+                ops.add_flops(10);
+                ops.add_bytes(2 * 16 * 2); // read + write two C64s
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let inv_n = 1.0 / n as f64;
+        for d in data.iter_mut() {
+            d.0 *= inv_n;
+            d.1 *= inv_n;
+            ops.add_flops(2);
+        }
+    }
+}
+
+/// Forward FFT (in place); returns the op counter.
+pub fn fft_forward(data: &mut [C64]) -> OpCounter {
+    let mut ops = OpCounter::new();
+    fft_in_place(data, false, &mut ops);
+    ops
+}
+
+/// Inverse FFT (in place, normalized); returns the op counter.
+pub fn fft_inverse(data: &mut [C64]) -> OpCounter {
+    let mut ops = OpCounter::new();
+    fft_in_place(data, true, &mut ops);
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: C64, b: C64) -> bool {
+        (a.0 - b.0).abs() < 1e-9 && (a.1 - b.1).abs() < 1e-9
+    }
+
+    #[test]
+    fn transforms_a_known_signal() {
+        // FFT of a constant is an impulse at bin 0.
+        let n = 64;
+        let mut data: Vec<C64> = vec![(1.0, 0.0); n];
+        fft_forward(&mut data);
+        assert!(close(data[0], (n as f64, 0.0)));
+        for &d in &data[1..] {
+            assert!(close(d, (0.0, 0.0)), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_its_bin() {
+        let n = 128usize;
+        let k = 5usize;
+        let mut data: Vec<C64> = (0..n)
+            .map(|i| {
+                let ph = std::f64::consts::TAU * k as f64 * i as f64 / n as f64;
+                (ph.cos(), ph.sin())
+            })
+            .collect();
+        fft_forward(&mut data);
+        for (i, &d) in data.iter().enumerate() {
+            let mag = (d.0 * d.0 + d.1 * d.1).sqrt();
+            if i == k {
+                assert!((mag - n as f64).abs() < 1e-6);
+            } else {
+                assert!(mag < 1e-6, "leak at bin {i}: {mag}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_recovers_input() {
+        let n = 256usize;
+        let orig: Vec<C64> = (0..n)
+            .map(|i| ((i as f64).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let mut data = orig.clone();
+        fft_forward(&mut data);
+        fft_inverse(&mut data);
+        for (a, b) in data.iter().zip(&orig) {
+            assert!(close(*a, *b));
+        }
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let n = 128usize;
+        let orig: Vec<C64> = (0..n).map(|i| ((i as f64 * 0.3).sin(), 0.0)).collect();
+        let time_energy: f64 = orig.iter().map(|c| c.0 * c.0 + c.1 * c.1).sum();
+        let mut data = orig;
+        fft_forward(&mut data);
+        let freq_energy: f64 = data.iter().map(|c| c.0 * c.0 + c.1 * c.1).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn op_count_is_5n_log2n() {
+        // The constant the GESTS proxy model assumes.
+        for n in [64usize, 256, 1024] {
+            let mut data: Vec<C64> = vec![(1.0, 0.5); n];
+            let ops = fft_forward(&mut data);
+            let expect = 5.0 * n as f64 * (n as f64).log2();
+            assert!(
+                (ops.flops as f64 - expect).abs() / expect < 1e-12,
+                "n={n}: {} vs {expect}",
+                ops.flops
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_rejected() {
+        let mut data: Vec<C64> = vec![(0.0, 0.0); 48];
+        fft_forward(&mut data);
+    }
+}

@@ -1,0 +1,303 @@
+//! 1D finite-volume Euler solver — the algorithmic core of Cholla
+//! (§4.4.1) in miniature.
+//!
+//! Godunov-type update with an HLL approximate Riemann solver on an ideal
+//! gas, first-order in space, forward-Euler in time with a CFL-limited
+//! step. The test suite runs the Sod shock tube and checks the exact
+//! contact/shock structure, conservation, and positivity — and the
+//! instrumented kernel pins down the flops-per-cell-update density the
+//! Cholla proxy model assumes.
+
+use crate::counter::OpCounter;
+use serde::{Deserialize, Serialize};
+
+const GAMMA: f64 = 1.4;
+
+/// Conserved state per cell: density, momentum, total energy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Conserved {
+    pub rho: f64,
+    pub mom: f64,
+    pub ene: f64,
+}
+
+impl Conserved {
+    /// From primitive (density, velocity, pressure).
+    pub fn from_primitive(rho: f64, v: f64, p: f64) -> Self {
+        assert!(rho > 0.0 && p > 0.0, "unphysical primitive state");
+        Conserved {
+            rho,
+            mom: rho * v,
+            ene: p / (GAMMA - 1.0) + 0.5 * rho * v * v,
+        }
+    }
+
+    pub fn velocity(&self) -> f64 {
+        self.mom / self.rho
+    }
+
+    pub fn pressure(&self) -> f64 {
+        let v = self.velocity();
+        (GAMMA - 1.0) * (self.ene - 0.5 * self.rho * v * v)
+    }
+
+    pub fn sound_speed(&self) -> f64 {
+        (GAMMA * self.pressure() / self.rho).sqrt()
+    }
+
+    fn flux(&self) -> (f64, f64, f64) {
+        let v = self.velocity();
+        let p = self.pressure();
+        (self.mom, self.mom * v + p, (self.ene + p) * v)
+    }
+}
+
+/// HLL flux between a left and right state. ~60 flops per interface.
+fn hll_flux(l: &Conserved, r: &Conserved, ops: &mut OpCounter) -> (f64, f64, f64) {
+    let (vl, vr) = (l.velocity(), r.velocity());
+    let (cl, cr) = (l.sound_speed(), r.sound_speed());
+    let sl = (vl - cl).min(vr - cr);
+    let sr = (vl + cl).max(vr + cr);
+    let fl = l.flux();
+    let fr = r.flux();
+    ops.add_flops(60);
+    ops.add_bytes(2 * 24 + 24); // read two states, write one flux
+    if sl >= 0.0 {
+        fl
+    } else if sr <= 0.0 {
+        fr
+    } else {
+        let inv = 1.0 / (sr - sl);
+        (
+            (sr * fl.0 - sl * fr.0 + sl * sr * (r.rho - l.rho)) * inv,
+            (sr * fl.1 - sl * fr.1 + sl * sr * (r.mom - l.mom)) * inv,
+            (sr * fl.2 - sl * fr.2 + sl * sr * (r.ene - l.ene)) * inv,
+        )
+    }
+}
+
+/// The 1D hydro mesh with transmissive boundaries.
+#[derive(Debug, Clone)]
+pub struct Hydro1d {
+    pub cells: Vec<Conserved>,
+    pub dx: f64,
+    pub cfl: f64,
+    pub time: f64,
+    pub ops: OpCounter,
+    pub steps: u64,
+}
+
+impl Hydro1d {
+    /// The Sod shock tube on `n` cells over [0, 1]: (1, 0, 1) on the left
+    /// of x = 0.5, (0.125, 0, 0.1) on the right.
+    pub fn sod(n: usize) -> Self {
+        assert!(n >= 16);
+        let dx = 1.0 / n as f64;
+        let cells = (0..n)
+            .map(|i| {
+                let x = (i as f64 + 0.5) * dx;
+                if x < 0.5 {
+                    Conserved::from_primitive(1.0, 0.0, 1.0)
+                } else {
+                    Conserved::from_primitive(0.125, 0.0, 0.1)
+                }
+            })
+            .collect();
+        Hydro1d {
+            cells,
+            dx,
+            cfl: 0.5,
+            time: 0.0,
+            ops: OpCounter::new(),
+            steps: 0,
+        }
+    }
+
+    /// CFL-limited time step.
+    pub fn max_dt(&self) -> f64 {
+        let max_speed = self
+            .cells
+            .iter()
+            .map(|c| c.velocity().abs() + c.sound_speed())
+            .fold(0.0f64, f64::max);
+        self.cfl * self.dx / max_speed
+    }
+
+    /// Advance one step; returns dt.
+    pub fn step(&mut self) -> f64 {
+        let n = self.cells.len();
+        let dt = self.max_dt();
+        let lam = dt / self.dx;
+        // Interface fluxes (transmissive ghost cells at the ends).
+        let mut fluxes = Vec::with_capacity(n + 1);
+        fluxes.push(hll_flux(&self.cells[0], &self.cells[0], &mut self.ops));
+        for i in 0..n - 1 {
+            fluxes.push(hll_flux(&self.cells[i], &self.cells[i + 1], &mut self.ops));
+        }
+        fluxes.push(hll_flux(
+            &self.cells[n - 1],
+            &self.cells[n - 1],
+            &mut self.ops,
+        ));
+        for (i, c) in self.cells.iter_mut().enumerate() {
+            let (f0, f1) = (fluxes[i], fluxes[i + 1]);
+            c.rho -= lam * (f1.0 - f0.0);
+            c.mom -= lam * (f1.1 - f0.1);
+            c.ene -= lam * (f1.2 - f0.2);
+            self.ops.add_flops(9);
+            self.ops.add_bytes(24 * 2);
+        }
+        self.time += dt;
+        self.steps += 1;
+        dt
+    }
+
+    /// Run until `t_end`.
+    pub fn run_until(&mut self, t_end: f64) {
+        while self.time < t_end {
+            let remaining = t_end - self.time;
+            let dt = self.max_dt();
+            if dt >= remaining {
+                // Final partial step.
+                let saved_cfl = self.cfl;
+                self.cfl *= remaining / dt;
+                self.step();
+                self.cfl = saved_cfl;
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// Total mass and energy on the mesh (× dx).
+    pub fn totals(&self) -> (f64, f64) {
+        let m: f64 = self.cells.iter().map(|c| c.rho).sum();
+        let e: f64 = self.cells.iter().map(|c| c.ene).sum();
+        (m * self.dx, e * self.dx)
+    }
+
+    /// Flops per cell-update (the Cholla proxy-model density).
+    pub fn flops_per_cell_update(&self) -> f64 {
+        self.ops.flops as f64 / (self.steps as f64 * self.cells.len() as f64)
+    }
+}
+
+/// Extracted wave positions of the Sod solution at t = 0.2.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SodResult {
+    pub shock_x: f64,
+    pub contact_x: f64,
+}
+
+/// Locate the shock and contact in a solved Sod state by scanning for the
+/// density jumps from the right.
+pub fn locate_waves(h: &Hydro1d) -> SodResult {
+    let n = h.cells.len();
+    let dx = h.dx;
+    // Shock: first cell from the right where density exceeds the ambient
+    // 0.125 by 10 %.
+    let shock_i = (0..n)
+        .rev()
+        .find(|&i| h.cells[i].rho > 0.125 * 1.1)
+        .expect("shock exists");
+    // Contact: first cell left of the shock where density jumps above the
+    // post-shock plateau (~0.266) toward the rarefied left value (~0.426).
+    let contact_i = (0..shock_i)
+        .rev()
+        .find(|&i| h.cells[i].rho > 0.34)
+        .expect("contact exists");
+    SodResult {
+        shock_x: (shock_i as f64 + 0.5) * dx,
+        contact_x: (contact_i as f64 + 0.5) * dx,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sod_waves_land_at_the_analytic_positions() {
+        // Exact solution at t = 0.2 (gamma = 1.4): shock at x ≈ 0.850,
+        // contact at x ≈ 0.685.
+        let mut h = Hydro1d::sod(800);
+        h.run_until(0.2);
+        let waves = locate_waves(&h);
+        assert!(
+            (waves.shock_x - 0.850).abs() < 0.02,
+            "shock {}",
+            waves.shock_x
+        );
+        assert!(
+            (waves.contact_x - 0.685).abs() < 0.03,
+            "contact {}",
+            waves.contact_x
+        );
+    }
+
+    #[test]
+    fn mass_and_energy_conserved() {
+        let mut h = Hydro1d::sod(400);
+        let (m0, e0) = h.totals();
+        h.run_until(0.15);
+        let (m1, e1) = h.totals();
+        // Transmissive boundaries: nothing leaves before waves reach the
+        // edges at t = 0.2.
+        assert!((m1 - m0).abs() / m0 < 1e-12, "mass drift");
+        assert!((e1 - e0).abs() / e0 < 1e-12, "energy drift");
+    }
+
+    #[test]
+    fn solution_stays_physical() {
+        let mut h = Hydro1d::sod(256);
+        h.run_until(0.2);
+        for c in &h.cells {
+            assert!(c.rho > 0.0, "negative density");
+            assert!(c.pressure() > 0.0, "negative pressure");
+        }
+    }
+
+    #[test]
+    fn post_shock_plateau_density() {
+        // The exact Sod solution's post-shock density is ~0.2656.
+        let mut h = Hydro1d::sod(1600);
+        h.run_until(0.2);
+        // Sample between contact (~0.685) and shock (~0.850).
+        let i = (0.77 / h.dx) as usize;
+        assert!((h.cells[i].rho - 0.2656).abs() < 0.01, "{}", h.cells[i].rho);
+    }
+
+    #[test]
+    fn flops_per_cell_update_density() {
+        // The Cholla proxy assumes O(100) flops per cell update for the
+        // first-order method; measure the real kernel.
+        let mut h = Hydro1d::sod(512);
+        h.run_until(0.1);
+        let f = h.flops_per_cell_update();
+        assert!((60.0..90.0).contains(&f), "{f} flops/cell-update");
+    }
+
+    #[test]
+    fn resolution_refines_the_shock() {
+        let pos = |n: usize| {
+            let mut h = Hydro1d::sod(n);
+            h.run_until(0.2);
+            locate_waves(&h).shock_x
+        };
+        let coarse = (pos(100) - 0.850).abs();
+        let fine = (pos(1600) - 0.850).abs();
+        assert!(
+            fine <= coarse + 1e-9,
+            "refinement should not worsen: {coarse} -> {fine}"
+        );
+    }
+
+    #[test]
+    fn cfl_step_is_stable() {
+        let mut h = Hydro1d::sod(128);
+        for _ in 0..200 {
+            let dt = h.step();
+            assert!(dt.is_finite() && dt > 0.0);
+        }
+    }
+}

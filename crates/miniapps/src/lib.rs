@@ -1,0 +1,31 @@
+//! # frontier-miniapps
+//!
+//! Small, *actually computing* kernels from the application domains of
+//! §4.4 — finite-volume hydrodynamics (Cholla), complex FFT (GESTS), LU
+//! factorization (HPL), and a 7-point stencil — each with correctness
+//! tests against analytic results and an instrumented operation/byte
+//! counter.
+//!
+//! Their purpose in this workspace is *validation*: the proxy models in
+//! `frontier-apps` assume specific work densities (flops per cell, bytes
+//! per point, `2/3·N³` for LU, `5·N·log₂N` per FFT); these kernels
+//! measure the real counts of faithful implementations and the test
+//! suites pin the assumptions down. They also serve as runnable,
+//! self-checking examples of the algorithms the paper's applications are
+//! built on.
+
+pub mod counter;
+pub mod fft;
+pub mod hydro;
+pub mod lu;
+pub mod stencil;
+
+pub mod prelude {
+    pub use crate::counter::OpCounter;
+    pub use crate::fft::{fft_forward, fft_inverse};
+    pub use crate::hydro::{Hydro1d, SodResult};
+    pub use crate::lu::{lu_factor, lu_solve};
+    pub use crate::stencil::Stencil3d;
+}
+
+pub use prelude::*;

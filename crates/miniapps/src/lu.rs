@@ -1,0 +1,214 @@
+//! Dense LU factorization with partial pivoting — HPL's kernel in
+//! miniature.
+//!
+//! Right-looking LU, the same loop structure the HPL panel model in
+//! `frontier-apps::hpl` walks: at step `k`, scale the pivot column and
+//! apply a rank-1 update to the trailing `(n-k-1)²` block. The tests
+//! verify `P·A = L·U`, solve accuracy, and the `2/3·n³` flop count the
+//! HPL model assumes.
+
+use crate::counter::OpCounter;
+
+/// Column-major dense matrix, minimal on purpose.
+#[derive(Debug, Clone)]
+pub struct Matrix {
+    pub n: usize,
+    /// Column-major storage: `a[i + j*n]`.
+    pub a: Vec<f64>,
+}
+
+impl Matrix {
+    pub fn new(n: usize) -> Self {
+        Matrix {
+            n,
+            a: vec![0.0; n * n],
+        }
+    }
+
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        self.a[i + j * self.n]
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.a[i + j * self.n] = v;
+    }
+
+    /// A well-conditioned deterministic test matrix.
+    pub fn test_matrix(n: usize, seed: u64) -> Self {
+        let mut m = Matrix::new(n);
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        for j in 0..n {
+            for i in 0..n {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let r = (state >> 11) as f64 / (1u64 << 53) as f64;
+                m.set(i, j, r - 0.5 + if i == j { n as f64 } else { 0.0 });
+            }
+        }
+        m
+    }
+
+    /// y = A·x.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        let mut y = vec![0.0; self.n];
+        for (j, &xj) in x.iter().enumerate() {
+            for (i, yi) in y.iter_mut().enumerate() {
+                *yi += self.at(i, j) * xj;
+            }
+        }
+        y
+    }
+}
+
+/// LU factorization in place with partial pivoting. Returns the pivot
+/// vector and the op counter. After return, `m` holds L (unit diagonal,
+/// below) and U (on and above).
+pub fn lu_factor(m: &mut Matrix) -> (Vec<usize>, OpCounter) {
+    let n = m.n;
+    let mut piv: Vec<usize> = (0..n).collect();
+    let mut ops = OpCounter::new();
+    for k in 0..n {
+        // Partial pivot: largest magnitude in column k at or below row k.
+        let (mut pi, mut pv) = (k, m.at(k, k).abs());
+        for i in (k + 1)..n {
+            let v = m.at(i, k).abs();
+            if v > pv {
+                pi = i;
+                pv = v;
+            }
+        }
+        assert!(pv > 0.0, "singular matrix at step {k}");
+        if pi != k {
+            for j in 0..n {
+                let t = m.at(k, j);
+                m.set(k, j, m.at(pi, j));
+                m.set(pi, j, t);
+            }
+            piv.swap(k, pi);
+        }
+        // Scale the pivot column.
+        let inv = 1.0 / m.at(k, k);
+        for i in (k + 1)..n {
+            let v = m.at(i, k) * inv;
+            m.set(i, k, v);
+            ops.add_flops(1);
+        }
+        // Rank-1 trailing update: the 2·(n-k-1)² term that integrates to
+        // 2/3·n³.
+        for j in (k + 1)..n {
+            let ukj = m.at(k, j);
+            for i in (k + 1)..n {
+                let v = m.at(i, j) - m.at(i, k) * ukj;
+                m.set(i, j, v);
+                ops.add_flops(2);
+                ops.add_bytes(24);
+            }
+        }
+    }
+    (piv, ops)
+}
+
+/// Solve A·x = b given the factored matrix and pivots.
+pub fn lu_solve(m: &Matrix, piv: &[usize], b: &[f64]) -> Vec<f64> {
+    let n = m.n;
+    assert_eq!(b.len(), n);
+    // Apply the permutation, then forward/back substitution.
+    let mut x: Vec<f64> = piv.iter().map(|&p| b[p]).collect();
+    for j in 0..n {
+        for i in (j + 1)..n {
+            x[i] -= m.at(i, j) * x[j];
+        }
+    }
+    for j in (0..n).rev() {
+        x[j] /= m.at(j, j);
+        for i in 0..j {
+            x[i] -= m.at(i, j) * x[j];
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorization_solves_systems() {
+        let n = 64;
+        let a = Matrix::test_matrix(n, 7);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let b = a.matvec(&x_true);
+        let mut f = a.clone();
+        let (piv, _) = lu_factor(&mut f);
+        let x = lu_solve(&f, &piv, &b);
+        for (xs, xt) in x.iter().zip(&x_true) {
+            assert!((xs - xt).abs() < 1e-9, "{xs} vs {xt}");
+        }
+    }
+
+    #[test]
+    fn residual_is_small() {
+        let n = 96;
+        let a = Matrix::test_matrix(n, 11);
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + i as f64 * 0.01).collect();
+        let mut f = a.clone();
+        let (piv, _) = lu_factor(&mut f);
+        let x = lu_solve(&f, &piv, &b);
+        let r = a.matvec(&x);
+        // HPL-style scaled residual.
+        let err: f64 = r
+            .iter()
+            .zip(&b)
+            .map(|(ri, bi)| (ri - bi).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 1e-8, "residual {err}");
+    }
+
+    #[test]
+    fn flop_count_is_two_thirds_n_cubed() {
+        // The constant the HPL panel model assumes.
+        for n in [48usize, 96, 192] {
+            let mut m = Matrix::test_matrix(n, 3);
+            let (_, ops) = lu_factor(&mut m);
+            let expect = 2.0 / 3.0 * (n as f64).powi(3);
+            let err = (ops.flops as f64 - expect).abs() / expect;
+            // The update term dominates; lower-order terms fade as n grows.
+            assert!(
+                err < 3.5 / n as f64 + 0.02,
+                "n={n}: {} vs {expect}",
+                ops.flops
+            );
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let mut m = Matrix::new(3);
+        // Leading zero forces a row swap.
+        let rows = [[0.0, 2.0, 1.0], [1.0, 0.0, 0.0], [4.0, 1.0, 3.0]];
+        for (i, row) in rows.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                m.set(i, j, v);
+            }
+        }
+        let a = m.clone();
+        let (piv, _) = lu_factor(&mut m);
+        let b = vec![3.0, 1.0, 8.0];
+        let x = lu_solve(&m, &piv, &b);
+        let r = a.matvec(&x);
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn singular_matrix_detected() {
+        let mut m = Matrix::new(2); // all zeros
+        lu_factor(&mut m);
+    }
+}

@@ -1,0 +1,157 @@
+//! 7-point 3D stencil (Jacobi relaxation) — the halo-exchange workload
+//! shape of AthenaPK/PIConGPU-class codes, and the validation anchor for
+//! the roofline arithmetic-intensity assumption in `frontier-node`.
+
+use crate::counter::OpCounter;
+
+/// A 3D scalar field with one ghost layer, flattened.
+#[derive(Debug, Clone)]
+pub struct Stencil3d {
+    pub n: usize,
+    data: Vec<f64>,
+    scratch: Vec<f64>,
+    pub ops: OpCounter,
+    pub sweeps: u64,
+}
+
+impl Stencil3d {
+    /// Interior of n³ with a ghost shell, initialized to `f(x,y,z)`.
+    pub fn new<F: Fn(usize, usize, usize) -> f64>(n: usize, f: F) -> Self {
+        assert!(n >= 2);
+        let m = n + 2;
+        let mut data = vec![0.0; m * m * m];
+        for z in 0..m {
+            for y in 0..m {
+                for x in 0..m {
+                    data[x + m * (y + m * z)] = f(x, y, z);
+                }
+            }
+        }
+        Stencil3d {
+            n,
+            scratch: data.clone(),
+            data,
+            ops: OpCounter::new(),
+            sweeps: 0,
+        }
+    }
+
+    #[inline]
+    fn idx(&self, x: usize, y: usize, z: usize) -> usize {
+        let m = self.n + 2;
+        x + m * (y + m * z)
+    }
+
+    pub fn at(&self, x: usize, y: usize, z: usize) -> f64 {
+        self.data[self.idx(x, y, z)]
+    }
+
+    /// One Jacobi sweep over the interior; returns the max update delta.
+    pub fn sweep(&mut self) -> f64 {
+        let m = self.n + 2;
+        let mut max_delta = 0.0f64;
+        for z in 1..=self.n {
+            for y in 1..=self.n {
+                for x in 1..=self.n {
+                    let i = x + m * (y + m * z);
+                    let v = (self.data[i - 1]
+                        + self.data[i + 1]
+                        + self.data[i - m]
+                        + self.data[i + m]
+                        + self.data[i - m * m]
+                        + self.data[i + m * m])
+                        / 6.0;
+                    max_delta = max_delta.max((v - self.data[i]).abs());
+                    self.scratch[i] = v;
+                    // 5 adds + 1 div per point; one point read + written
+                    // (neighbors reused from cache in the ideal model).
+                    self.ops.add_flops(6);
+                    self.ops.add_bytes(16);
+                }
+            }
+        }
+        std::mem::swap(&mut self.data, &mut self.scratch);
+        self.sweeps += 1;
+        max_delta
+    }
+
+    /// Run sweeps until the update falls below `tol`; returns sweeps used.
+    pub fn relax(&mut self, tol: f64, max_sweeps: u64) -> u64 {
+        for s in 1..=max_sweeps {
+            if self.sweep() < tol {
+                return s;
+            }
+        }
+        max_sweeps
+    }
+
+    /// Measured arithmetic intensity, flops/byte.
+    pub fn intensity(&self) -> f64 {
+        self.ops.intensity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Laplace problem: fixed boundary x-plane values, zero elsewhere;
+    /// Jacobi converges to the harmonic interpolation.
+    fn laplace(n: usize) -> Stencil3d {
+        Stencil3d::new(n, |x, _, _| if x == 0 { 1.0 } else { 0.0 })
+    }
+
+    #[test]
+    fn jacobi_converges_monotonically() {
+        let mut s = laplace(12);
+        let mut last = f64::INFINITY;
+        for _ in 0..50 {
+            let d = s.sweep();
+            assert!(d <= last * 1.5, "delta not shrinking: {d} after {last}");
+            last = d;
+        }
+        assert!(last < 0.05);
+    }
+
+    #[test]
+    fn converged_solution_respects_maximum_principle() {
+        let mut s = laplace(10);
+        s.relax(1e-6, 5_000);
+        for z in 1..=10 {
+            for y in 1..=10 {
+                for x in 1..=10 {
+                    let v = s.at(x, y, z);
+                    assert!((0.0..=1.0).contains(&v), "({x},{y},{z}) = {v}");
+                }
+            }
+        }
+        // Interior near the hot boundary is warmer than the far side.
+        assert!(s.at(1, 5, 5) > s.at(10, 5, 5));
+    }
+
+    #[test]
+    fn constant_field_is_a_fixed_point() {
+        let mut s = Stencil3d::new(8, |_, _, _| 3.25);
+        let d = s.sweep();
+        assert!(d < 1e-15);
+        assert_eq!(s.at(4, 4, 4), 3.25);
+    }
+
+    #[test]
+    fn intensity_matches_roofline_assumption() {
+        // The roofline module's stencil kernel assumes ~0.5 flops/byte
+        // under ideal neighbor reuse; the instrumented kernel counts
+        // 6 flops / 16 bytes = 0.375 (read + write per point).
+        let mut s = laplace(16);
+        s.sweep();
+        let i = s.intensity();
+        assert!((0.3..0.6).contains(&i), "{i}");
+    }
+
+    #[test]
+    fn sweep_flop_count_is_6n3() {
+        let mut s = laplace(16);
+        s.sweep();
+        assert_eq!(s.ops.flops, 6 * 16 * 16 * 16);
+    }
+}

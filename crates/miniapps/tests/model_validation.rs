@@ -1,0 +1,91 @@
+//! Cross-validation: the mini-app kernels' measured op/byte densities
+//! must match the assumptions baked into the frontier-apps/node proxy
+//! models — if someone changes a kernel or a model constant, this suite
+//! catches the divergence.
+
+use frontier_miniapps::prelude::*;
+use frontier_node::gemm::Precision;
+use frontier_node::roofline::{Kernel, Roofline};
+
+#[test]
+fn fft_op_count_matches_gests_model_constant() {
+    // apps::fft charges local FFT passes by bytes; the canonical flop
+    // count 5·N·log2(N) determines the compute:memory balance. Verify the
+    // real kernel hits it exactly.
+    let n = 4096usize;
+    let mut data = vec![(1.0f64, 0.0f64); n];
+    let ops = fft_forward(&mut data);
+    let expect = 5.0 * n as f64 * (n as f64).log2();
+    assert_eq!(ops.flops as f64, expect);
+}
+
+#[test]
+fn fft_is_memory_bound_on_a_gcd() {
+    // The GESTS proxy treats the local transform as HBM-bound; confirm
+    // against the roofline: FFT intensity ~ 5·log2(N)/(2·16) flops/byte
+    // per pass stays below the FP64 ridge (~15) for any practical N.
+    let n = 1u64 << 40; // absurdly large transform
+    let intensity = 5.0 * (n as f64).log2() / 32.0;
+    let r = Roofline::mi250x_gcd();
+    assert!(
+        r.is_memory_bound(Kernel::new(intensity, Precision::Fp64)),
+        "FFT intensity {intensity} should sit below the ridge {}",
+        r.ridge_point(Precision::Fp64)
+    );
+}
+
+#[test]
+fn lu_flop_count_matches_hpl_model() {
+    // apps::hpl sums 2·nb·m² trailing updates ≈ 2/3·n³; the real
+    // factorization must match.
+    let n = 160usize;
+    let mut m = frontier_miniapps::lu::Matrix::test_matrix(n, 5);
+    let (_, ops) = frontier_miniapps::lu::lu_factor(&mut m);
+    let expect = 2.0 / 3.0 * (n as f64).powi(3);
+    let err = (ops.flops as f64 - expect).abs() / expect;
+    assert!(err < 0.02, "{} vs {expect}", ops.flops);
+}
+
+#[test]
+fn hydro_kernel_is_memory_bound_like_the_cholla_proxy_assumes() {
+    // caar::cholla() uses Bound::memory(); check the real kernel's
+    // intensity sits well below the GCD ridge point.
+    let mut h = Hydro1d::sod(256);
+    h.run_until(0.1);
+    let intensity = h.ops.intensity();
+    let r = Roofline::mi250x_gcd();
+    assert!(
+        r.is_memory_bound(frontier_node::roofline::Kernel::new(
+            intensity,
+            Precision::Fp64
+        )),
+        "hydro intensity {intensity} vs ridge {}",
+        r.ridge_point(Precision::Fp64)
+    );
+}
+
+#[test]
+fn stencil_attainable_rate_comes_from_the_memory_roof() {
+    // A 7-point stencil at its measured intensity attains far below the
+    // compute roof — the reason AthenaPK's proxy is memory-bound.
+    let mut s = Stencil3d::new(16, |x, _, _| x as f64);
+    s.sweep();
+    let r = Roofline::mi250x_gcd();
+    let k = frontier_node::roofline::Kernel::new(s.intensity(), Precision::Fp64);
+    let attained = r.attainable(k);
+    assert!(attained.as_tf() < 1.0, "{}", attained.as_tf());
+}
+
+#[test]
+fn gemm_intensity_is_past_the_ridge() {
+    // Dense GEMM at practical sizes: intensity N/8-ish >> ridge — the
+    // compute-bound side of the split (LSMS, CoMet, HPL).
+    let r = Roofline::mi250x_gcd();
+    for n in [1024.0, 8192.0] {
+        let intensity = n / 8.0;
+        assert!(!r.is_memory_bound(frontier_node::roofline::Kernel::new(
+            intensity,
+            Precision::Fp64
+        )));
+    }
+}

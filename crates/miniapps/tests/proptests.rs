@@ -1,0 +1,141 @@
+//! Property-based tests for the mini-app kernels.
+
+use frontier_miniapps::hydro::{Conserved, Hydro1d};
+use frontier_miniapps::lu::{lu_factor, lu_solve, Matrix};
+use frontier_miniapps::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// FFT round trip recovers arbitrary signals (power-of-two sizes).
+    #[test]
+    fn fft_round_trip(log_n in 3u32..10, seed in 0u64..1000) {
+        let n = 1usize << log_n;
+        let mut state = seed.wrapping_mul(0x2545_F491_4F6C_DD1D) | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let orig: Vec<(f64, f64)> = (0..n).map(|_| (next(), next())).collect();
+        let mut data = orig.clone();
+        fft_forward(&mut data);
+        fft_inverse(&mut data);
+        for (a, b) in data.iter().zip(&orig) {
+            prop_assert!((a.0 - b.0).abs() < 1e-9);
+            prop_assert!((a.1 - b.1).abs() < 1e-9);
+        }
+    }
+
+    /// FFT is linear: F(a·x) = a·F(x).
+    #[test]
+    fn fft_is_linear(scale in 0.1f64..10.0) {
+        let n = 64usize;
+        let base: Vec<(f64, f64)> = (0..n).map(|i| ((i as f64).cos(), 0.0)).collect();
+        let mut fx = base.clone();
+        fft_forward(&mut fx);
+        let mut fax: Vec<(f64, f64)> = base.iter().map(|c| (c.0 * scale, c.1 * scale)).collect();
+        fft_forward(&mut fax);
+        for (a, b) in fax.iter().zip(&fx) {
+            prop_assert!((a.0 - b.0 * scale).abs() < 1e-8);
+            prop_assert!((a.1 - b.1 * scale).abs() < 1e-8);
+        }
+    }
+
+    /// LU solves random well-conditioned systems.
+    #[test]
+    fn lu_solves_random_systems(n in 16usize..64, seed in 0u64..500) {
+        let a = Matrix::test_matrix(n, seed);
+        let x_true: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.71).sin()).collect();
+        let b = a.matvec(&x_true);
+        let mut f = a.clone();
+        let (piv, ops) = lu_factor(&mut f);
+        let x = lu_solve(&f, &piv, &b);
+        for (xs, xt) in x.iter().zip(&x_true) {
+            prop_assert!((xs - xt).abs() < 1e-7);
+        }
+        // Exact count: sum of m + 2m^2 for m in 0..n = n(n-1)/2 +
+        // n(n-1)(2n-1)/3, which approaches 2/3 n^3.
+        let nf = n as f64;
+        let exact = nf * (nf - 1.0) / 2.0 + nf * (nf - 1.0) * (2.0 * nf - 1.0) / 3.0;
+        prop_assert_eq!(ops.flops as f64, exact);
+    }
+
+    /// Hydro from any physical uniform state stays physical and conserved.
+    #[test]
+    fn hydro_uniform_states_are_fixed_points(
+        rho in 0.05f64..5.0,
+        v in -2.0f64..2.0,
+        p in 0.05f64..5.0,
+    ) {
+        let mut h = Hydro1d::sod(64);
+        for c in h.cells.iter_mut() {
+            *c = Conserved::from_primitive(rho, v, p);
+        }
+        let (m0, e0) = h.totals();
+        for _ in 0..20 {
+            h.step();
+        }
+        let (m1, e1) = h.totals();
+        prop_assert!((m1 - m0).abs() / m0 < 1e-9);
+        prop_assert!((e1 - e0).abs() / e0 < 1e-9);
+        for c in &h.cells {
+            prop_assert!(c.rho > 0.0 && c.pressure() > 0.0);
+            // A uniform state is an exact fixed point up to roundoff.
+            prop_assert!((c.rho - rho).abs() < 1e-9);
+        }
+    }
+
+    /// Riemann-problem initial data (two arbitrary physical states) stays
+    /// physical through the HLL update.
+    #[test]
+    fn hydro_riemann_problems_stay_physical(
+        rl in 0.1f64..4.0, pl in 0.1f64..4.0,
+        rr in 0.1f64..4.0, pr in 0.1f64..4.0,
+    ) {
+        let mut h = Hydro1d::sod(128);
+        let n = h.cells.len();
+        for (i, c) in h.cells.iter_mut().enumerate() {
+            *c = if i < n / 2 {
+                Conserved::from_primitive(rl, 0.0, pl)
+            } else {
+                Conserved::from_primitive(rr, 0.0, pr)
+            };
+        }
+        for _ in 0..60 {
+            h.step();
+        }
+        for c in &h.cells {
+            prop_assert!(c.rho > 0.0, "negative density");
+            prop_assert!(c.pressure() > 0.0, "negative pressure");
+        }
+    }
+
+    /// Jacobi sweeps never push values outside the initial bounds
+    /// (discrete maximum principle for the averaging stencil).
+    #[test]
+    fn stencil_respects_bounds(seed in 0u64..200) {
+        let state = std::cell::Cell::new(seed | 1);
+        let mut s = Stencil3d::new(8, |_, _, _| {
+            let mut v = state.get();
+            v ^= v << 13;
+            v ^= v >> 7;
+            v ^= v << 17;
+            state.set(v);
+            (v >> 11) as f64 / (1u64 << 53) as f64
+        });
+        for _ in 0..10 {
+            s.sweep();
+        }
+        for z in 1..=8 {
+            for y in 1..=8 {
+                for x in 1..=8 {
+                    let v = s.at(x, y, z);
+                    prop_assert!((-1e-12..=1.0 + 1e-12).contains(&v));
+                }
+            }
+        }
+    }
+}

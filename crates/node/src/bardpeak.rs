@@ -1,0 +1,217 @@
+//! The assembled Bard Peak node (HPE Cray EX 235a) and the aggregate
+//! arithmetic behind Table 1.
+//!
+//! One node = 1 Trento + 4 MI250X (8 GCDs) + 4 Slingshot NICs, with the NICs
+//! attached to the OAM packages (not the CPU) because the data lives in HBM
+//! (§3.1.4 — "one of the chief innovations of the Bard Peak design").
+
+use crate::mi250x::Mi250x;
+use crate::transfer::TransferEngine;
+use crate::trento::Trento;
+use crate::xgmi::NodeTopology;
+use frontier_sim_core::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Per-node constants that are contractual rather than derivable.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Slingshot NICs per node, attached one per OAM package.
+    pub nics: usize,
+    /// Per-NIC injection rate: 200 Gb/s = 25 GB/s.
+    pub nic_bandwidth: Bandwidth,
+    /// HPE's sustained DGEMM rate per GCD used in Table 1's "FP64 DGEMM
+    /// 2.0 EF" aggregate (26.4 TF/s per GCD: the boost-limited sustained
+    /// rate under full-node load, below the single-GCD burst of Fig. 3).
+    pub dgemm_per_gcd: Flops,
+}
+
+impl Default for NodeSpec {
+    fn default() -> Self {
+        NodeSpec {
+            nics: 4,
+            nic_bandwidth: Bandwidth::gbit_s(200.0),
+            dgemm_per_gcd: Flops::tf(26.4),
+        }
+    }
+}
+
+/// A fully assembled Bard Peak compute node.
+#[derive(Debug, Clone)]
+pub struct BardPeakNode {
+    cpu: Trento,
+    oams: Vec<Mi250x>,
+    transfers: TransferEngine,
+    spec: NodeSpec,
+}
+
+impl Default for BardPeakNode {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BardPeakNode {
+    pub fn new() -> Self {
+        BardPeakNode {
+            cpu: Trento::frontier(),
+            oams: (0..4).map(Mi250x::new).collect(),
+            transfers: TransferEngine::bard_peak(),
+            spec: NodeSpec::default(),
+        }
+    }
+
+    pub fn cpu(&self) -> &Trento {
+        &self.cpu
+    }
+
+    pub fn oams(&self) -> &[Mi250x] {
+        &self.oams
+    }
+
+    pub fn transfers(&self) -> &TransferEngine {
+        &self.transfers
+    }
+
+    pub fn topology(&self) -> &NodeTopology {
+        self.transfers.topology()
+    }
+
+    pub fn spec(&self) -> &NodeSpec {
+        &self.spec
+    }
+
+    /// GCDs per node: 8 ("the user sees eight GPUs").
+    pub fn gcd_count(&self) -> usize {
+        self.oams.len() * 2
+    }
+
+    /// Node DDR4 capacity: 512 GiB.
+    pub fn ddr_capacity(&self) -> Bytes {
+        self.cpu.memory_capacity()
+    }
+
+    /// Node DDR4 peak bandwidth: 204.8 GB/s.
+    pub fn ddr_bandwidth(&self) -> Bandwidth {
+        self.cpu.memory_peak_bandwidth()
+    }
+
+    /// Node HBM2e capacity: 512 GiB.
+    pub fn hbm_capacity(&self) -> Bytes {
+        self.oams.iter().map(|o| o.hbm_capacity()).sum()
+    }
+
+    /// Node HBM2e peak bandwidth: 13.08 TB/s.
+    pub fn hbm_bandwidth(&self) -> Bandwidth {
+        self.oams.iter().map(|o| o.hbm_bandwidth()).sum()
+    }
+
+    /// HBM:DDR bandwidth ratio — 64× on Frontier, vs 40× on Titan and 16× on
+    /// Summit (§3.1.2); the paper expects users to keep data in HBM.
+    pub fn hbm_to_ddr_ratio(&self) -> f64 {
+        self.hbm_bandwidth().as_bytes_per_sec() / self.ddr_bandwidth().as_bytes_per_sec()
+    }
+
+    /// Injection bandwidth: 4 NICs × 25 GB/s = 100 GB/s.
+    pub fn injection_bandwidth(&self) -> Bandwidth {
+        self.spec.nic_bandwidth * self.spec.nics as f64
+    }
+
+    /// Node sustained DGEMM rate for Table 1's aggregate.
+    pub fn dgemm_rate(&self) -> Flops {
+        self.spec.dgemm_per_gcd * self.gcd_count() as f64
+    }
+
+    /// Node peak FP64 vector rate: 191.5 TF/s.
+    pub fn peak_fp64_vector(&self) -> Flops {
+        self.oams
+            .iter()
+            .map(|o| o.peak_fp64_vector())
+            .sum::<Flops>()
+            + self.cpu.peak_fp64()
+    }
+}
+
+/// Frontier-scale aggregates of the node model (the rows of Table 1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MachineAggregates {
+    pub nodes: usize,
+    pub dgemm: Flops,
+    pub ddr_capacity: Bytes,
+    pub ddr_bandwidth: Bandwidth,
+    pub hbm_capacity: Bytes,
+    pub hbm_bandwidth: Bandwidth,
+    pub injection_per_node: Bandwidth,
+}
+
+impl MachineAggregates {
+    /// Aggregate `nodes` copies of the given node.
+    pub fn from_node(node: &BardPeakNode, nodes: usize) -> Self {
+        let n = nodes as f64;
+        MachineAggregates {
+            nodes,
+            dgemm: node.dgemm_rate() * n,
+            ddr_capacity: node.ddr_capacity() * nodes as u64,
+            ddr_bandwidth: node.ddr_bandwidth() * n,
+            hbm_capacity: node.hbm_capacity() * nodes as u64,
+            hbm_bandwidth: node.hbm_bandwidth() * n,
+            injection_per_node: node.injection_bandwidth(),
+        }
+    }
+
+    /// Frontier: 9,472 nodes of Bard Peak.
+    pub fn frontier() -> Self {
+        Self::from_node(&BardPeakNode::new(), 9_472)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_shape() {
+        let n = BardPeakNode::new();
+        assert_eq!(n.gcd_count(), 8);
+        assert_eq!(n.oams().len(), 4);
+        assert_eq!(n.cpu().cores(), 64);
+    }
+
+    #[test]
+    fn hbm_to_ddr_ratio_is_64x() {
+        let n = BardPeakNode::new();
+        let r = n.hbm_to_ddr_ratio();
+        assert!((62.0..66.0).contains(&r), "ratio {r}");
+    }
+
+    #[test]
+    fn injection_is_100_gb_s() {
+        let n = BardPeakNode::new();
+        assert!((n.injection_bandwidth().as_gb_s() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table1_aggregates() {
+        let a = MachineAggregates::frontier();
+        assert_eq!(a.nodes, 9_472);
+        // FP64 DGEMM 2.0 EF.
+        assert!((a.dgemm.as_ef() - 2.0).abs() < 0.01, "{}", a.dgemm.as_ef());
+        // DDR4 capacity 4.6 PiB.
+        assert!((a.ddr_capacity.as_pib() - 4.625).abs() < 0.01);
+        // HBM2e capacity 4.6 PiB.
+        assert!((a.hbm_capacity.as_pib() - 4.625).abs() < 0.01);
+        // DDR4 bandwidth ~1.9 PB/s.
+        assert!((a.ddr_bandwidth.as_tb_s() - 1_939.8).abs() < 5.0);
+        // HBM2e bandwidth ~123.9 PB/s (Table 1 prints the same figure with a
+        // PiB/s label; see EXPERIMENTS.md).
+        assert!((a.hbm_bandwidth.as_tb_s() - 123_900.0).abs() < 200.0);
+        assert!((a.injection_per_node.as_gb_s() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn node_fp64_vector_peak() {
+        let n = BardPeakNode::new();
+        // 8 x 23.95 + ~2 (CPU) ~= 193.5 TF.
+        let tf = n.peak_fp64_vector().as_tf();
+        assert!((190.0..197.0).contains(&tf), "{tf}");
+    }
+}

@@ -1,0 +1,306 @@
+//! Timed kernel execution on the node's GCDs (HIP-stream semantics).
+//!
+//! The micro-benchmark models answer "how fast"; this module answers
+//! "when": kernels and copies are enqueued on per-GCD *streams* (in-order
+//! queues, like HIP streams), events mark completion, and streams can wait
+//! on events — enough to express the overlap patterns Frontier codes use
+//! (compute on stream 0 while prefetching on stream 1, halo exchange
+//! overlapping interior work, etc.) and to measure whether a given overlap
+//! actually hides the transfer.
+
+use crate::gemm::{GemmModel, Precision};
+use crate::hbm::HbmStack;
+use crate::transfer::{TransferEngine, TransferKind};
+use frontier_sim_core::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Work that can be enqueued on a stream.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Op {
+    /// A kernel streaming `bytes` through HBM with the given array shape.
+    StreamKernel {
+        bytes: Bytes,
+        read_streams: u32,
+        write_streams: u32,
+    },
+    /// An `n × n × n` GEMM.
+    Gemm { n: usize, precision: Precision },
+    /// A device-to-device copy to an adjacent GCD.
+    PeerCopy {
+        to_gcd: usize,
+        bytes: Bytes,
+        kind: TransferKind,
+    },
+    /// Block until another stream's event fires.
+    WaitEvent(EventId),
+    /// Record an event when reached.
+    RecordEvent(EventId),
+}
+
+/// Identifier for a recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EventId(pub u32);
+
+/// A per-GCD in-order work queue.
+#[derive(Debug, Clone)]
+pub struct GpuStream {
+    pub gcd: usize,
+    ops: Vec<Op>,
+}
+
+impl GpuStream {
+    pub fn new(gcd: usize) -> Self {
+        assert!(gcd < 8, "Bard Peak has 8 GCDs");
+        GpuStream {
+            gcd,
+            ops: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, op: Op) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// Execution report of a program.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExecReport {
+    /// Completion time of each stream, in input order.
+    pub stream_done: Vec<SimTime>,
+    /// Overall makespan.
+    pub makespan: SimTime,
+    /// Firing time of each recorded event.
+    pub events: Vec<(EventId, SimTime)>,
+}
+
+/// Execute a set of streams on one Bard Peak node.
+///
+/// Semantics: each stream runs its ops in order; `WaitEvent` blocks until
+/// the event fires; ops on different streams of the *same* GCD still run
+/// concurrently (the hardware time-slices CUs — modelled as full overlap,
+/// the optimistic bound).
+///
+/// # Panics
+/// Panics on a deadlock (a `WaitEvent` whose event is never recorded) or a
+/// peer copy between non-adjacent GCDs.
+pub fn execute(streams: &[GpuStream]) -> ExecReport {
+    let engine = TransferEngine::bard_peak();
+    let hbm = HbmStack::mi250x_gcd();
+    let gemm = GemmModel::mi250x_gcd();
+
+    // Event fire times, discovered iteratively: because WaitEvent may
+    // reference an event recorded later on another stream, we fix-point
+    // over passes (programs are small; cycles = deadlock).
+    use std::collections::HashMap;
+    let mut fired: HashMap<EventId, SimTime> = HashMap::new();
+    let mut stream_done = vec![SimTime::ZERO; streams.len()];
+
+    for _pass in 0..=streams.len() {
+        let mut progressed = false;
+        let mut all_resolved = true;
+        let mut new_fired = fired.clone();
+        for (si, s) in streams.iter().enumerate() {
+            let mut t = SimTime::ZERO;
+            let mut resolved = true;
+            for op in &s.ops {
+                match op {
+                    Op::StreamKernel {
+                        bytes,
+                        read_streams,
+                        write_streams,
+                    } => {
+                        t += hbm.time_for(*bytes, *read_streams, *write_streams);
+                    }
+                    Op::Gemm { n, precision } => {
+                        let sample = gemm.run(*n, *precision);
+                        let flops = 2.0 * (*n as f64).powi(3);
+                        t += SimTime::from_secs_f64(flops / sample.achieved.as_per_sec());
+                    }
+                    Op::PeerCopy {
+                        to_gcd,
+                        bytes,
+                        kind,
+                    } => {
+                        let dt = engine
+                            .peer_transfer_time(s.gcd, *to_gcd, *kind, *bytes)
+                            .unwrap_or_else(|| {
+                                panic!("GCD{} and GCD{to_gcd} are not adjacent", s.gcd)
+                            });
+                        t += dt;
+                    }
+                    Op::WaitEvent(e) => match fired.get(e) {
+                        Some(&ft) => t = t.max(ft),
+                        None => {
+                            resolved = false;
+                            break;
+                        }
+                    },
+                    Op::RecordEvent(e) => {
+                        let prev = new_fired.insert(*e, t);
+                        if prev != Some(t) {
+                            progressed = true;
+                        }
+                    }
+                }
+            }
+            if resolved {
+                stream_done[si] = t;
+            } else {
+                all_resolved = false;
+            }
+        }
+        fired = new_fired;
+        if all_resolved && !progressed {
+            break;
+        }
+        if !progressed && !all_resolved {
+            panic!("deadlock: WaitEvent on an event that is never recorded");
+        }
+    }
+
+    let makespan = stream_done
+        .iter()
+        .copied()
+        .fold(SimTime::ZERO, SimTime::max);
+    let mut events: Vec<(EventId, SimTime)> = fired.into_iter().collect();
+    events.sort();
+    ExecReport {
+        stream_done,
+        makespan,
+        events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_stream_serializes() {
+        let mut s = GpuStream::new(0);
+        s.push(Op::StreamKernel {
+            bytes: Bytes::gb(1),
+            read_streams: 1,
+            write_streams: 1,
+        });
+        s.push(Op::StreamKernel {
+            bytes: Bytes::gb(1),
+            read_streams: 1,
+            write_streams: 1,
+        });
+        let one = {
+            let mut s1 = GpuStream::new(0);
+            s1.push(Op::StreamKernel {
+                bytes: Bytes::gb(1),
+                read_streams: 1,
+                write_streams: 1,
+            });
+            execute(&[s1]).makespan
+        };
+        let two = execute(&[s]).makespan;
+        assert!((two.as_secs_f64() / one.as_secs_f64() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_hides_the_copy() {
+        // Compute on stream A; copy on stream B: makespan = max, not sum.
+        let mut a = GpuStream::new(0);
+        a.push(Op::Gemm {
+            n: 8192,
+            precision: Precision::Fp64,
+        });
+        let mut b = GpuStream::new(0);
+        b.push(Op::PeerCopy {
+            to_gcd: 1,
+            bytes: Bytes::gb(2),
+            kind: TransferKind::Sdma,
+        });
+        let compute = execute(std::slice::from_ref(&a)).makespan;
+        let copy = execute(std::slice::from_ref(&b)).makespan;
+        let both = execute(&[a, b]).makespan;
+        assert_eq!(both, compute.max(copy));
+        assert!(both < compute + copy);
+    }
+
+    #[test]
+    fn events_order_cross_stream_work() {
+        // B waits for A's kernel via an event: B's copy starts after it.
+        let e = EventId(1);
+        let mut a = GpuStream::new(0);
+        a.push(Op::StreamKernel {
+            bytes: Bytes::gb(4),
+            read_streams: 2,
+            write_streams: 1,
+        });
+        a.push(Op::RecordEvent(e));
+        let mut b = GpuStream::new(0);
+        b.push(Op::WaitEvent(e));
+        b.push(Op::PeerCopy {
+            to_gcd: 1,
+            bytes: Bytes::gb(1),
+            kind: TransferKind::CuKernel,
+        });
+        let r = execute(&[a, b]);
+        let kernel_time = r.events[0].1;
+        assert!(r.stream_done[1] > kernel_time);
+        assert_eq!(r.makespan, r.stream_done[1]);
+    }
+
+    #[test]
+    fn event_recorded_later_in_pass_order_still_resolves() {
+        // Stream 0 waits on an event recorded by stream 1 (declared after).
+        let e = EventId(7);
+        let mut a = GpuStream::new(0);
+        a.push(Op::WaitEvent(e));
+        a.push(Op::StreamKernel {
+            bytes: Bytes::mb(100),
+            read_streams: 1,
+            write_streams: 1,
+        });
+        let mut b = GpuStream::new(1);
+        b.push(Op::StreamKernel {
+            bytes: Bytes::gb(1),
+            read_streams: 1,
+            write_streams: 1,
+        });
+        b.push(Op::RecordEvent(e));
+        let r = execute(&[a, b]);
+        assert!(r.stream_done[0] > r.stream_done[1] || r.stream_done[0] >= r.events[0].1);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn unrecorded_event_deadlocks() {
+        let mut a = GpuStream::new(0);
+        a.push(Op::WaitEvent(EventId(99)));
+        execute(&[a]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not adjacent")]
+    fn copy_to_non_neighbor_panics() {
+        let mut a = GpuStream::new(0);
+        a.push(Op::PeerCopy {
+            to_gcd: 5,
+            bytes: Bytes::kib(1),
+            kind: TransferKind::Sdma,
+        });
+        execute(&[a]);
+    }
+
+    #[test]
+    fn empty_program_is_instant() {
+        let r = execute(&[GpuStream::new(0)]);
+        assert_eq!(r.makespan, SimTime::ZERO);
+        assert!(GpuStream::new(3).is_empty());
+    }
+}

@@ -1,0 +1,282 @@
+//! CoralGemm-style GEMM execution model for an MI250X GCD (Fig. 3).
+//!
+//! The paper's Fig. 3 plots achieved FP64/FP32/FP16 GEMM throughput of a
+//! single GCD against the *vector* peak and observes that FP64 and FP32
+//! results *exceed* it (33.8 and 24.1 TF/s vs a 23.95 TF/s vector peak)
+//! because hipBLAS dispatches MFMA *matrix-core* instructions (verified with
+//! rocprof at all precisions). FP16 reaches 111.2 TF/s.
+//!
+//! The model executes a blocked GEMM: per-CU tiles, wave-quantized
+//! occupancy, and a roofline of the matrix-pipeline rate against HBM
+//! bandwidth. Matrix-pipeline sustained efficiencies are `calibrated:` to
+//! the paper's measured asymptotes (power/clock throttling under dense MFMA
+//! streams and scheduling limits are microarchitectural, not structural).
+
+use crate::hbm::HbmStack;
+use crate::mi250x::Gcd;
+use frontier_sim_core::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// GEMM operand precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    Fp64,
+    Fp32,
+    Fp16,
+}
+
+impl Precision {
+    pub fn element_bytes(self) -> u64 {
+        match self {
+            Precision::Fp64 => 8,
+            Precision::Fp32 => 4,
+            Precision::Fp16 => 2,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Precision::Fp64 => "FP64",
+            Precision::Fp32 => "FP32",
+            Precision::Fp16 => "FP16",
+        }
+    }
+
+    pub const ALL: [Precision; 3] = [Precision::Fp64, Precision::Fp32, Precision::Fp16];
+}
+
+/// Which pipeline hipBLAS chose for a GEMM call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Pipeline {
+    Vector,
+    MatrixCore,
+}
+
+/// Calibrated sustained-efficiency model of the GEMM kernels.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GemmConfig {
+    /// calibrated: sustained fraction of the matrix-core peak per precision
+    /// — Fig. 3 asymptotes: FP64 33.8/47.9, FP32 24.1/47.9, FP16 111.2/191.5.
+    pub matrix_efficiency_fp64: f64,
+    pub matrix_efficiency_fp32: f64,
+    pub matrix_efficiency_fp16: f64,
+    /// calibrated: sustained fraction of the vector peak (the alternative
+    /// path the hipBLAS heuristic weighs).
+    pub vector_efficiency: f64,
+    /// Tile edge a CU workgroup computes per pass.
+    pub tile: usize,
+}
+
+impl Default for GemmConfig {
+    fn default() -> Self {
+        GemmConfig {
+            matrix_efficiency_fp64: 0.706,
+            matrix_efficiency_fp32: 0.503,
+            matrix_efficiency_fp16: 0.581,
+            vector_efficiency: 0.90,
+            tile: 128,
+        }
+    }
+}
+
+/// One point of the Fig. 3 sweep.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GemmSample {
+    pub n: usize,
+    pub precision: Precision,
+    pub achieved: Flops,
+    pub pipeline: Pipeline,
+}
+
+/// GEMM execution model over one GCD.
+#[derive(Debug, Clone)]
+pub struct GemmModel {
+    gcd: Gcd,
+    cfg: GemmConfig,
+}
+
+impl GemmModel {
+    pub fn new(gcd: Gcd, cfg: GemmConfig) -> Self {
+        GemmModel { gcd, cfg }
+    }
+
+    pub fn mi250x_gcd() -> Self {
+        Self::new(Gcd::mi250x(0), GemmConfig::default())
+    }
+
+    pub fn gcd(&self) -> &Gcd {
+        &self.gcd
+    }
+
+    /// Theoretical matrix-core peak for a precision.
+    pub fn matrix_peak(&self, p: Precision) -> Flops {
+        match p {
+            Precision::Fp64 => self.gcd.peak_fp64_matrix(),
+            Precision::Fp32 => self.gcd.peak_fp32_matrix(),
+            Precision::Fp16 => self.gcd.peak_fp16_matrix(),
+        }
+    }
+
+    /// Theoretical vector peak for a precision (FP16 has no distinct vector
+    /// GEMM path worth using; model it as the FP32 vector rate × 2).
+    pub fn vector_peak(&self, p: Precision) -> Flops {
+        match p {
+            Precision::Fp64 => self.gcd.peak_fp64_vector(),
+            Precision::Fp32 => self.gcd.peak_fp32_vector(),
+            Precision::Fp16 => self.gcd.peak_fp32_vector() * 2.0,
+        }
+    }
+
+    fn sustained(&self, p: Precision, pipe: Pipeline) -> Flops {
+        match pipe {
+            Pipeline::MatrixCore => {
+                let eff = match p {
+                    Precision::Fp64 => self.cfg.matrix_efficiency_fp64,
+                    Precision::Fp32 => self.cfg.matrix_efficiency_fp32,
+                    Precision::Fp16 => self.cfg.matrix_efficiency_fp16,
+                };
+                self.matrix_peak(p) * eff
+            }
+            Pipeline::Vector => self.vector_peak(p) * self.cfg.vector_efficiency,
+        }
+    }
+
+    /// The hipBLAS-like heuristic: pick whichever pipeline sustains more for
+    /// this precision (the paper notes this "cannot currently be toggled").
+    pub fn choose_pipeline(&self, p: Precision) -> Pipeline {
+        if self.sustained(p, Pipeline::MatrixCore).as_per_sec()
+            >= self.sustained(p, Pipeline::Vector).as_per_sec()
+        {
+            Pipeline::MatrixCore
+        } else {
+            Pipeline::Vector
+        }
+    }
+
+    /// Execute an `n × n × n` GEMM and return the achieved throughput.
+    ///
+    /// Time = max(compute, memory): compute is the wave-quantized tile
+    /// execution on the chosen pipeline; memory streams the `A`, `B`, and
+    /// `C` operands through HBM.
+    pub fn run(&self, n: usize, p: Precision) -> GemmSample {
+        assert!(n > 0);
+        let pipeline = self.choose_pipeline(p);
+        let flops = 2.0 * (n as f64).powi(3);
+
+        // Wave-quantized occupancy: the tail wave of tiles underutilizes CUs.
+        let tiles = n.div_ceil(self.cfg.tile).pow(2);
+        let cus = self.gcd.config().compute_units;
+        let waves = tiles.div_ceil(cus);
+        let occupancy = tiles as f64 / (waves * cus) as f64;
+
+        let rate = self.sustained(p, pipeline) * occupancy;
+        let t_compute = rate.time_for(flops);
+
+        let bytes = 3.0 * (n as f64).powi(2) * p.element_bytes() as f64;
+        let hbm: &HbmStack = self.gcd.hbm();
+        let t_mem = hbm
+            .sustained_bandwidth(2, 1)
+            .time_for(Bytes::new(bytes as u64));
+
+        let t = t_compute.max(t_mem);
+        GemmSample {
+            n,
+            precision: p,
+            achieved: Flops::per_sec(flops / t.as_secs_f64()),
+            pipeline,
+        }
+    }
+
+    /// Sweep matrix sizes for a precision, CoralGemm-style (Fig. 3).
+    pub fn sweep(&self, p: Precision, sizes: &[usize]) -> Vec<GemmSample> {
+        sizes.iter().map(|&n| self.run(n, p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> GemmModel {
+        GemmModel::mi250x_gcd()
+    }
+
+    #[test]
+    fn fig3_asymptotes() {
+        let m = model();
+        // Paper: FP64 33.8, FP32 24.1, FP16 111.2 TF/s at large sizes.
+        let paper = [
+            (Precision::Fp64, 33.8),
+            (Precision::Fp32, 24.1),
+            (Precision::Fp16, 111.2),
+        ];
+        for (p, expect) in paper {
+            let got = m.run(14080, p).achieved.as_tf();
+            let err = (got - expect).abs() / expect;
+            assert!(err < 0.03, "{p:?}: model {got} vs paper {expect}");
+        }
+    }
+
+    #[test]
+    fn fp64_exceeds_vector_peak() {
+        // The headline observation of Fig. 3.
+        let m = model();
+        let s = m.run(14080, Precision::Fp64);
+        assert!(s.achieved.as_tf() > m.vector_peak(Precision::Fp64).as_tf());
+        assert_eq!(s.pipeline, Pipeline::MatrixCore);
+    }
+
+    #[test]
+    fn matrix_cores_chosen_at_all_precisions() {
+        // The paper verified via rocprof that MFMA instructions were used
+        // at all precisions.
+        let m = model();
+        for p in Precision::ALL {
+            assert_eq!(m.choose_pipeline(p), Pipeline::MatrixCore, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn small_sizes_ramp_up() {
+        let m = model();
+        let small = m.run(256, Precision::Fp64).achieved.as_tf();
+        let large = m.run(8192, Precision::Fp64).achieved.as_tf();
+        assert!(small < large, "small {small} >= large {large}");
+    }
+
+    #[test]
+    fn tiny_gemm_is_memory_or_occupancy_bound() {
+        let m = model();
+        let s = m.run(64, Precision::Fp64);
+        assert!(s.achieved.as_tf() < 0.25 * m.run(14080, Precision::Fp64).achieved.as_tf());
+    }
+
+    #[test]
+    fn sweep_is_monotone_enough() {
+        // Throughput generally rises with size (wave quantization causes
+        // small dips; check the big picture across octaves).
+        let m = model();
+        let sizes = [512, 1024, 2048, 4096, 8192];
+        let samples = m.sweep(Precision::Fp16, &sizes);
+        for w in samples.windows(2) {
+            assert!(
+                w[1].achieved.as_tf() > 0.9 * w[0].achieved.as_tf(),
+                "dip from n={} to n={}",
+                w[0].n,
+                w[1].n
+            );
+        }
+    }
+
+    #[test]
+    fn precision_ordering() {
+        let m = model();
+        let f64v = m.run(8192, Precision::Fp64).achieved.as_tf();
+        let f32v = m.run(8192, Precision::Fp32).achieved.as_tf();
+        let f16v = m.run(8192, Precision::Fp16).achieved.as_tf();
+        // Fig. 3: FP16 >> FP64 > FP32 (yes, FP32 GEMM is *slower* than FP64
+        // on MI250X because the matrix FP32 rate equals FP64 but sustains
+        // worse).
+        assert!(f16v > f64v && f64v > f32v);
+    }
+}

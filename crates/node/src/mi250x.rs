@@ -1,0 +1,182 @@
+//! The AMD Instinct MI250X GPU and its Graphics Compute Dies (§3.1.2).
+//!
+//! Each MI250X OAM package holds two GCDs. *Each GCD presents itself to the
+//! operating system as a GPU* — the reason the paper says the node's CPU:GPU
+//! ratio is 1:4 "sort of": users see eight GPUs. The model therefore treats
+//! the GCD as the unit of compute and the OAM package as a container that
+//! contributes the 4-link intra-package xGMI connection.
+
+use crate::hbm::HbmStack;
+use frontier_sim_core::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Static description of one Graphics Compute Die.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GcdConfig {
+    /// Compute units per GCD (110 active on MI250X).
+    pub compute_units: usize,
+    /// Sustained engine clock under dense compute, GHz.
+    pub clock_ghz: f64,
+    /// FP64 vector FLOPs per CU per cycle (peak 23.95 TF/s per GCD).
+    pub fp64_vector_flops_per_cu_cycle: f64,
+    /// Matrix-core multiplier over the vector rate for FP64 (2×).
+    pub fp64_matrix_multiplier: f64,
+    /// Matrix-core multiplier over the FP64 vector rate for FP32 (2×: the
+    /// MI250X matrix FP32 rate equals its matrix FP64 rate).
+    pub fp32_matrix_multiplier: f64,
+    /// Matrix-core multiplier over the FP64 vector rate for FP16 (8×).
+    pub fp16_matrix_multiplier: f64,
+}
+
+impl Default for GcdConfig {
+    fn default() -> Self {
+        GcdConfig {
+            compute_units: 110,
+            clock_ghz: 1.7,
+            // 110 CU * 1.7 GHz * x = 23.95 TF -> x = 128 FLOP/CU/cycle.
+            fp64_vector_flops_per_cu_cycle: 128.0,
+            fp64_matrix_multiplier: 2.0,
+            fp32_matrix_multiplier: 2.0,
+            fp16_matrix_multiplier: 8.0,
+        }
+    }
+}
+
+/// One Graphics Compute Die: compute pipelines plus its HBM system.
+#[derive(Debug, Clone)]
+pub struct Gcd {
+    cfg: GcdConfig,
+    hbm: HbmStack,
+    /// Global index of this GCD within the node (0..8).
+    pub index: usize,
+}
+
+impl Gcd {
+    pub fn new(index: usize, cfg: GcdConfig) -> Self {
+        Gcd {
+            cfg,
+            hbm: HbmStack::mi250x_gcd(),
+            index,
+        }
+    }
+
+    pub fn mi250x(index: usize) -> Self {
+        Self::new(index, GcdConfig::default())
+    }
+
+    pub fn config(&self) -> &GcdConfig {
+        &self.cfg
+    }
+
+    pub fn hbm(&self) -> &HbmStack {
+        &self.hbm
+    }
+
+    /// Peak FP64 vector throughput: 23.95 TF/s.
+    pub fn peak_fp64_vector(&self) -> Flops {
+        Flops::gf(
+            self.cfg.compute_units as f64
+                * self.cfg.clock_ghz
+                * self.cfg.fp64_vector_flops_per_cu_cycle,
+        )
+    }
+
+    /// Peak FP64 matrix throughput: 47.9 TF/s.
+    pub fn peak_fp64_matrix(&self) -> Flops {
+        self.peak_fp64_vector() * self.cfg.fp64_matrix_multiplier
+    }
+
+    /// Peak FP32 matrix throughput: 47.9 TF/s.
+    pub fn peak_fp32_matrix(&self) -> Flops {
+        self.peak_fp64_vector() * self.cfg.fp32_matrix_multiplier
+    }
+
+    /// Peak FP32 vector throughput: equals the FP64 vector rate on CDNA2.
+    pub fn peak_fp32_vector(&self) -> Flops {
+        self.peak_fp64_vector()
+    }
+
+    /// Peak FP16 matrix throughput: 191.6 TF/s.
+    pub fn peak_fp16_matrix(&self) -> Flops {
+        self.peak_fp64_vector() * self.cfg.fp16_matrix_multiplier
+    }
+}
+
+/// An MI250X OAM package: two GCDs.
+#[derive(Debug, Clone)]
+pub struct Mi250x {
+    gcds: [Gcd; 2],
+    /// OAM slot index within the node (0..4).
+    pub slot: usize,
+}
+
+impl Mi250x {
+    /// Build the package occupying `slot`, owning GCD indices
+    /// `2*slot` and `2*slot + 1`.
+    pub fn new(slot: usize) -> Self {
+        Mi250x {
+            gcds: [Gcd::mi250x(2 * slot), Gcd::mi250x(2 * slot + 1)],
+            slot,
+        }
+    }
+
+    pub fn gcds(&self) -> &[Gcd; 2] {
+        &self.gcds
+    }
+
+    /// Package peak FP64 vector rate (both GCDs): 47.9 TF/s.
+    pub fn peak_fp64_vector(&self) -> Flops {
+        self.gcds[0].peak_fp64_vector() + self.gcds[1].peak_fp64_vector()
+    }
+
+    /// Package HBM capacity: 128 GiB.
+    pub fn hbm_capacity(&self) -> Bytes {
+        self.gcds[0].hbm().capacity() + self.gcds[1].hbm().capacity()
+    }
+
+    /// Package HBM bandwidth: 3.27 TB/s.
+    pub fn hbm_bandwidth(&self) -> Bandwidth {
+        self.gcds[0].hbm().peak_bandwidth() + self.gcds[1].hbm().peak_bandwidth()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_fp64_vector_peak() {
+        let g = Gcd::mi250x(0);
+        assert!((g.peak_fp64_vector().as_tf() - 23.936).abs() < 0.1);
+    }
+
+    #[test]
+    fn matrix_rates() {
+        let g = Gcd::mi250x(0);
+        assert!((g.peak_fp64_matrix().as_tf() - 47.87).abs() < 0.2);
+        assert!((g.peak_fp16_matrix().as_tf() - 191.5).abs() < 0.6);
+        assert_eq!(
+            g.peak_fp32_matrix().as_tf(),
+            g.peak_fp64_matrix().as_tf(),
+            "CDNA2 matrix FP32 rate equals FP64"
+        );
+    }
+
+    #[test]
+    fn package_doubles_gcd() {
+        let p = Mi250x::new(1);
+        assert_eq!(p.gcds()[0].index, 2);
+        assert_eq!(p.gcds()[1].index, 3);
+        assert_eq!(p.hbm_capacity(), Bytes::gib(128));
+        assert!((p.hbm_bandwidth().as_gb_s() - 3270.4).abs() < 0.5);
+        assert!((p.peak_fp64_vector().as_tf() - 47.87).abs() < 0.2);
+    }
+
+    #[test]
+    fn gcd_threads_near_500m_system_wide() {
+        // §5.3: 37,888 MI250X with 220 CUs x 64 threads -> >500M threads.
+        let cus_per_package = 220usize;
+        let threads = 9_472 * 4 * cus_per_package * 64;
+        assert!(threads > 500_000_000, "{threads}");
+    }
+}

@@ -1,0 +1,228 @@
+//! STREAM benchmark execution models (Tables 3 and 4 of the paper).
+//!
+//! The CPU run reproduces McCalpin STREAM with temporal vs non-temporal
+//! stores on the Trento DDR4 system; the GPU run reproduces the (BabelStream
+//! style) GPU STREAM on a GCD's HBM. Bandwidths are *reported* numbers: the
+//! nominal kernel bytes over wall time, exactly as the benchmark computes
+//! them.
+
+use crate::dram::{DramSystem, NpsMode, StoreMode, TrafficMix};
+use crate::hbm::HbmStack;
+use serde::{Deserialize, Serialize};
+
+use frontier_sim_core::prelude::*;
+
+/// STREAM kernels. `Scale` is called `Mul` by the GPU variant; `Dot` exists
+/// only in the GPU variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StreamKernel {
+    /// `c[i] = a[i]` — 1 read, 1 write.
+    Copy,
+    /// `b[i] = s * c[i]` — 1 read, 1 write.
+    Scale,
+    /// `c[i] = a[i] + b[i]` — 2 reads, 1 write.
+    Add,
+    /// `a[i] = b[i] + s * c[i]` — 2 reads, 1 write.
+    Triad,
+    /// `sum += a[i] * b[i]` — 2 reads, no write (GPU STREAM only).
+    Dot,
+}
+
+impl StreamKernel {
+    /// The four kernels of classic CPU STREAM, in Table 3 order.
+    pub const CPU: [StreamKernel; 4] = [
+        StreamKernel::Copy,
+        StreamKernel::Scale,
+        StreamKernel::Add,
+        StreamKernel::Triad,
+    ];
+
+    /// The five kernels of GPU STREAM, in Table 4 order (Scale is labeled
+    /// "Mul" there).
+    pub const GPU: [StreamKernel; 5] = [
+        StreamKernel::Copy,
+        StreamKernel::Scale,
+        StreamKernel::Add,
+        StreamKernel::Triad,
+        StreamKernel::Dot,
+    ];
+
+    /// Array traffic shape of the kernel.
+    pub fn mix(self) -> TrafficMix {
+        match self {
+            StreamKernel::Copy | StreamKernel::Scale => TrafficMix::new(1, 1),
+            StreamKernel::Add | StreamKernel::Triad => TrafficMix::new(2, 1),
+            StreamKernel::Dot => TrafficMix::new(2, 0),
+        }
+    }
+
+    /// Name as printed in the paper's tables.
+    pub fn gpu_name(self) -> &'static str {
+        match self {
+            StreamKernel::Copy => "Copy",
+            StreamKernel::Scale => "Mul",
+            StreamKernel::Add => "Add",
+            StreamKernel::Triad => "Triad",
+            StreamKernel::Dot => "Dot",
+        }
+    }
+
+    pub fn cpu_name(self) -> &'static str {
+        match self {
+            StreamKernel::Scale => "Scale",
+            k => k.gpu_name(),
+        }
+    }
+}
+
+/// One row of a STREAM result table.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StreamResult {
+    pub kernel: StreamKernel,
+    pub bandwidth: Bandwidth,
+}
+
+/// calibrated: compilers recognize the STREAM Copy loop and lower it to
+/// `memcpy`, which uses non-temporal stores internally even in the
+/// "temporal" build; the small residual covers the call overhead. This is
+/// why Table 3's temporal Copy (176.8 GB/s) sits next to its non-temporal
+/// value instead of paying the write-allocate tax like Scale does.
+const COPY_MEMCPY_RESIDUAL: f64 = 0.987;
+
+/// Run CPU STREAM on a Trento DDR system (Table 3; array size ~7.6 GB, far
+/// beyond cache, so the model's steady-state rates apply).
+pub fn cpu_stream(dram: &DramSystem, store: StoreMode, nps: NpsMode) -> Vec<StreamResult> {
+    StreamKernel::CPU
+        .iter()
+        .map(|&k| {
+            let bandwidth = if k == StreamKernel::Copy && store == StoreMode::Temporal {
+                dram.reported_bandwidth(k.mix(), StoreMode::NonTemporal, nps) * COPY_MEMCPY_RESIDUAL
+            } else {
+                dram.reported_bandwidth(k.mix(), store, nps)
+            };
+            StreamResult {
+                kernel: k,
+                bandwidth,
+            }
+        })
+        .collect()
+}
+
+/// Run GPU STREAM on one GCD's HBM (Table 4; 8 GB array).
+pub fn gpu_stream(hbm: &HbmStack) -> Vec<StreamResult> {
+    StreamKernel::GPU
+        .iter()
+        .map(|&k| {
+            let mix = k.mix();
+            StreamResult {
+                kernel: k,
+                bandwidth: hbm.sustained_bandwidth(mix.read_streams, mix.write_streams),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dram::DramConfig;
+
+    fn dram() -> DramSystem {
+        DramSystem::new(DramConfig::trento())
+    }
+
+    fn find(rs: &[StreamResult], k: StreamKernel) -> f64 {
+        rs.iter()
+            .find(|r| r.kernel == k)
+            .unwrap()
+            .bandwidth
+            .as_mb_s()
+    }
+
+    /// Table 3 reproduction, within 5 % per cell.
+    #[test]
+    fn table3_shape() {
+        let d = dram();
+        let temporal = cpu_stream(&d, StoreMode::Temporal, NpsMode::Nps4);
+        let nt = cpu_stream(&d, StoreMode::NonTemporal, NpsMode::Nps4);
+
+        let paper_temporal = [
+            (StreamKernel::Copy, 176_780.4),
+            (StreamKernel::Scale, 107_262.2),
+            (StreamKernel::Add, 125_567.1),
+            (StreamKernel::Triad, 120_702.1),
+        ];
+        let paper_nt = [
+            (StreamKernel::Copy, 179_130.5),
+            (StreamKernel::Scale, 172_396.2),
+            (StreamKernel::Add, 178_356.8),
+            (StreamKernel::Triad, 178_277.0),
+        ];
+        for (k, expect) in paper_temporal {
+            let got = find(&temporal, k);
+            let err = (got - expect).abs() / expect;
+            assert!(err < 0.05, "temporal {k:?}: model {got} vs paper {expect}");
+        }
+        for (k, expect) in paper_nt {
+            let got = find(&nt, k);
+            let err = (got - expect).abs() / expect;
+            assert!(err < 0.05, "NT {k:?}: model {got} vs paper {expect}");
+        }
+    }
+
+    #[test]
+    fn temporal_scale_pays_rfo_tax_but_copy_does_not() {
+        let d = dram();
+        let t = cpu_stream(&d, StoreMode::Temporal, NpsMode::Nps4);
+        let copy = find(&t, StreamKernel::Copy);
+        let scale = find(&t, StreamKernel::Scale);
+        // Copy and Scale have identical traffic shapes; the memcpy lowering
+        // is the only reason Copy is ~65 % faster in Table 3.
+        assert!(copy > 1.5 * scale);
+    }
+
+    /// Table 4 reproduction, within 3 % per cell.
+    #[test]
+    fn table4_shape() {
+        let h = HbmStack::mi250x_gcd();
+        let rs = gpu_stream(&h);
+        let paper = [
+            (StreamKernel::Copy, 1_336_574.8),
+            (StreamKernel::Scale, 1_338_272.2),
+            (StreamKernel::Add, 1_288_240.3),
+            (StreamKernel::Triad, 1_285_239.7),
+            (StreamKernel::Dot, 1_374_240.6),
+        ];
+        for (k, expect) in paper {
+            let got = find(&rs, k);
+            let err = (got - expect).abs() / expect;
+            assert!(err < 0.03, "GPU {k:?}: model {got} vs paper {expect}");
+        }
+    }
+
+    #[test]
+    fn gpu_dot_is_max_triad_is_min() {
+        let h = HbmStack::mi250x_gcd();
+        let rs = gpu_stream(&h);
+        let dot = find(&rs, StreamKernel::Dot);
+        for k in [StreamKernel::Copy, StreamKernel::Scale, StreamKernel::Add] {
+            assert!(dot >= find(&rs, k));
+        }
+        assert!(find(&rs, StreamKernel::Add) <= find(&rs, StreamKernel::Copy));
+    }
+
+    #[test]
+    fn kernel_names_match_tables() {
+        assert_eq!(StreamKernel::Scale.cpu_name(), "Scale");
+        assert_eq!(StreamKernel::Scale.gpu_name(), "Mul");
+        assert_eq!(StreamKernel::Dot.gpu_name(), "Dot");
+    }
+
+    #[test]
+    fn nps1_stream_drops_to_125() {
+        let d = dram();
+        let rs = cpu_stream(&d, StoreMode::NonTemporal, NpsMode::Nps1);
+        let triad = find(&rs, StreamKernel::Triad) / 1_000.0; // GB/s
+        assert!((115.0..135.0).contains(&triad), "NPS-1 triad {triad} GB/s");
+    }
+}

@@ -1,0 +1,289 @@
+//! Data-movement engines over the xGMI graph (§4.2.1, Figs. 4 and 5).
+//!
+//! Two engines can move data between GCDs:
+//!
+//! * **SDMA** — the System Data Memory Access engines. Offloaded, asynchronous,
+//!   but *cannot stripe across multiple xGMI lanes*: the paper measures
+//!   SDMA transfers capped at ~50 GB/s regardless of how many lanes connect
+//!   the pair.
+//! * **CU copy kernels** — copies executed by the compute units. They *can*
+//!   stripe across lanes and reach 37.5 / 74.9 / 145.5 GB/s for 1/2/4-lane
+//!   pairs, at the cost of occupying CUs.
+//!
+//! Host↔device transfers ride the single xGMI 2.0 lane of the CCD/GCD pair
+//! (25.5 GB/s achieved from a single core, ~71 % of peak); when all eight
+//! ranks stream concurrently, the shared DDR4 system becomes the bottleneck
+//! and the aggregate lands at the socket's ~180 GB/s STREAM rate (Fig. 4).
+
+use crate::dram::{DramSystem, NpsMode, StoreMode, TrafficMix};
+use crate::xgmi::{LinkClass, NodeTopology};
+use frontier_sim_core::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Which engine executes a device-to-device copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransferKind {
+    /// SDMA engine: asynchronous, single-lane, ~50 GB/s cap.
+    Sdma,
+    /// Compute-unit copy kernel: stripes across all lanes of the bundle.
+    CuKernel,
+}
+
+/// Calibrated efficiencies of the transfer engines.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TransferConfig {
+    /// Per-engine SDMA throughput cap. calibrated: Fig. 5 bottom shows SDMA
+    /// plateaus at ~50 GB/s — one lane's worth — independent of lane count.
+    pub sdma_cap: Bandwidth,
+    /// calibrated: CU-kernel lane efficiency by lane count (protocol +
+    /// read-around overheads grow slightly with striping width). Fig. 5 top:
+    /// 37.5 / 74.9 / 145.5 GB/s over 50/100/200 peak.
+    pub cu_efficiency_1: f64,
+    pub cu_efficiency_2: f64,
+    pub cu_efficiency_4: f64,
+    /// calibrated: single-core host→device efficiency on the xGMI 2.0 lane
+    /// (25.5 GB/s of 36 = ~71 %, §4.2.1).
+    pub h2d_single_efficiency: f64,
+    /// Launch/ramp latency of a copy (HIP kernel launch + doorbells),
+    /// visible as the small-message ramp of Figs. 4–5.
+    pub launch_latency: SimTime,
+}
+
+impl Default for TransferConfig {
+    fn default() -> Self {
+        TransferConfig {
+            sdma_cap: Bandwidth::gb_s(50.0),
+            cu_efficiency_1: 0.750,
+            cu_efficiency_2: 0.749,
+            cu_efficiency_4: 0.7275,
+            h2d_single_efficiency: 0.708,
+            launch_latency: SimTime::from_micros(9),
+        }
+    }
+}
+
+/// The transfer subsystem of one Bard Peak node.
+#[derive(Debug, Clone)]
+pub struct TransferEngine {
+    topo: NodeTopology,
+    cfg: TransferConfig,
+}
+
+impl TransferEngine {
+    pub fn new(topo: NodeTopology, cfg: TransferConfig) -> Self {
+        TransferEngine { topo, cfg }
+    }
+
+    pub fn bard_peak() -> Self {
+        Self::new(NodeTopology::bard_peak(), TransferConfig::default())
+    }
+
+    pub fn config(&self) -> &TransferConfig {
+        &self.cfg
+    }
+
+    pub fn topology(&self) -> &NodeTopology {
+        &self.topo
+    }
+
+    /// Asymptotic (large-transfer) GCD→GCD bandwidth between adjacent GCDs.
+    ///
+    /// Returns `None` if the GCDs are not directly connected (software would
+    /// route through an intermediate GCD; the paper only measures adjacent
+    /// pairs).
+    pub fn peer_bandwidth(&self, from: usize, to: usize, kind: TransferKind) -> Option<Bandwidth> {
+        let class = self.topo.gcd_link_class(from, to)?;
+        let peak = class.peak_bandwidth();
+        Some(match kind {
+            TransferKind::Sdma => {
+                // A single SDMA engine cannot stripe: capped at one lane's
+                // worth of payload throughput.
+                peak.min(self.cfg.sdma_cap)
+            }
+            TransferKind::CuKernel => {
+                let eff = match class.lanes() {
+                    1 => self.cfg.cu_efficiency_1,
+                    2 => self.cfg.cu_efficiency_2,
+                    4 => self.cfg.cu_efficiency_4,
+                    n => unreachable!("no {n}-lane class in Bard Peak"),
+                };
+                peak * eff
+            }
+        })
+    }
+
+    /// Effective bandwidth of a finite transfer of `size` between adjacent
+    /// GCDs: the asymptotic rate derated by the launch latency.
+    pub fn peer_transfer_bandwidth(
+        &self,
+        from: usize,
+        to: usize,
+        kind: TransferKind,
+        size: Bytes,
+    ) -> Option<Bandwidth> {
+        let asymptotic = self.peer_bandwidth(from, to, kind)?;
+        Some(ramped(asymptotic, self.cfg.launch_latency, size))
+    }
+
+    /// Time for a finite adjacent-pair transfer.
+    pub fn peer_transfer_time(
+        &self,
+        from: usize,
+        to: usize,
+        kind: TransferKind,
+        size: Bytes,
+    ) -> Option<SimTime> {
+        let bw = self.peer_bandwidth(from, to, kind)?;
+        Some(self.cfg.launch_latency + bw.time_for(size))
+    }
+
+    /// Asymptotic host→device bandwidth for a single rank targeting its own
+    /// GCD: ~25.5 GB/s (71 % of the 36 GB/s xGMI 2.0 lane).
+    pub fn h2d_single_rank(&self) -> Bandwidth {
+        LinkClass::CpuGcd.peak_bandwidth() * self.cfg.h2d_single_efficiency
+    }
+
+    /// Aggregate host→device bandwidth when `ranks` stream concurrently,
+    /// each to its own GCD (Fig. 4). The per-lane rate is available to each
+    /// rank, but all ranks read the same DDR4 system, so the aggregate is
+    /// min(ranks × lane rate, socket read bandwidth).
+    pub fn h2d_aggregate(&self, dram: &DramSystem, nps: NpsMode, ranks: usize) -> Bandwidth {
+        assert!(
+            (1..=8).contains(&ranks),
+            "Bard Peak pairs 8 CCDs with 8 GCDs"
+        );
+        let per_lane = self.h2d_single_rank() * ranks as f64;
+        // Host->device reads DDR as a pure read stream (one stream per rank).
+        let ddr = dram.sustained_bandwidth(
+            TrafficMix::new(ranks as u32, 0),
+            StoreMode::NonTemporal,
+            nps,
+        );
+        per_lane.min(ddr)
+    }
+
+    /// Aggregate host→device bandwidth at a finite per-rank message size
+    /// (the x-axis of Fig. 4).
+    pub fn h2d_aggregate_at_size(
+        &self,
+        dram: &DramSystem,
+        nps: NpsMode,
+        ranks: usize,
+        size: Bytes,
+    ) -> Bandwidth {
+        let asymptotic = self.h2d_aggregate(dram, nps, ranks);
+        ramped(asymptotic, self.cfg.launch_latency, size)
+    }
+}
+
+/// Latency-ramped effective bandwidth: moving `size` bytes costs
+/// `latency + size/asymptotic`, so the effective rate approaches the
+/// asymptote as the transfer grows.
+fn ramped(asymptotic: Bandwidth, latency: SimTime, size: Bytes) -> Bandwidth {
+    let t = latency.as_secs_f64() + size.as_f64() / asymptotic.as_bytes_per_sec();
+    Bandwidth::bytes_per_sec(size.as_f64() / t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dram::DramConfig;
+
+    fn engine() -> TransferEngine {
+        TransferEngine::bard_peak()
+    }
+
+    #[test]
+    fn cu_kernel_stripes_sdma_does_not() {
+        let e = engine();
+        // Intra-OAM pair (4 lanes): CU ~145.5, SDMA ~50.
+        let cu = e.peer_bandwidth(0, 1, TransferKind::CuKernel).unwrap();
+        let sdma = e.peer_bandwidth(0, 1, TransferKind::Sdma).unwrap();
+        assert!((cu.as_gb_s() - 145.5).abs() < 0.5, "CU {}", cu.as_gb_s());
+        assert!(
+            (sdma.as_gb_s() - 50.0).abs() < 0.5,
+            "SDMA {}",
+            sdma.as_gb_s()
+        );
+    }
+
+    #[test]
+    fn cu_rates_match_fig5() {
+        let e = engine();
+        // 1-lane E/W pair.
+        let one = e.peer_bandwidth(0, 3, TransferKind::CuKernel).unwrap();
+        assert!((one.as_gb_s() - 37.5).abs() < 0.2, "{}", one.as_gb_s());
+        // 2-lane N/S pair.
+        let two = e.peer_bandwidth(0, 4, TransferKind::CuKernel).unwrap();
+        assert!((two.as_gb_s() - 74.9).abs() < 0.2, "{}", two.as_gb_s());
+    }
+
+    #[test]
+    fn sdma_beats_cu_on_single_lane() {
+        // Fig. 5: on 1-lane pairs SDMA (~50) beats the CU kernel (~37.5).
+        let e = engine();
+        let cu = e.peer_bandwidth(0, 3, TransferKind::CuKernel).unwrap();
+        let sdma = e.peer_bandwidth(0, 3, TransferKind::Sdma).unwrap();
+        assert!(sdma > cu);
+    }
+
+    #[test]
+    fn non_adjacent_pairs_have_no_direct_path() {
+        let e = engine();
+        // G0 and G5 are not adjacent in the twisted ladder.
+        assert!(e.peer_bandwidth(0, 5, TransferKind::CuKernel).is_none());
+    }
+
+    #[test]
+    fn h2d_single_rank_71_percent() {
+        let e = engine();
+        assert!((e.h2d_single_rank().as_gb_s() - 25.5).abs() < 0.2);
+    }
+
+    #[test]
+    fn h2d_aggregate_is_ddr_limited() {
+        let e = engine();
+        let dram = DramSystem::new(DramConfig::trento());
+        let agg = e.h2d_aggregate(&dram, NpsMode::Nps4, 8);
+        // Fig. 4: ~180 GB/s, matching the socket's STREAM rate, not 8 x 25.5.
+        assert!(
+            (170.0..190.0).contains(&agg.as_gb_s()),
+            "aggregate {}",
+            agg.as_gb_s()
+        );
+        assert!(agg.as_gb_s() < 8.0 * 25.5);
+    }
+
+    #[test]
+    fn h2d_small_ranks_are_lane_limited() {
+        let e = engine();
+        let dram = DramSystem::new(DramConfig::trento());
+        let one = e.h2d_aggregate(&dram, NpsMode::Nps4, 1);
+        assert!((one.as_gb_s() - 25.5).abs() < 0.2);
+        let four = e.h2d_aggregate(&dram, NpsMode::Nps4, 4);
+        assert!((four.as_gb_s() - 4.0 * 25.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn small_transfers_ramp_up() {
+        let e = engine();
+        let small = e
+            .peer_transfer_bandwidth(0, 1, TransferKind::CuKernel, Bytes::kib(64))
+            .unwrap();
+        let large = e
+            .peer_transfer_bandwidth(0, 1, TransferKind::CuKernel, Bytes::gib(1))
+            .unwrap();
+        assert!(small.as_gb_s() < 0.1 * large.as_gb_s());
+        let asym = e.peer_bandwidth(0, 1, TransferKind::CuKernel).unwrap();
+        assert!(large.as_gb_s() > 0.98 * asym.as_gb_s());
+    }
+
+    #[test]
+    fn transfer_time_includes_launch() {
+        let e = engine();
+        let t = e
+            .peer_transfer_time(0, 1, TransferKind::Sdma, Bytes::new(0))
+            .unwrap();
+        assert_eq!(t, e.config().launch_latency);
+    }
+}

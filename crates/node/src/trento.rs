@@ -1,0 +1,127 @@
+//! The AMD EPYC 7A53 "Trento" CPU (§3.1.1).
+//!
+//! Trento is a Frontier-specific EPYC: the same 64 Zen3 cores across eight
+//! Core Complex Dies (CCDs) as Milan 7713, but with a custom I/O die whose
+//! PCIe lanes were replaced by InfinityFabric links to the four MI250X
+//! packages. Over 99 % of Frontier's FLOPs come from the GPUs, so the model
+//! treats the CPU primarily as a memory mover and link hub (as §4.1.1 does).
+
+use crate::dram::{DramConfig, DramSystem, NpsMode};
+use frontier_sim_core::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Static description of a Trento socket.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrentoConfig {
+    /// Core Complex Dies. Each CCD pairs with one GCD via xGMI.
+    pub ccds: usize,
+    /// Zen3 cores per CCD.
+    pub cores_per_ccd: usize,
+    /// Sustained all-core clock.
+    pub clock_ghz: f64,
+    /// FP64 FLOPs per core per cycle (2× 256-bit FMA = 16).
+    pub flops_per_core_cycle: f64,
+}
+
+impl Default for TrentoConfig {
+    fn default() -> Self {
+        TrentoConfig {
+            ccds: 8,
+            cores_per_ccd: 8,
+            clock_ghz: 2.0,
+            flops_per_core_cycle: 16.0,
+        }
+    }
+}
+
+/// A modelled Trento socket: core/CCD inventory plus its DDR4 system.
+#[derive(Debug, Clone)]
+pub struct Trento {
+    cfg: TrentoConfig,
+    dram: DramSystem,
+    nps: NpsMode,
+}
+
+impl Trento {
+    /// A Frontier-configured Trento (NPS-4, as the paper states Frontier
+    /// runs).
+    pub fn frontier() -> Self {
+        Trento {
+            cfg: TrentoConfig::default(),
+            dram: DramSystem::new(DramConfig::trento()),
+            nps: NpsMode::Nps4,
+        }
+    }
+
+    /// Same socket, reconfigured NUMA mode (for the NPS ablation).
+    pub fn with_nps(mut self, nps: NpsMode) -> Self {
+        self.nps = nps;
+        self
+    }
+
+    pub fn config(&self) -> &TrentoConfig {
+        &self.cfg
+    }
+
+    pub fn dram(&self) -> &DramSystem {
+        &self.dram
+    }
+
+    pub fn nps(&self) -> NpsMode {
+        self.nps
+    }
+
+    /// Total core count: 64.
+    pub fn cores(&self) -> usize {
+        self.cfg.ccds * self.cfg.cores_per_ccd
+    }
+
+    /// Peak FP64 throughput of the socket (~2 TF/s — negligible next to the
+    /// GPUs, which is the paper's point).
+    pub fn peak_fp64(&self) -> Flops {
+        Flops::gf(self.cores() as f64 * self.cfg.clock_ghz * self.cfg.flops_per_core_cycle)
+    }
+
+    /// DDR capacity visible to applications: 512 GiB.
+    pub fn memory_capacity(&self) -> Bytes {
+        self.dram.config().capacity()
+    }
+
+    /// Peak DDR bandwidth: 204.8 GB/s.
+    pub fn memory_peak_bandwidth(&self) -> Bandwidth {
+        self.dram.config().peak_bandwidth()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_64_cores_on_8_ccds() {
+        let t = Trento::frontier();
+        assert_eq!(t.cores(), 64);
+        assert_eq!(t.config().ccds, 8);
+    }
+
+    #[test]
+    fn fp64_is_about_two_teraflops() {
+        let t = Trento::frontier();
+        let tf = t.peak_fp64().as_tf();
+        assert!((1.5..2.5).contains(&tf), "Trento FP64 {tf} TF/s");
+    }
+
+    #[test]
+    fn frontier_runs_nps4() {
+        assert_eq!(Trento::frontier().nps(), NpsMode::Nps4);
+        let t = Trento::frontier().with_nps(NpsMode::Nps1);
+        assert_eq!(t.nps(), NpsMode::Nps1);
+    }
+
+    #[test]
+    fn memory_shape() {
+        let t = Trento::frontier();
+        assert_eq!(t.memory_capacity(), Bytes::gib(512));
+        assert!((t.memory_peak_bandwidth().as_gb_s() - 204.8).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the node models.
+
+use frontier_node::dram::{DramConfig, DramSystem, NpsMode, StoreMode, TrafficMix};
+use frontier_node::gemm::{GemmModel, Precision};
+use frontier_node::hbm::HbmStack;
+use frontier_node::transfer::{TransferEngine, TransferKind};
+use frontier_sim_core::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The RFO tax: for any kernel shape, temporal stores never report
+    /// more bandwidth than non-temporal stores, in any NPS mode.
+    #[test]
+    fn temporal_never_beats_nt(reads in 1u32..8, writes in 1u32..8) {
+        let d = DramSystem::new(DramConfig::trento());
+        let mix = TrafficMix::new(reads, writes);
+        for nps in [NpsMode::Nps1, NpsMode::Nps4] {
+            let t = d.reported_bandwidth(mix, StoreMode::Temporal, nps);
+            let nt = d.reported_bandwidth(mix, StoreMode::NonTemporal, nps);
+            prop_assert!(t.as_bytes_per_sec() <= nt.as_bytes_per_sec() * (1.0 + 1e-12));
+        }
+    }
+
+    /// Reported bandwidth never exceeds the socket peak, and actual bus
+    /// traffic accounting is exact.
+    #[test]
+    fn dram_never_exceeds_peak(reads in 0u32..8, writes in 0u32..8, store_t in proptest::bool::ANY) {
+        prop_assume!(reads + writes > 0);
+        let d = DramSystem::new(DramConfig::trento());
+        let store = if store_t { StoreMode::Temporal } else { StoreMode::NonTemporal };
+        let mix = TrafficMix::new(reads, writes);
+        let bw = d.reported_bandwidth(mix, store, NpsMode::Nps4);
+        prop_assert!(bw.as_bytes_per_sec() <= d.config().peak_bandwidth().as_bytes_per_sec());
+        let nominal = mix.nominal_units();
+        let actual = mix.actual_units(store);
+        prop_assert!(actual >= nominal);
+        prop_assert_eq!(actual - nominal, if store == StoreMode::Temporal { writes } else { 0 });
+    }
+
+    /// The DES channel simulation agrees with the analytic model within 5%
+    /// for any mix and store mode.
+    #[test]
+    fn des_matches_analytic(reads in 1u32..5, writes in 0u32..4, store_t in proptest::bool::ANY) {
+        prop_assume!(reads + writes > 0);
+        let d = DramSystem::new(DramConfig::trento());
+        let store = if store_t { StoreMode::Temporal } else { StoreMode::NonTemporal };
+        let mix = TrafficMix::new(reads, writes);
+        let analytic = d.reported_bandwidth(mix, store, NpsMode::Nps4).as_gb_s();
+        let des = d.simulate_traffic(Bytes::mib(4), mix, store, NpsMode::Nps4).reported.as_gb_s();
+        prop_assert!((analytic - des).abs() / analytic < 0.05, "analytic {analytic} vs des {des}");
+    }
+
+    /// HBM sustained bandwidth is monotone: more streams never increases
+    /// efficiency, and adding a write stream never helps.
+    #[test]
+    fn hbm_monotone(reads in 1u32..6, writes in 0u32..4) {
+        let h = HbmStack::mi250x_gcd();
+        let base = h.sustained_bandwidth(reads, writes);
+        let more_reads = h.sustained_bandwidth(reads + 1, writes);
+        let more_writes = h.sustained_bandwidth(reads, writes + 1);
+        prop_assert!(more_reads.as_bytes_per_sec() <= base.as_bytes_per_sec());
+        prop_assert!(more_writes.as_bytes_per_sec() <= base.as_bytes_per_sec());
+        prop_assert!(base.as_bytes_per_sec() <= h.peak_bandwidth().as_bytes_per_sec());
+    }
+
+    /// GEMM achieved throughput never exceeds the matrix peak, for any
+    /// size and precision.
+    #[test]
+    fn gemm_below_peak(n in 1usize..20_000, p_idx in 0usize..3) {
+        let m = GemmModel::mi250x_gcd();
+        let p = Precision::ALL[p_idx];
+        let s = m.run(n, p);
+        prop_assert!(s.achieved.as_per_sec() <= m.matrix_peak(p).as_per_sec() * (1.0 + 1e-9));
+        prop_assert!(s.achieved.as_per_sec() > 0.0);
+    }
+
+    /// Transfer engines: effective bandwidth of a finite transfer is
+    /// monotone in size and bounded by the asymptotic rate.
+    #[test]
+    fn transfer_ramp_monotone(size_kib in 1u64..1_000_000) {
+        let e = TransferEngine::bard_peak();
+        for kind in [TransferKind::CuKernel, TransferKind::Sdma] {
+            let small = e.peer_transfer_bandwidth(0, 1, kind, Bytes::kib(size_kib)).unwrap();
+            let bigger = e.peer_transfer_bandwidth(0, 1, kind, Bytes::kib(size_kib * 2)).unwrap();
+            let asym = e.peer_bandwidth(0, 1, kind).unwrap();
+            prop_assert!(bigger.as_bytes_per_sec() >= small.as_bytes_per_sec());
+            prop_assert!(bigger.as_bytes_per_sec() <= asym.as_bytes_per_sec() * (1.0 + 1e-9));
+        }
+    }
+
+    /// SDMA never exceeds its single-engine cap on any adjacent pair; CU
+    /// kernels never exceed the bundle peak.
+    #[test]
+    fn engine_caps_respected(pair_idx in 0usize..12) {
+        let e = TransferEngine::bard_peak();
+        let pairs = e.topology().gcd_pairs();
+        let (a, b, class) = pairs[pair_idx];
+        let sdma = e.peer_bandwidth(a, b, TransferKind::Sdma).unwrap();
+        let cu = e.peer_bandwidth(a, b, TransferKind::CuKernel).unwrap();
+        prop_assert!(sdma.as_gb_s() <= e.config().sdma_cap.as_gb_s() + 1e-9);
+        prop_assert!(cu.as_bytes_per_sec() <= class.peak_bandwidth().as_bytes_per_sec());
+    }
+
+    /// Host-to-device aggregation is monotone in rank count and never
+    /// exceeds either the lane sum or the DDR roof.
+    #[test]
+    fn h2d_monotone_and_bounded(ranks in 1usize..8) {
+        let e = TransferEngine::bard_peak();
+        let d = DramSystem::new(DramConfig::trento());
+        let a = e.h2d_aggregate(&d, NpsMode::Nps4, ranks);
+        let b = e.h2d_aggregate(&d, NpsMode::Nps4, ranks + 1);
+        prop_assert!(b.as_bytes_per_sec() >= a.as_bytes_per_sec() * (1.0 - 1e-12));
+        prop_assert!(a.as_gb_s() <= ranks as f64 * 25.5 + 1e-6);
+        prop_assert!(a.as_gb_s() <= 204.8);
+    }
+}

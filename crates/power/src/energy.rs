@@ -1,0 +1,100 @@
+//! Energy-to-solution accounting.
+//!
+//! The 2008 report's 20 MW/EF bound is really an *energy* argument: what
+//! matters to a facility is joules per unit of science. This module
+//! combines the power model with run times to compare energy-to-solution
+//! across machines — the flip side of §5.1's "Frontier clearly excels".
+
+use crate::model::{PowerModel, SystemPower};
+use frontier_sim_core::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Energy consumed by a run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EnergyReport {
+    pub runtime: SimTime,
+    pub power_mw: f64,
+    /// Total energy, megajoules.
+    pub energy_mj: f64,
+    /// Megawatt-hours, the facility's billing unit.
+    pub mwh: f64,
+}
+
+/// Energy of a job occupying `active` of `total_nodes` for `runtime`.
+pub fn job_energy(
+    model: &PowerModel,
+    active: usize,
+    total_nodes: usize,
+    switches: usize,
+    runtime: SimTime,
+) -> EnergyReport {
+    let p = SystemPower::compute(model, active, total_nodes, switches);
+    // Charge the job only its marginal draw: active nodes at full power
+    // plus its share of fabric/storage.
+    let idle_floor = SystemPower::compute(model, 0, total_nodes, switches);
+    let marginal_w =
+        p.total_w - idle_floor.total_w + (idle_floor.total_w) * active as f64 / total_nodes as f64;
+    let secs = runtime.as_secs_f64();
+    EnergyReport {
+        runtime,
+        power_mw: marginal_w / 1e6,
+        energy_mj: marginal_w * secs / 1e6,
+        mwh: marginal_w * secs / 3.6e9,
+    }
+}
+
+/// Energy per unit of science: `energy / fom_units`.
+pub fn energy_per_unit(report: &EnergyReport, fom_units: f64) -> f64 {
+    assert!(fom_units > 0.0);
+    report.energy_mj / fom_units
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_machine_hour_is_about_21_mwh_times_hours() {
+        let e = job_energy(
+            &PowerModel::frontier(),
+            9_408,
+            9_472,
+            2_464,
+            SimTime::from_secs(3_600),
+        );
+        assert!((e.mwh - e.power_mw).abs() < 1e-9, "1 hour -> MWh == MW");
+        assert!((e.power_mw - 21.0).abs() < 0.5, "{}", e.power_mw);
+    }
+
+    #[test]
+    fn energy_scales_with_runtime() {
+        let m = PowerModel::frontier();
+        let one = job_energy(&m, 1000, 9_472, 2_464, SimTime::from_secs(100));
+        let two = job_energy(&m, 1000, 9_472, 2_464, SimTime::from_secs(200));
+        assert!((two.energy_mj / one.energy_mj - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn half_machine_job_costs_about_half() {
+        let m = PowerModel::frontier();
+        let full = job_energy(&m, 9_472, 9_472, 2_464, SimTime::from_secs(100));
+        let half = job_energy(&m, 4_736, 9_472, 2_464, SimTime::from_secs(100));
+        let ratio = half.energy_mj / full.energy_mj;
+        assert!((0.45..0.60).contains(&ratio), "{ratio}");
+    }
+
+    #[test]
+    fn hpl_run_energy_matches_green500_arithmetic() {
+        // ~2.45 h at ~21 MW -> ~51 MWh for the TOP500 submission; and
+        // energy per flop is the reciprocal of GF/W.
+        use crate::green500::green500_entry;
+        let g = green500_entry();
+        let runtime = SimTime::from_secs_f64(2.45 * 3600.0);
+        let e = job_energy(&PowerModel::frontier(), 9_408, 9_472, 2_464, runtime);
+        assert!((40.0..65.0).contains(&e.mwh), "{}", e.mwh);
+        let flops = g.rmax.as_per_sec() * runtime.as_secs_f64();
+        let pj_per_flop = e.energy_mj * 1e18 / flops;
+        // 52 GF/W = ~19 pJ/flop.
+        assert!((15.0..25.0).contains(&pj_per_flop), "{pj_per_flop}");
+    }
+}

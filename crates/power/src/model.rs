@@ -1,0 +1,131 @@
+//! Component power model.
+//!
+//! Average draw per component *under HPL-class load* (not TDP — sustained
+//! DGEMM draws below the board limit), summed over the machine inventory
+//! plus fabric and facility-side storage. Calibrated so the June-2022
+//! Green500 measurement (21.1 MW during the 1.102 EF run on 9,408 nodes)
+//! is reproduced.
+
+use frontier_sim_core::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Average power draw per component under sustained compute load, watts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// calibrated: one MI250X OAM under HPL (below its 560 W limit).
+    pub mi250x_w: f64,
+    /// calibrated: Trento socket under HPL (its cores mostly feed GPUs).
+    pub cpu_w: f64,
+    /// DDR4 DIMMs, all eight.
+    pub ddr_w: f64,
+    /// All four Slingshot NICs.
+    pub nics_w: f64,
+    /// Node miscellaneous: board, VRM losses, node-local NVMe.
+    pub node_misc_w: f64,
+    /// One Slingshot switch (64 ports, water cooled).
+    pub switch_w: f64,
+    /// Orion + management, facility side, total watts.
+    pub storage_w: f64,
+    /// Idle fraction: nodes not in the measured job still draw this
+    /// fraction of their loaded power.
+    pub idle_fraction: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        Self::frontier()
+    }
+}
+
+impl PowerModel {
+    pub fn frontier() -> Self {
+        PowerModel {
+            mi250x_w: 420.0,
+            cpu_w: 225.0,
+            ddr_w: 35.0,
+            nics_w: 80.0,
+            node_misc_w: 100.0,
+            switch_w: 250.0,
+            storage_w: 400_000.0,
+            idle_fraction: 0.35,
+        }
+    }
+
+    /// One node under load, watts.
+    pub fn node_loaded_w(&self) -> f64 {
+        4.0 * self.mi250x_w + self.cpu_w + self.ddr_w + self.nics_w + self.node_misc_w
+    }
+}
+
+/// Machine-level power at a given active-node count.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SystemPower {
+    pub active_nodes: usize,
+    pub idle_nodes: usize,
+    /// Total system draw, watts.
+    pub total_w: f64,
+}
+
+impl SystemPower {
+    /// Compute system power with `active` of `total` nodes loaded.
+    pub fn compute(model: &PowerModel, active: usize, total_nodes: usize, switches: usize) -> Self {
+        assert!(active <= total_nodes);
+        let idle = total_nodes - active;
+        let nodes_w = active as f64 * model.node_loaded_w()
+            + idle as f64 * model.node_loaded_w() * model.idle_fraction;
+        let total_w = nodes_w + switches as f64 * model.switch_w + model.storage_w;
+        SystemPower {
+            active_nodes: active,
+            idle_nodes: idle,
+            total_w,
+        }
+    }
+
+    /// Frontier during the June-2022 HPL run: 9,408 of 9,472 nodes active.
+    pub fn frontier_hpl() -> Self {
+        Self::compute(&PowerModel::frontier(), 9_408, 9_472, 74 * 32 + 6 * 16)
+    }
+
+    pub fn megawatts(&self) -> f64 {
+        self.total_w / 1e6
+    }
+}
+
+/// Power per exaflop of a measurement — the 2008 report's 20 MW/EF bound.
+pub fn mw_per_exaflop(power_mw: f64, rmax: Flops) -> f64 {
+    power_mw / rmax.as_ef()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_power_about_2_1_kw() {
+        let m = PowerModel::frontier();
+        let w = m.node_loaded_w();
+        assert!((2000.0..2300.0).contains(&w), "{w}");
+    }
+
+    #[test]
+    fn hpl_run_draws_21_mw() {
+        let p = SystemPower::frontier_hpl();
+        assert!((p.megawatts() - 21.1).abs() < 0.4, "{} MW", p.megawatts());
+    }
+
+    #[test]
+    fn idle_machine_draws_much_less() {
+        let m = PowerModel::frontier();
+        let idle = SystemPower::compute(&m, 0, 9_472, 2_464);
+        let loaded = SystemPower::frontier_hpl();
+        assert!(idle.megawatts() < 0.5 * loaded.megawatts());
+    }
+
+    #[test]
+    fn mw_per_ef_under_20() {
+        // §5.1 / the 2008 report's facility bound.
+        let p = SystemPower::frontier_hpl();
+        let v = mw_per_exaflop(p.megawatts(), Flops::ef(1.102));
+        assert!(v < 20.0, "{v} MW/EF");
+    }
+}

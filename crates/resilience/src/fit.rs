@@ -1,0 +1,224 @@
+//! FIT rates and component inventory.
+//!
+//! A FIT is one failure per 10⁹ device-hours. System interrupt rate is the
+//! inventory-weighted sum of class FIT rates; the class rates below are
+//! `calibrated:` so the hardware MTTI lands in the paper's "~four-hour"
+//! band with memory and power supplies as the leading contributors, and
+//! uses public reliability-study orders of magnitude for the rest.
+
+use serde::{Deserialize, Serialize};
+
+/// Classes of field-replaceable / failure-attributable components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ComponentClass {
+    /// One HBM2e stack (4 per GCD, 32 per node).
+    HbmStack,
+    /// One DDR4 DIMM (8 per node).
+    DdrDimm,
+    /// One GCD ASIC (8 per node).
+    GcdAsic,
+    /// One Trento CPU (1 per node).
+    Cpu,
+    /// One Slingshot NIC (4 per node).
+    Nic,
+    /// One power-supply/rectifier module.
+    PowerSupply,
+    /// One Slingshot switch.
+    Switch,
+    /// One node-local NVMe drive (2 per node).
+    NvmeDrive,
+}
+
+impl ComponentClass {
+    pub const ALL: [ComponentClass; 8] = [
+        ComponentClass::HbmStack,
+        ComponentClass::DdrDimm,
+        ComponentClass::GcdAsic,
+        ComponentClass::Cpu,
+        ComponentClass::Nic,
+        ComponentClass::PowerSupply,
+        ComponentClass::Switch,
+        ComponentClass::NvmeDrive,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            ComponentClass::HbmStack => "HBM2e stack",
+            ComponentClass::DdrDimm => "DDR4 DIMM",
+            ComponentClass::GcdAsic => "GCD ASIC",
+            ComponentClass::Cpu => "Trento CPU",
+            ComponentClass::Nic => "Slingshot NIC",
+            ComponentClass::PowerSupply => "Power supply",
+            ComponentClass::Switch => "Slingshot switch",
+            ComponentClass::NvmeDrive => "NVMe drive",
+        }
+    }
+}
+
+/// FIT rates (failures / 10⁹ h) per component class, for *job-interrupting*
+/// (uncorrectable) failures.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FitModel {
+    rates: [(ComponentClass, f64); 8],
+}
+
+impl Default for FitModel {
+    fn default() -> Self {
+        Self::frontier()
+    }
+}
+
+impl FitModel {
+    /// calibrated: Frontier-like interrupt FIT rates. HBM and power
+    /// supplies lead, per §5.4.
+    pub fn frontier() -> Self {
+        FitModel {
+            rates: [
+                (ComponentClass::HbmStack, 400.0),
+                (ComponentClass::DdrDimm, 120.0),
+                (ComponentClass::GcdAsic, 120.0),
+                (ComponentClass::Cpu, 150.0),
+                (ComponentClass::Nic, 100.0),
+                (ComponentClass::PowerSupply, 3_000.0),
+                (ComponentClass::Switch, 400.0),
+                (ComponentClass::NvmeDrive, 200.0),
+            ],
+        }
+    }
+
+    /// A hypothetical 10× FIT improvement (the 2008 report's what-if).
+    pub fn improved_10x(&self) -> Self {
+        let mut rates = self.rates;
+        for (_, r) in rates.iter_mut() {
+            *r /= 10.0;
+        }
+        FitModel { rates }
+    }
+
+    pub fn fit(&self, class: ComponentClass) -> f64 {
+        self.rates
+            .iter()
+            .find(|(c, _)| *c == class)
+            .expect("every class has a rate")
+            .1
+    }
+
+    /// Failure rate of one component, per hour.
+    pub fn rate_per_hour(&self, class: ComponentClass) -> f64 {
+        self.fit(class) / 1e9
+    }
+}
+
+/// Component inventory of a machine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Inventory {
+    counts: [(ComponentClass, u64); 8],
+}
+
+impl Default for Inventory {
+    fn default() -> Self {
+        Self::frontier()
+    }
+}
+
+impl Inventory {
+    /// The Frontier inventory: 9,472 nodes plus the fabric and the
+    /// node-facing power train (~2 rectifier modules per node of rack
+    /// power shelf capacity).
+    pub fn frontier() -> Self {
+        let nodes = 9_472u64;
+        Inventory {
+            counts: [
+                (ComponentClass::HbmStack, nodes * 32),
+                (ComponentClass::DdrDimm, nodes * 8),
+                (ComponentClass::GcdAsic, nodes * 8),
+                (ComponentClass::Cpu, nodes),
+                (ComponentClass::Nic, nodes * 4),
+                (ComponentClass::PowerSupply, nodes * 2),
+                (ComponentClass::Switch, 74 * 32 + 6 * 16),
+                (ComponentClass::NvmeDrive, nodes * 2),
+            ],
+        }
+    }
+
+    /// Scale all counts (e.g. a 1/8 testbed like Crusher).
+    pub fn scaled(&self, factor: f64) -> Self {
+        let mut counts = self.counts;
+        for (_, c) in counts.iter_mut() {
+            *c = ((*c as f64) * factor).round() as u64;
+        }
+        Inventory { counts }
+    }
+
+    pub fn count(&self, class: ComponentClass) -> u64 {
+        self.counts
+            .iter()
+            .find(|(c, _)| *c == class)
+            .expect("every class has a count")
+            .1
+    }
+
+    pub fn total_components(&self) -> u64 {
+        self.counts.iter().map(|(_, c)| c).sum()
+    }
+
+    /// System-level failure rate per hour for class `class`.
+    pub fn class_rate(&self, fits: &FitModel, class: ComponentClass) -> f64 {
+        self.count(class) as f64 * fits.rate_per_hour(class)
+    }
+
+    /// Total system failure rate per hour.
+    pub fn total_rate(&self, fits: &FitModel) -> f64 {
+        ComponentClass::ALL
+            .iter()
+            .map(|&c| self.class_rate(fits, c))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inventory_counts() {
+        let inv = Inventory::frontier();
+        assert_eq!(inv.count(ComponentClass::HbmStack), 9_472 * 32);
+        assert_eq!(inv.count(ComponentClass::GcdAsic), 75_776);
+        assert_eq!(inv.count(ComponentClass::Switch), 2_464);
+        // "explosive growth in component counts": over half a million parts
+        // in this coarse inventory alone.
+        assert!(inv.total_components() > 500_000);
+    }
+
+    #[test]
+    fn memory_and_power_lead() {
+        // §5.4: "They correctly identified memory and power supplies as
+        // leading contributors as we have seen on Frontier."
+        let inv = Inventory::frontier();
+        let fits = FitModel::frontier();
+        let mut rates: Vec<(ComponentClass, f64)> = ComponentClass::ALL
+            .iter()
+            .map(|&c| (c, inv.class_rate(&fits, c)))
+            .collect();
+        rates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let top2: Vec<ComponentClass> = rates.iter().take(2).map(|(c, _)| *c).collect();
+        assert!(top2.contains(&ComponentClass::HbmStack), "{top2:?}");
+        assert!(top2.contains(&ComponentClass::PowerSupply), "{top2:?}");
+    }
+
+    #[test]
+    fn improved_10x_divides_rates() {
+        let fits = FitModel::frontier();
+        let better = fits.improved_10x();
+        for c in ComponentClass::ALL {
+            assert!((better.fit(c) - fits.fit(c) / 10.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn scaled_inventory() {
+        let inv = Inventory::frontier().scaled(0.125);
+        assert_eq!(inv.count(ComponentClass::Cpu), 1_184);
+    }
+}

@@ -1,0 +1,29 @@
+//! # frontier-resilience
+//!
+//! Reliability model of Frontier (§5.4). The paper reports that Frontier
+//! "struggles with the resiliency challenge": hardware MTTI is "not much
+//! better than [the 2008 report's] projected four-hour target", memory
+//! (HBM) and power supplies are the leading contributors, and the
+//! uncorrectable-error rate is "in line with the rate seen on Summit's
+//! HBM2, once you scale up based on Frontier's HBM2e capacity".
+//!
+//! * [`fit`] — per-component FIT rates and the machine's component
+//!   inventory;
+//! * [`mtti`] — analytic MTTI (1/Σλ) and a Monte-Carlo failure-injection
+//!   estimate through the DES;
+//! * [`checkpoint`] — Young/Daly optimal checkpoint cadence against the
+//!   modelled MTTI and the Orion ingest rate.
+
+pub mod checkpoint;
+pub mod fit;
+pub mod mtti;
+pub mod ue;
+
+pub mod prelude {
+    pub use crate::checkpoint::{daly_interval, machine_efficiency, CheckpointPlan};
+    pub use crate::fit::{ComponentClass, FitModel, Inventory};
+    pub use crate::mtti::{analytic_mtti, monte_carlo_mtti, MttiBreakdown};
+    pub use crate::ue::{HbmInstallation, UeModel};
+}
+
+pub use prelude::*;

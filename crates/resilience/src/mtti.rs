@@ -1,0 +1,216 @@
+//! Mean Time To Interrupt: analytic and Monte-Carlo estimates.
+//!
+//! With exponential component lifetimes the system interrupt process is
+//! Poisson with rate Σλ, so MTTI = 1/Σλ. The Monte-Carlo estimator
+//! injects per-class failures through independent random streams and
+//! validates the analytic model (and provides the machinery the
+//! failure-injection example uses to interrupt simulated jobs).
+
+use crate::fit::{ComponentClass, FitModel, Inventory};
+use frontier_sim_core::prelude::*;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Per-class MTTI contribution breakdown.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MttiBreakdown {
+    /// System MTTI in hours.
+    pub mtti_hours: f64,
+    /// (class, share of failures) sorted most-to-least culpable.
+    pub shares: Vec<(ComponentClass, f64)>,
+}
+
+/// Analytic MTTI of the machine, in hours, with the per-class breakdown.
+pub fn analytic_mtti(inv: &Inventory, fits: &FitModel) -> MttiBreakdown {
+    let total = inv.total_rate(fits);
+    assert!(total > 0.0, "machine with no failure modes");
+    let mut shares: Vec<(ComponentClass, f64)> = ComponentClass::ALL
+        .iter()
+        .map(|&c| (c, inv.class_rate(fits, c) / total))
+        .collect();
+    shares.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("shares are finite"));
+    MttiBreakdown {
+        mtti_hours: 1.0 / total,
+        shares,
+    }
+}
+
+/// Monte-Carlo MTTI estimate: simulate `trials` intervals between
+/// interrupts by sampling the superposed Poisson process per class and
+/// taking the minimum arrival.
+pub fn monte_carlo_mtti(inv: &Inventory, fits: &FitModel, trials: u64, seed: u64) -> f64 {
+    assert!(trials > 0);
+    let rates: Vec<f64> = ComponentClass::ALL
+        .iter()
+        .map(|&c| inv.class_rate(fits, c))
+        .collect();
+    let total: f64 = (0..trials)
+        .into_par_iter()
+        .map(|t| {
+            let mut rng = StreamRng::for_component(seed, "mtti-trial", t);
+            rates
+                .iter()
+                .filter(|&&r| r > 0.0)
+                .map(|&r| rng.exponential(r))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum();
+    total / trials as f64
+}
+
+/// Probability that a job on `job_nodes` of the machine's nodes runs
+/// `hours` without a hardware interrupt hitting *its* nodes.
+///
+/// Node-attached failure rates scale with the job's node share; the
+/// fabric (switch) share is counted fully since a switch failure can
+/// affect any job routed through it.
+pub fn job_survival_probability(
+    inv: &Inventory,
+    fits: &FitModel,
+    machine_nodes: usize,
+    job_nodes: usize,
+    hours: f64,
+) -> f64 {
+    assert!(job_nodes <= machine_nodes && machine_nodes > 0);
+    assert!(hours >= 0.0);
+    let share = job_nodes as f64 / machine_nodes as f64;
+    let mut rate = 0.0;
+    for &c in ComponentClass::ALL.iter() {
+        let r = inv.class_rate(fits, c);
+        rate += if c == ComponentClass::Switch {
+            r
+        } else {
+            r * share
+        };
+    }
+    (-rate * hours).exp()
+}
+
+/// Sample the failure times within a window of `hours`, for DES injection.
+/// Returns (time, class) pairs in time order.
+pub fn failure_schedule(
+    inv: &Inventory,
+    fits: &FitModel,
+    hours: f64,
+    seed: u64,
+) -> Vec<(SimTime, ComponentClass)> {
+    assert!(hours > 0.0);
+    let mut events = Vec::new();
+    for (i, &class) in ComponentClass::ALL.iter().enumerate() {
+        let rate = inv.class_rate(fits, class);
+        if rate <= 0.0 {
+            continue;
+        }
+        let mut rng = StreamRng::for_component(seed, "failure-class", i as u64);
+        let mut t = 0.0;
+        loop {
+            t += rng.exponential(rate);
+            if t >= hours {
+                break;
+            }
+            events.push((SimTime::from_secs_f64(t * 3600.0), class));
+        }
+    }
+    events.sort_by_key(|(t, _)| *t);
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontier_mtti_in_four_hour_band() {
+        // §5.4: "Frontier's resiliency is not much better than their
+        // projected four-hour target."
+        let b = analytic_mtti(&Inventory::frontier(), &FitModel::frontier());
+        assert!(
+            (3.5..6.0).contains(&b.mtti_hours),
+            "MTTI {} h",
+            b.mtti_hours
+        );
+    }
+
+    #[test]
+    fn ten_x_fit_improvement_still_fails_often() {
+        // The 2008 report: even 10x better FIT rates -> a failure every few
+        // hours at exascale component counts... Frontier's calibrated rates
+        // already embed ~10x improvement; dividing again gives the
+        // terascale-era 8-12h+ the paper hopes to reach over time.
+        let inv = Inventory::frontier();
+        let better = FitModel::frontier().improved_10x();
+        let b = analytic_mtti(&inv, &better);
+        assert!(b.mtti_hours > 12.0, "{}", b.mtti_hours);
+    }
+
+    #[test]
+    fn breakdown_shares_sum_to_one() {
+        let b = analytic_mtti(&Inventory::frontier(), &FitModel::frontier());
+        let sum: f64 = b.shares.iter().map(|(_, s)| s).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(b.shares[0].1 >= b.shares.last().unwrap().1);
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_analytic() {
+        let inv = Inventory::frontier();
+        let fits = FitModel::frontier();
+        let analytic = analytic_mtti(&inv, &fits).mtti_hours;
+        let mc = monte_carlo_mtti(&inv, &fits, 20_000, 42);
+        let err = (mc - analytic).abs() / analytic;
+        assert!(err < 0.03, "MC {mc} vs analytic {analytic}");
+    }
+
+    #[test]
+    fn failure_schedule_is_sorted_and_plausible() {
+        let inv = Inventory::frontier();
+        let fits = FitModel::frontier();
+        let window = 240.0; // 10 days
+        let events = failure_schedule(&inv, &fits, window, 7);
+        for w in events.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        // Expected count = window / MTTI ~ 50.
+        let expected = window / analytic_mtti(&inv, &fits).mtti_hours;
+        let n = events.len() as f64;
+        assert!(
+            (n - expected).abs() < 0.5 * expected,
+            "{n} events vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn survival_probability_shapes() {
+        let inv = Inventory::frontier();
+        let fits = FitModel::frontier();
+        // A full-machine 6-hour hero run is more likely than not to be
+        // interrupted (MTTI ~4.9 h).
+        let hero = job_survival_probability(&inv, &fits, 9_472, 9_472, 6.0);
+        assert!(hero < 0.5, "{hero}");
+        // A 128-node job for 6 hours almost always survives.
+        let small = job_survival_probability(&inv, &fits, 9_472, 128, 6.0);
+        assert!(small > 0.95, "{small}");
+        // Monotonicity.
+        assert!(
+            job_survival_probability(&inv, &fits, 9_472, 1_000, 1.0)
+                > job_survival_probability(&inv, &fits, 9_472, 1_000, 10.0)
+        );
+        assert!(
+            job_survival_probability(&inv, &fits, 9_472, 100, 5.0)
+                > job_survival_probability(&inv, &fits, 9_472, 5_000, 5.0)
+        );
+        // Zero-duration jobs always survive.
+        assert_eq!(
+            job_survival_probability(&inv, &fits, 9_472, 9_472, 0.0),
+            1.0
+        );
+    }
+
+    #[test]
+    fn smaller_machine_fails_less() {
+        let fits = FitModel::frontier();
+        let full = analytic_mtti(&Inventory::frontier(), &fits).mtti_hours;
+        let eighth = analytic_mtti(&Inventory::frontier().scaled(0.125), &fits).mtti_hours;
+        assert!((eighth / full - 8.0).abs() < 0.1, "{}", eighth / full);
+    }
+}

@@ -1,0 +1,126 @@
+//! HBM uncorrectable-error model (§5.4).
+//!
+//! The paper: "The level of uncorrectable errors is in line with the rate
+//! seen on Summit's HBM2, once you scale up based on Frontier's HBM2e
+//! capacity." That is a per-capacity-scaling claim: UEs arrive at a rate
+//! proportional to the installed HBM gibibytes, with (approximately) the
+//! same per-GiB rate across the HBM2 → HBM2e generation.
+
+use frontier_sim_core::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Per-capacity uncorrectable-error rate model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UeModel {
+    /// calibrated: UEs per GiB of HBM per hour. Set consistent with the
+    /// HBM-stack FIT rate of [`crate::fit`]: 400 FIT per 16 GiB stack
+    /// → 2.5e-8 / GiB / h.
+    pub ue_per_gib_hour: f64,
+}
+
+impl Default for UeModel {
+    fn default() -> Self {
+        UeModel {
+            ue_per_gib_hour: 400.0e-9 / 16.0,
+        }
+    }
+}
+
+/// A machine's HBM installation.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HbmInstallation {
+    pub name: &'static str,
+    pub capacity: Bytes,
+}
+
+impl HbmInstallation {
+    /// Frontier: 9,472 nodes × 512 GiB of HBM2e.
+    pub fn frontier() -> Self {
+        HbmInstallation {
+            name: "Frontier (HBM2e)",
+            capacity: Bytes::gib(512) * 9_472,
+        }
+    }
+
+    /// Summit: 4,608 nodes × 6 V100 × 16 GiB of HBM2.
+    pub fn summit() -> Self {
+        HbmInstallation {
+            name: "Summit (HBM2)",
+            capacity: Bytes::gib(96) * 4_608,
+        }
+    }
+}
+
+impl UeModel {
+    /// System UE rate per hour for an installation.
+    pub fn rate_per_hour(&self, hbm: &HbmInstallation) -> f64 {
+        self.ue_per_gib_hour * hbm.capacity.as_gib()
+    }
+
+    /// Mean time between HBM UEs, hours.
+    pub fn mtbue_hours(&self, hbm: &HbmInstallation) -> f64 {
+        1.0 / self.rate_per_hour(hbm)
+    }
+
+    /// Expected UEs over a job of `nodes` nodes × `hours` (UEs land
+    /// uniformly over capacity, so a job sees its capacity share).
+    pub fn expected_ues_for_job(
+        &self,
+        hbm: &HbmInstallation,
+        machine_nodes: usize,
+        job_nodes: usize,
+        hours: f64,
+    ) -> f64 {
+        assert!(job_nodes <= machine_nodes);
+        self.rate_per_hour(hbm) * hours * job_nodes as f64 / machine_nodes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontier_rate_is_summit_scaled_by_capacity() {
+        // The paper's claim, by construction of the per-GiB model — and
+        // the capacity ratio is ~11x.
+        let m = UeModel::default();
+        let f = HbmInstallation::frontier();
+        let s = HbmInstallation::summit();
+        let ratio = m.rate_per_hour(&f) / m.rate_per_hour(&s);
+        let cap_ratio = f.capacity.as_gib() / s.capacity.as_gib();
+        assert!((ratio - cap_ratio).abs() < 1e-9);
+        assert!((cap_ratio - 10.96).abs() < 0.05, "{cap_ratio}");
+    }
+
+    #[test]
+    fn frontier_hbm_ue_contribution_matches_fit_model() {
+        // Cross-check against the FIT model: HBM-stack failures are the
+        // same thing counted two ways.
+        use crate::fit::{ComponentClass, FitModel, Inventory};
+        let fit_rate =
+            Inventory::frontier().class_rate(&FitModel::frontier(), ComponentClass::HbmStack);
+        let ue_rate = UeModel::default().rate_per_hour(&HbmInstallation::frontier());
+        assert!(
+            (fit_rate - ue_rate).abs() / fit_rate < 1e-9,
+            "FIT {fit_rate} vs UE {ue_rate}"
+        );
+    }
+
+    #[test]
+    fn full_machine_hbm_mtbue_in_hours_band() {
+        let m = UeModel::default();
+        let h = m.mtbue_hours(&HbmInstallation::frontier());
+        // HBM alone interrupts every ~8 h (part of the ~4.9 h total MTTI).
+        assert!((6.0..11.0).contains(&h), "{h}");
+    }
+
+    #[test]
+    fn job_share_scales_linearly() {
+        let m = UeModel::default();
+        let f = HbmInstallation::frontier();
+        let half = m.expected_ues_for_job(&f, 9_472, 4_736, 10.0);
+        let full = m.expected_ues_for_job(&f, 9_472, 9_472, 10.0);
+        assert!((full / half - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,96 @@
+//! Node-health model (§3.4.2's *checknode*).
+//!
+//! "At boot and between every job, Slurm runs a checknode script that
+//! verifies the health of every compute node." Nodes found unhealthy are
+//! drained and excluded from scheduling until repaired.
+
+use serde::{Deserialize, Serialize};
+
+/// Health state of one compute node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HealthState {
+    /// Passed checknode; schedulable.
+    Healthy,
+    /// Failed checknode; excluded until repair.
+    Drained,
+}
+
+/// Health registry over the machine's nodes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeHealth {
+    states: Vec<HealthState>,
+}
+
+impl NodeHealth {
+    /// All nodes healthy.
+    pub fn new(nodes: usize) -> Self {
+        NodeHealth {
+            states: vec![HealthState::Healthy; nodes],
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    pub fn state(&self, node: usize) -> HealthState {
+        self.states[node]
+    }
+
+    /// checknode failure: drain the node.
+    pub fn drain(&mut self, node: usize) {
+        self.states[node] = HealthState::Drained;
+    }
+
+    /// Repair completed: node returns to service.
+    pub fn repair(&mut self, node: usize) {
+        self.states[node] = HealthState::Healthy;
+    }
+
+    /// True if checknode would admit the node for a new job.
+    pub fn schedulable(&self, node: usize) -> bool {
+        self.states[node] == HealthState::Healthy
+    }
+
+    pub fn healthy_count(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|&&s| s == HealthState::Healthy)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_healthy_at_start() {
+        let h = NodeHealth::new(16);
+        assert_eq!(h.healthy_count(), 16);
+        assert!(h.schedulable(3));
+    }
+
+    #[test]
+    fn drain_and_repair_cycle() {
+        let mut h = NodeHealth::new(4);
+        h.drain(2);
+        assert!(!h.schedulable(2));
+        assert_eq!(h.state(2), HealthState::Drained);
+        assert_eq!(h.healthy_count(), 3);
+        h.repair(2);
+        assert!(h.schedulable(2));
+        assert_eq!(h.healthy_count(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_node_panics() {
+        let h = NodeHealth::new(2);
+        h.state(5);
+    }
+}

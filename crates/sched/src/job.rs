@@ -1,0 +1,67 @@
+//! Jobs and job lifecycle.
+
+use frontier_sim_core::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Scheduler-assigned job identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+/// Lifecycle state of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobState {
+    Pending,
+    Running,
+    Completed,
+}
+
+/// A batch job: a node-count request plus a walltime estimate. Frontier
+/// schedules nodes exclusively — one job per node — "which simplifies
+/// security requirements and node cleanup procedures".
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Job {
+    pub id: JobId,
+    pub nodes: usize,
+    pub walltime: SimTime,
+    pub state: JobState,
+    /// Nodes assigned while running.
+    pub allocation: Vec<usize>,
+    /// VNI assigned to the job's step for network isolation.
+    pub vni: Option<u32>,
+    /// Scheduled completion instant while running.
+    pub end_time: Option<SimTime>,
+}
+
+impl Job {
+    pub fn new(id: JobId, nodes: usize, walltime: SimTime) -> Self {
+        assert!(nodes >= 1, "job must request at least one node");
+        Job {
+            id,
+            nodes,
+            walltime,
+            state: JobState::Pending,
+            allocation: Vec::new(),
+            vni: None,
+            end_time: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_job_is_pending() {
+        let j = Job::new(JobId(1), 128, SimTime::from_secs(3600));
+        assert_eq!(j.state, JobState::Pending);
+        assert!(j.allocation.is_empty());
+        assert!(j.vni.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_node_job_rejected() {
+        Job::new(JobId(1), 0, SimTime::from_secs(1));
+    }
+}

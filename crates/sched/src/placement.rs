@@ -1,0 +1,251 @@
+//! Topology-aware placement on the dragonfly (§3.4.2).
+//!
+//! Two strategies, applied by node-count threshold exactly as the paper
+//! describes: *pack* small jobs into as few groups as possible (minimizing
+//! global hops), *spread* large jobs evenly over as many groups as possible
+//! (maximizing the global connections available to minimal routing).
+
+use frontier_fabric::dragonfly::Dragonfly;
+use frontier_sim_core::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Placement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Fill groups sequentially (small jobs: minimize global hops).
+    Pack,
+    /// Round-robin nodes across all groups (large jobs: maximize global
+    /// connections).
+    Spread,
+    /// Frontier's automatic policy: pack jobs that fit in one group,
+    /// spread the rest.
+    TopologyAware,
+}
+
+/// Select `count` nodes from `free` (sorted node ids) for a job.
+///
+/// Returns `None` if not enough free nodes exist.
+pub fn allocate(
+    df: &Dragonfly,
+    free: &BTreeSet<usize>,
+    count: usize,
+    policy: PlacementPolicy,
+) -> Option<Vec<usize>> {
+    if free.len() < count {
+        return None;
+    }
+    let npg = df.params().nodes_per_group();
+    let policy = match policy {
+        PlacementPolicy::TopologyAware => {
+            if count <= npg {
+                PlacementPolicy::Pack
+            } else {
+                PlacementPolicy::Spread
+            }
+        }
+        p => p,
+    };
+    match policy {
+        PlacementPolicy::Pack => {
+            // Prefer the groups with the most free nodes; fill each fully
+            // before moving on, so the allocation spans as few groups as
+            // possible.
+            let groups = df.params().groups;
+            let mut per_group: Vec<Vec<usize>> = vec![Vec::new(); groups];
+            for &n in free {
+                per_group[n / npg].push(n);
+            }
+            let mut order: Vec<usize> = (0..groups).collect();
+            order.sort_by_key(|&g| std::cmp::Reverse(per_group[g].len()));
+            let mut alloc = Vec::with_capacity(count);
+            for g in order {
+                for &n in &per_group[g] {
+                    if alloc.len() == count {
+                        break;
+                    }
+                    alloc.push(n);
+                }
+                if alloc.len() == count {
+                    break;
+                }
+            }
+            alloc.sort_unstable();
+            Some(alloc)
+        }
+        PlacementPolicy::Spread => {
+            // Round-robin over groups: repeatedly take one free node from
+            // each group with availability.
+            let groups = df.params().groups;
+            let mut per_group: Vec<std::collections::VecDeque<usize>> =
+                vec![Default::default(); groups];
+            for &n in free {
+                per_group[n / npg].push_back(n);
+            }
+            let mut alloc = Vec::with_capacity(count);
+            while alloc.len() < count {
+                let mut took = false;
+                for q in per_group.iter_mut() {
+                    if alloc.len() == count {
+                        break;
+                    }
+                    if let Some(n) = q.pop_front() {
+                        alloc.push(n);
+                        took = true;
+                    }
+                }
+                assert!(took, "free-node accounting is inconsistent");
+            }
+            alloc.sort_unstable();
+            Some(alloc)
+        }
+        PlacementPolicy::TopologyAware => unreachable!("resolved above"),
+    }
+}
+
+/// Network-facing quality metrics of an allocation.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PlacementMetrics {
+    /// Distinct dragonfly groups spanned.
+    pub groups_spanned: usize,
+    /// Aggregate pipe bandwidth directly usable by minimal routing between
+    /// the job's groups.
+    pub minimal_global_bandwidth: Bandwidth,
+    /// Fraction of node pairs within one group (communication with zero
+    /// global hops).
+    pub intra_group_pair_fraction: f64,
+}
+
+/// Compute placement metrics for an allocation.
+pub fn placement_metrics(df: &Dragonfly, allocation: &[usize]) -> PlacementMetrics {
+    assert!(!allocation.is_empty());
+    let npg = df.params().nodes_per_group();
+    let mut group_counts = std::collections::BTreeMap::<usize, usize>::new();
+    for &n in allocation {
+        *group_counts.entry(n / npg).or_insert(0) += 1;
+    }
+    let k = group_counts.len();
+    let pipe = df.params().pipe_capacity();
+    // Minimal routing between the job's k groups can use the k*(k-1) pipes
+    // among them.
+    let minimal_global_bandwidth = pipe * (k * k.saturating_sub(1)) as f64;
+
+    let total = allocation.len() as f64;
+    let total_pairs = total * (total - 1.0);
+    let intra_pairs: f64 = group_counts
+        .values()
+        .map(|&c| (c as f64) * (c as f64 - 1.0))
+        .sum();
+    PlacementMetrics {
+        groups_spanned: k,
+        minimal_global_bandwidth,
+        intra_group_pair_fraction: if total_pairs > 0.0 {
+            intra_pairs / total_pairs
+        } else {
+            1.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frontier_fabric::dragonfly::DragonflyParams;
+
+    fn df() -> Dragonfly {
+        // 8 groups x 8 switches x 4 eps, 4 NICs/node -> 8 nodes/group.
+        Dragonfly::build(DragonflyParams::scaled(8, 8, 4))
+    }
+
+    fn all_free(df: &Dragonfly) -> BTreeSet<usize> {
+        (0..df.params().total_nodes()).collect()
+    }
+
+    #[test]
+    fn pack_fits_small_job_in_one_group() {
+        let df = df();
+        let free = all_free(&df);
+        let a = allocate(&df, &free, 6, PlacementPolicy::Pack).unwrap();
+        let m = placement_metrics(&df, &a);
+        assert_eq!(m.groups_spanned, 1);
+        assert_eq!(m.intra_group_pair_fraction, 1.0);
+    }
+
+    #[test]
+    fn spread_uses_all_groups() {
+        let df = df();
+        let free = all_free(&df);
+        let a = allocate(&df, &free, 16, PlacementPolicy::Spread).unwrap();
+        let m = placement_metrics(&df, &a);
+        assert_eq!(m.groups_spanned, 8);
+    }
+
+    #[test]
+    fn spread_has_more_global_bandwidth_than_pack() {
+        let df = df();
+        let free = all_free(&df);
+        let packed = allocate(&df, &free, 16, PlacementPolicy::Pack).unwrap();
+        let spread = allocate(&df, &free, 16, PlacementPolicy::Spread).unwrap();
+        let mp = placement_metrics(&df, &packed);
+        let ms = placement_metrics(&df, &spread);
+        assert!(
+            ms.minimal_global_bandwidth > mp.minimal_global_bandwidth,
+            "spread {} <= pack {}",
+            ms.minimal_global_bandwidth,
+            mp.minimal_global_bandwidth
+        );
+        assert!(ms.intra_group_pair_fraction < mp.intra_group_pair_fraction);
+    }
+
+    #[test]
+    fn topology_aware_switches_on_group_size() {
+        let df = df();
+        let free = all_free(&df);
+        // 8 nodes/group: a 8-node job packs, a 9-node job spreads.
+        let small = allocate(&df, &free, 8, PlacementPolicy::TopologyAware).unwrap();
+        let large = allocate(&df, &free, 9, PlacementPolicy::TopologyAware).unwrap();
+        assert_eq!(placement_metrics(&df, &small).groups_spanned, 1);
+        assert_eq!(placement_metrics(&df, &large).groups_spanned, 8);
+    }
+
+    #[test]
+    fn allocation_fails_when_insufficient() {
+        let df = df();
+        let free: BTreeSet<usize> = (0..4).collect();
+        assert!(allocate(&df, &free, 5, PlacementPolicy::Pack).is_none());
+    }
+
+    #[test]
+    fn pack_prefers_emptier_job_fragmentation() {
+        let df = df();
+        // Groups 0 and 1 partially used; group 2 fully free.
+        let mut free = all_free(&df);
+        for n in 0..6 {
+            free.remove(&n); // group 0 has 2 free
+        }
+        for n in 8..12 {
+            free.remove(&n); // group 1 has 4 free
+        }
+        let a = allocate(&df, &free, 8, PlacementPolicy::Pack).unwrap();
+        let m = placement_metrics(&df, &a);
+        // Fits entirely in one fully-free group.
+        assert_eq!(m.groups_spanned, 1);
+    }
+
+    #[test]
+    fn allocations_contain_only_free_nodes() {
+        let df = df();
+        let mut free = all_free(&df);
+        free.remove(&3);
+        free.remove(&17);
+        for policy in [PlacementPolicy::Pack, PlacementPolicy::Spread] {
+            let a = allocate(&df, &free, 20, policy).unwrap();
+            for n in &a {
+                assert!(free.contains(n), "{policy:?} allocated busy node {n}");
+            }
+            // No duplicates.
+            let set: BTreeSet<usize> = a.iter().copied().collect();
+            assert_eq!(set.len(), a.len());
+        }
+    }
+}

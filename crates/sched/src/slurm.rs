@@ -1,0 +1,408 @@
+//! The Slurm-like scheduler loop (§3.4.2).
+//!
+//! FIFO with exclusive nodes: a job runs when enough *healthy, free* nodes
+//! exist; placement is topology-aware; every started jobstep receives a
+//! unique VNI; completion returns the nodes through a checknode pass (which
+//! may drain them).
+
+use crate::health::NodeHealth;
+use crate::job::{Job, JobId, JobState};
+use crate::placement::{allocate, PlacementPolicy};
+use crate::vni::VniAllocator;
+use frontier_fabric::dragonfly::Dragonfly;
+use frontier_sim_core::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Events driving the scheduler through the DES.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedEvent {
+    /// A running job's walltime expired.
+    JobEnd(JobId),
+}
+
+/// The scheduler state machine.
+pub struct Scheduler {
+    df: Dragonfly,
+    policy: PlacementPolicy,
+    /// EASY backfill: when the FIFO head is blocked, later jobs may start
+    /// if they cannot delay the head's reservation.
+    backfill: bool,
+    free: BTreeSet<usize>,
+    health: NodeHealth,
+    vnis: VniAllocator,
+    queue: VecDeque<JobId>,
+    jobs: BTreeMap<JobId, Job>,
+    next_id: u64,
+    completed: Vec<JobId>,
+}
+
+impl Scheduler {
+    pub fn new(df: Dragonfly, policy: PlacementPolicy) -> Self {
+        let nodes = df.params().total_nodes();
+        Scheduler {
+            df,
+            policy,
+            backfill: false,
+            free: (0..nodes).collect(),
+            health: NodeHealth::new(nodes),
+            vnis: VniAllocator::slingshot(),
+            queue: VecDeque::new(),
+            jobs: BTreeMap::new(),
+            next_id: 1,
+            completed: Vec::new(),
+        }
+    }
+
+    /// Enable EASY backfill.
+    pub fn with_backfill(mut self) -> Self {
+        self.backfill = true;
+        self
+    }
+
+    pub fn dragonfly(&self) -> &Dragonfly {
+        &self.df
+    }
+
+    pub fn health_mut(&mut self) -> &mut NodeHealth {
+        &mut self.health
+    }
+
+    pub fn job(&self, id: JobId) -> &Job {
+        &self.jobs[&id]
+    }
+
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    pub fn running(&self) -> usize {
+        self.jobs
+            .values()
+            .filter(|j| j.state == JobState::Running)
+            .count()
+    }
+
+    pub fn completed(&self) -> &[JobId] {
+        &self.completed
+    }
+
+    pub fn free_nodes(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Submit a job; returns its id.
+    pub fn submit(&mut self, nodes: usize, walltime: SimTime) -> JobId {
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        self.jobs.insert(id, Job::new(id, nodes, walltime));
+        self.queue.push_back(id);
+        id
+    }
+
+    /// Healthy free nodes.
+    fn candidates(&self) -> BTreeSet<usize> {
+        self.free
+            .iter()
+            .copied()
+            .filter(|&n| self.health.schedulable(n))
+            .collect()
+    }
+
+    /// Start one job now (must have been allocated).
+    fn start(&mut self, id: JobId, alloc: Vec<usize>, vni: u32, sim: &mut Simulator<SchedEvent>) {
+        for &n in &alloc {
+            self.free.remove(&n);
+        }
+        let job = self.jobs.get_mut(&id).expect("starting job exists");
+        job.allocation = alloc;
+        job.vni = Some(vni);
+        job.state = JobState::Running;
+        job.end_time = Some(sim.now() + job.walltime);
+        sim.schedule_in(job.walltime, SchedEvent::JobEnd(id));
+    }
+
+    /// Earliest instant at which at least `needed` healthy nodes will be
+    /// free, given the currently running jobs (the blocked head's
+    /// *reservation* under EASY backfill).
+    fn reservation_time(&self, needed: usize, now: SimTime) -> SimTime {
+        let mut free = self.candidates().len();
+        if free >= needed {
+            return now;
+        }
+        let mut ends: Vec<(SimTime, usize)> = self
+            .jobs
+            .values()
+            .filter(|j| j.state == JobState::Running)
+            .map(|j| (j.end_time.expect("running job has end"), j.nodes))
+            .collect();
+        ends.sort();
+        for (t, nodes) in ends {
+            free += nodes;
+            if free >= needed {
+                return t;
+            }
+        }
+        SimTime::MAX
+    }
+
+    /// Try to start queued jobs (FIFO, plus EASY backfill when enabled),
+    /// scheduling their end events into `sim`. Returns the jobs started.
+    pub fn schedule(&mut self, sim: &mut Simulator<SchedEvent>) -> Vec<JobId> {
+        let mut started = Vec::new();
+        // FIFO pass.
+        while let Some(&id) = self.queue.front() {
+            let candidates = self.candidates();
+            let nodes = self.jobs[&id].nodes;
+            let Some(alloc) = allocate(&self.df, &candidates, nodes, self.policy) else {
+                break; // FIFO head blocked
+            };
+            let Some(vni) = self.vnis.allocate() else {
+                break;
+            };
+            self.queue.pop_front();
+            self.start(id, alloc, vni, sim);
+            started.push(id);
+        }
+        // EASY backfill pass: later jobs may start if they end before the
+        // head's reservation or leave its node count untouched.
+        if self.backfill {
+            if let Some(&head) = self.queue.front() {
+                let head_nodes = self.jobs[&head].nodes;
+                let now = sim.now();
+                let reservation = self.reservation_time(head_nodes, now);
+                let later: Vec<JobId> = self.queue.iter().skip(1).copied().collect();
+                for id in later {
+                    let candidates = self.candidates();
+                    let job = &self.jobs[&id];
+                    let fits_now = candidates.len() >= job.nodes;
+                    if !fits_now {
+                        continue;
+                    }
+                    let ends_before_reservation = now
+                        .checked_add(job.walltime)
+                        .map(|e| e <= reservation)
+                        .unwrap_or(false);
+                    let spares_reservation = candidates.len() - job.nodes >= head_nodes;
+                    if !(ends_before_reservation || spares_reservation) {
+                        continue;
+                    }
+                    let Some(alloc) = allocate(&self.df, &candidates, job.nodes, self.policy)
+                    else {
+                        continue;
+                    };
+                    let Some(vni) = self.vnis.allocate() else {
+                        break;
+                    };
+                    self.queue.retain(|&q| q != id);
+                    self.start(id, alloc, vni, sim);
+                    started.push(id);
+                }
+            }
+        }
+        started
+    }
+
+    /// Handle a job-end event: release nodes (through checknode) and the
+    /// VNI.
+    pub fn handle(&mut self, ev: SchedEvent) {
+        match ev {
+            SchedEvent::JobEnd(id) => {
+                let job = self.jobs.get_mut(&id).expect("ending job exists");
+                assert_eq!(job.state, JobState::Running, "double end for {id:?}");
+                job.state = JobState::Completed;
+                job.end_time = None;
+                if let Some(vni) = job.vni.take() {
+                    self.vnis.release(vni);
+                }
+                for &n in &job.allocation {
+                    self.free.insert(n);
+                }
+                self.completed.push(id);
+            }
+        }
+    }
+
+    /// Drive the full simulation until all submitted jobs complete; returns
+    /// the makespan.
+    pub fn run_to_completion(&mut self) -> SimTime {
+        let mut sim: Simulator<SchedEvent> = Simulator::new();
+        self.schedule(&mut sim);
+        while let Some((_, ev)) = sim.pop() {
+            self.handle(ev);
+            self.schedule(&mut sim);
+        }
+        assert!(self.queue.is_empty(), "jobs left unschedulable");
+        sim.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frontier_fabric::dragonfly::DragonflyParams;
+
+    fn sched() -> Scheduler {
+        // 4 groups x 4 switches x 4 eps, 4 NICs/node -> 4 nodes/group,
+        // 16 nodes total.
+        let df = Dragonfly::build(DragonflyParams::scaled(4, 4, 4));
+        Scheduler::new(df, PlacementPolicy::TopologyAware)
+    }
+
+    #[test]
+    fn single_job_runs_and_completes() {
+        let mut s = sched();
+        let id = s.submit(4, SimTime::from_secs(100));
+        let makespan = s.run_to_completion();
+        assert_eq!(s.job(id).state, JobState::Completed);
+        assert_eq!(makespan, SimTime::from_secs(100));
+        assert_eq!(s.free_nodes(), 16);
+    }
+
+    #[test]
+    fn nodes_are_exclusive() {
+        let mut s = sched();
+        s.submit(10, SimTime::from_secs(50));
+        s.submit(10, SimTime::from_secs(50));
+        let mut sim = Simulator::new();
+        let started = s.schedule(&mut sim);
+        // Only one fits at a time (10 + 10 > 16).
+        assert_eq!(started.len(), 1);
+        assert_eq!(s.running(), 1);
+        assert_eq!(s.queued(), 1);
+    }
+
+    #[test]
+    fn fifo_serializes_conflicting_jobs() {
+        let mut s = sched();
+        s.submit(12, SimTime::from_secs(100));
+        s.submit(12, SimTime::from_secs(100));
+        let makespan = s.run_to_completion();
+        assert_eq!(makespan, SimTime::from_secs(200));
+    }
+
+    #[test]
+    fn parallel_jobs_share_the_machine() {
+        let mut s = sched();
+        s.submit(8, SimTime::from_secs(100));
+        s.submit(8, SimTime::from_secs(100));
+        let makespan = s.run_to_completion();
+        assert_eq!(makespan, SimTime::from_secs(100));
+    }
+
+    #[test]
+    fn each_job_gets_unique_vni() {
+        let mut s = sched();
+        let a = s.submit(4, SimTime::from_secs(10));
+        let b = s.submit(4, SimTime::from_secs(10));
+        let mut sim = Simulator::new();
+        s.schedule(&mut sim);
+        let va = s.job(a).vni.unwrap();
+        let vb = s.job(b).vni.unwrap();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn drained_nodes_are_skipped() {
+        let mut s = sched();
+        for n in 0..8 {
+            s.health_mut().drain(n);
+        }
+        s.submit(10, SimTime::from_secs(10));
+        let mut sim = Simulator::new();
+        let started = s.schedule(&mut sim);
+        // Only 8 healthy nodes remain; the 10-node job cannot start.
+        assert!(started.is_empty());
+        // Repairing lets it through.
+        for n in 0..8 {
+            s.health_mut().repair(n);
+        }
+        let started = s.schedule(&mut sim);
+        assert_eq!(started.len(), 1);
+        let id = started[0];
+        let alloc = s.job(id).allocation.clone();
+        assert_eq!(alloc.len(), 10);
+    }
+
+    #[test]
+    fn easy_backfill_fills_the_hole() {
+        // 16-node machine. Job A takes 12 nodes for 100 s. Job B wants all
+        // 16 (blocked). Job C wants 4 nodes for 50 s: without backfill it
+        // waits behind B; with EASY it runs in the hole because it ends
+        // before B's reservation (t=100).
+        let mk = |backfill: bool| {
+            let df = Dragonfly::build(DragonflyParams::scaled(4, 4, 4));
+            let mut s = Scheduler::new(df, PlacementPolicy::TopologyAware);
+            if backfill {
+                s = s.with_backfill();
+            }
+            s.submit(12, SimTime::from_secs(100)); // A
+            s.submit(16, SimTime::from_secs(100)); // B (blocked head)
+            s.submit(4, SimTime::from_secs(50)); // C (backfill candidate)
+            let mut sim = Simulator::new();
+            let started = s.schedule(&mut sim);
+            (s, started.len())
+        };
+        let (_, fifo_started) = mk(false);
+        assert_eq!(fifo_started, 1, "FIFO starts only A");
+        let (s, easy_started) = mk(true);
+        assert_eq!(easy_started, 2, "EASY starts A and backfills C");
+        assert_eq!(s.running(), 2);
+    }
+
+    #[test]
+    fn backfill_never_delays_the_head() {
+        // Same setup but C runs 200 s > B's reservation at t=100 and would
+        // hold 4 of B's nodes: EASY must NOT start it.
+        let build = || {
+            let df = Dragonfly::build(DragonflyParams::scaled(4, 4, 4));
+            let mut s = Scheduler::new(df, PlacementPolicy::TopologyAware).with_backfill();
+            s.submit(12, SimTime::from_secs(100));
+            s.submit(16, SimTime::from_secs(100));
+            let c = s.submit(4, SimTime::from_secs(200));
+            (s, c)
+        };
+        // At t=0, C must not backfill.
+        let (mut s, c) = build();
+        let mut sim = Simulator::new();
+        s.schedule(&mut sim);
+        assert_eq!(s.job(c).state, JobState::Pending);
+        // And end to end, B still starts at t=100 (C runs after, 200-400).
+        let (mut s, _) = build();
+        let makespan = s.run_to_completion();
+        assert_eq!(makespan, SimTime::from_secs(400));
+    }
+
+    #[test]
+    fn backfill_improves_makespan_on_a_mix() {
+        let mk = |backfill: bool| {
+            let df = Dragonfly::build(DragonflyParams::scaled(4, 4, 4));
+            let mut s = Scheduler::new(df, PlacementPolicy::TopologyAware);
+            if backfill {
+                s = s.with_backfill();
+            }
+            // A leaves a 4-node hole; B blocks; C fits the hole exactly
+            // and ends at A's completion (the head's reservation).
+            s.submit(12, SimTime::from_secs(100));
+            s.submit(16, SimTime::from_secs(100));
+            s.submit(4, SimTime::from_secs(100));
+            s.run_to_completion()
+        };
+        let fifo = mk(false);
+        let easy = mk(true);
+        assert_eq!(fifo, SimTime::from_secs(300));
+        assert_eq!(easy, SimTime::from_secs(200));
+    }
+
+    #[test]
+    fn vni_released_after_completion() {
+        let mut s = sched();
+        s.submit(4, SimTime::from_secs(5));
+        s.run_to_completion();
+        // All VNIs returned.
+        let mut sim = Simulator::new();
+        let id = s.submit(4, SimTime::from_secs(5));
+        s.schedule(&mut sim);
+        assert!(s.job(id).vni.is_some());
+    }
+}

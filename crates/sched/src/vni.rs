@@ -1,0 +1,128 @@
+//! Virtual Network Identifier allocation (§3.4.2).
+//!
+//! "Slurm integrates with the Slingshot software to allocate a unique
+//! Virtual Network Identifier (VNI) per jobstep to support isolation
+//! between applications." VNIs are a finite hardware namespace, so the
+//! allocator recycles released ids.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Allocator over a bounded VNI namespace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VniAllocator {
+    /// First allocatable VNI (low values are reserved for system traffic).
+    base: u32,
+    /// One past the last allocatable VNI.
+    limit: u32,
+    next_fresh: u32,
+    recycled: BTreeSet<u32>,
+    live: BTreeSet<u32>,
+}
+
+impl VniAllocator {
+    /// The Slingshot VNI space is 16 bits; Frontier reserves the bottom of
+    /// the range for system services.
+    pub fn slingshot() -> Self {
+        Self::new(16, 1 << 16)
+    }
+
+    pub fn new(base: u32, limit: u32) -> Self {
+        assert!(base < limit, "empty VNI space");
+        VniAllocator {
+            base,
+            limit,
+            next_fresh: base,
+            recycled: BTreeSet::new(),
+            live: BTreeSet::new(),
+        }
+    }
+
+    /// Allocate a VNI for a new jobstep. Returns `None` if the namespace is
+    /// exhausted.
+    pub fn allocate(&mut self) -> Option<u32> {
+        let vni = if let Some(&v) = self.recycled.iter().next() {
+            self.recycled.remove(&v);
+            v
+        } else if self.next_fresh < self.limit {
+            let v = self.next_fresh;
+            self.next_fresh += 1;
+            v
+        } else {
+            return None;
+        };
+        self.live.insert(vni);
+        Some(vni)
+    }
+
+    /// Release a VNI when its jobstep completes.
+    ///
+    /// # Panics
+    /// Panics if the VNI is not currently live (double release).
+    pub fn release(&mut self, vni: u32) {
+        assert!(self.live.remove(&vni), "release of non-live VNI {vni}");
+        self.recycled.insert(vni);
+    }
+
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    pub fn is_live(&self, vni: u32) -> bool {
+        self.live.contains(&vni)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_are_unique() {
+        let mut a = VniAllocator::new(10, 100);
+        let mut seen = BTreeSet::new();
+        for _ in 0..90 {
+            let v = a.allocate().unwrap();
+            assert!((10..100).contains(&v));
+            assert!(seen.insert(v), "duplicate {v}");
+        }
+        assert!(a.allocate().is_none(), "namespace exhausted");
+    }
+
+    #[test]
+    fn release_recycles() {
+        let mut a = VniAllocator::new(0, 2);
+        let v0 = a.allocate().unwrap();
+        let _v1 = a.allocate().unwrap();
+        assert!(a.allocate().is_none());
+        a.release(v0);
+        assert_eq!(a.allocate(), Some(v0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-live")]
+    fn double_release_panics() {
+        let mut a = VniAllocator::new(0, 4);
+        let v = a.allocate().unwrap();
+        a.release(v);
+        a.release(v);
+    }
+
+    #[test]
+    fn live_tracking() {
+        let mut a = VniAllocator::slingshot();
+        let v = a.allocate().unwrap();
+        assert!(a.is_live(v));
+        assert_eq!(a.live_count(), 1);
+        a.release(v);
+        assert!(!a.is_live(v));
+        assert_eq!(a.live_count(), 0);
+    }
+
+    #[test]
+    fn slingshot_space_reserves_system_range() {
+        let mut a = VniAllocator::slingshot();
+        let v = a.allocate().unwrap();
+        assert!(v >= 16);
+    }
+}

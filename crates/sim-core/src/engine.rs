@@ -1,0 +1,327 @@
+//! Discrete-event simulation engine.
+//!
+//! The engine is a classic calendar-queue DES: events carry a payload `E`,
+//! are scheduled at absolute [`SimTime`] instants, and are delivered in
+//! non-decreasing time order. Ties are broken by insertion sequence number,
+//! which makes event delivery *fully deterministic* — two events scheduled at
+//! the same instant always fire in the order they were scheduled, regardless
+//! of payload or heap internals.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A scheduled event: delivery instant plus a tie-breaking sequence number.
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse to get earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic priority queue of timestamped events.
+///
+/// This is the storage layer beneath [`Simulator`]; it can also be used
+/// directly when a component wants its own private event stream.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `payload` for delivery at `time`.
+    pub fn push(&mut self, time: SimTime, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, payload });
+    }
+
+    /// Remove and return the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|s| (s.time, s.payload))
+    }
+
+    /// The delivery instant of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+}
+
+/// A discrete-event simulator: an [`EventQueue`] plus a monotone clock.
+///
+/// The simulator enforces causality: events cannot be scheduled in the past,
+/// and [`Simulator::now`] never decreases.
+///
+/// # Examples
+///
+/// ```
+/// use frontier_sim_core::prelude::*;
+///
+/// #[derive(Debug, PartialEq)]
+/// enum Ev { Start, Stop }
+///
+/// let mut sim = Simulator::new();
+/// sim.schedule_in(SimTime::from_micros(5), Ev::Stop);
+/// sim.schedule_in(SimTime::from_micros(1), Ev::Start);
+///
+/// let mut order = vec![];
+/// while let Some((t, ev)) = sim.pop() {
+///     order.push((t.as_micros_f64() as u64, ev));
+/// }
+/// assert_eq!(order, vec![(1, Ev::Start), (5, Ev::Stop)]);
+/// ```
+pub struct Simulator<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<E> Default for Simulator<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Simulator<E> {
+    pub fn new() -> Self {
+        Simulator {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Current simulated time: the timestamp of the most recently popped
+    /// event (or zero before any event has fired).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events delivered so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Pending (not yet delivered) events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule an event at an absolute instant.
+    ///
+    /// # Panics
+    /// Panics if `time` is before the current clock (causality violation).
+    pub fn schedule_at(&mut self, time: SimTime, payload: E) {
+        assert!(
+            time >= self.now,
+            "causality violation: scheduling at {time} but now is {}",
+            self.now
+        );
+        self.queue.push(time, payload);
+    }
+
+    /// Schedule an event `delay` after the current clock.
+    pub fn schedule_in(&mut self, delay: SimTime, payload: E) {
+        let t = self
+            .now
+            .checked_add(delay)
+            .expect("simulation clock overflow");
+        self.queue.push(t, payload);
+    }
+
+    /// Deliver the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let (t, e) = self.queue.pop()?;
+        debug_assert!(t >= self.now);
+        self.now = t;
+        self.processed += 1;
+        Some((t, e))
+    }
+
+    /// Timestamp of the next event without delivering it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Run the handler over every event until the queue drains or the
+    /// handler returns `false`. Returns the number of events delivered.
+    pub fn run<F>(&mut self, mut handler: F) -> u64
+    where
+        F: FnMut(&mut Self, SimTime, E) -> bool,
+    {
+        let start = self.processed;
+        while let Some((t, e)) = self.pop() {
+            if !handler(self, t, e) {
+                break;
+            }
+        }
+        self.processed - start
+    }
+
+    /// Run until the clock would pass `deadline`; events after the deadline
+    /// remain queued. Returns the number of events delivered.
+    pub fn run_until<F>(&mut self, deadline: SimTime, mut handler: F) -> u64
+    where
+        F: FnMut(&mut Self, SimTime, E),
+    {
+        let start = self.processed;
+        while let Some(t) = self.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let (t, e) = self.pop().expect("peeked event vanished");
+            handler(self, t, e);
+        }
+        self.processed - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(SimTime::from_nanos(30), "c");
+        sim.schedule_at(SimTime::from_nanos(10), "a");
+        sim.schedule_at(SimTime::from_nanos(20), "b");
+        let mut seen = vec![];
+        while let Some((_, e)) = sim.pop() {
+            seen.push(e);
+        }
+        assert_eq!(seen, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut sim = Simulator::new();
+        let t = SimTime::from_nanos(5);
+        for i in 0..100 {
+            sim.schedule_at(t, i);
+        }
+        let mut seen = vec![];
+        while let Some((_, e)) = sim.pop() {
+            seen.push(e);
+        }
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(SimTime::from_nanos(10), ());
+        sim.schedule_at(SimTime::from_nanos(10), ());
+        sim.schedule_at(SimTime::from_nanos(40), ());
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = sim.pop() {
+            assert!(t >= last);
+            last = t;
+            assert_eq!(sim.now(), t);
+        }
+        assert_eq!(last, SimTime::from_nanos(40));
+    }
+
+    #[test]
+    #[should_panic(expected = "causality violation")]
+    fn cannot_schedule_in_the_past() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(SimTime::from_nanos(10), ());
+        sim.pop();
+        sim.schedule_at(SimTime::from_nanos(5), ());
+    }
+
+    #[test]
+    fn handler_can_schedule_followups() {
+        // A self-perpetuating "clock tick" that stops after 5 ticks.
+        let mut sim = Simulator::new();
+        sim.schedule_at(SimTime::from_micros(1), 1u32);
+        let delivered = sim.run(|sim, _, tick| {
+            if tick < 5 {
+                sim.schedule_in(SimTime::from_micros(1), tick + 1);
+            }
+            true
+        });
+        assert_eq!(delivered, 5);
+        assert_eq!(sim.now(), SimTime::from_micros(5));
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut sim = Simulator::new();
+        for i in 1..=10u64 {
+            sim.schedule_at(SimTime::from_micros(i), i);
+        }
+        let n = sim.run_until(SimTime::from_micros(4), |_, _, _| {});
+        assert_eq!(n, 4);
+        assert_eq!(sim.pending(), 6);
+        assert_eq!(sim.now(), SimTime::from_micros(4));
+    }
+
+    #[test]
+    fn run_handler_early_stop() {
+        let mut sim = Simulator::new();
+        for i in 1..=10u64 {
+            sim.schedule_at(SimTime::from_micros(i), i);
+        }
+        let n = sim.run(|_, _, v| v < 3);
+        assert_eq!(n, 3); // stops after delivering v == 3
+        assert_eq!(sim.pending(), 7);
+    }
+
+    #[test]
+    fn event_queue_standalone() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(SimTime::from_nanos(2), 2);
+        q.push(SimTime::from_nanos(1), 1);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(1)));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(1), 1)));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(2), 2)));
+        assert_eq!(q.pop(), None);
+    }
+}

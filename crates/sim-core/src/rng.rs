@@ -1,0 +1,240 @@
+//! Deterministic, component-keyed random number streams.
+//!
+//! Large simulations need randomness that is (a) reproducible run-to-run and
+//! (b) *independent per component*, so that adding a new random consumer does
+//! not perturb every other component's stream. [`StreamRng`] derives an
+//! independent ChaCha8 stream from a `(experiment seed, component label,
+//! component index)` triple, following the "root seed + derivation path"
+//! pattern used by SST and other large-scale simulators.
+
+use rand::distributions::Distribution;
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A reproducible random stream for one simulated component.
+pub struct StreamRng {
+    inner: ChaCha8Rng,
+}
+
+impl StreamRng {
+    /// Derive the stream for component `(label, index)` of the experiment
+    /// identified by `seed`.
+    ///
+    /// Streams with distinct derivation triples are statistically
+    /// independent; identical triples yield identical streams.
+    pub fn for_component(seed: u64, label: &str, index: u64) -> Self {
+        // FNV-1a over the label keeps the derivation allocation-free and
+        // stable across platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        let mut key = [0u8; 32];
+        key[0..8].copy_from_slice(&seed.to_le_bytes());
+        key[8..16].copy_from_slice(&h.to_le_bytes());
+        key[16..24].copy_from_slice(&index.to_le_bytes());
+        key[24..32].copy_from_slice(&(seed ^ h ^ index).to_le_bytes());
+        StreamRng {
+            inner: ChaCha8Rng::from_seed(key),
+        }
+    }
+
+    /// A stream derived directly from a raw seed (for tests and one-off use).
+    pub fn from_seed(seed: u64) -> Self {
+        Self::for_component(seed, "root", 0)
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    #[inline]
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo < hi);
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index() over empty range");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    #[inline]
+    pub fn int_range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo < hi);
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Exponentially distributed sample with the given rate (mean `1/rate`).
+    ///
+    /// Used by the failure models: component lifetimes under a constant FIT
+    /// rate are exponential.
+    #[inline]
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        debug_assert!(rate > 0.0);
+        let u: f64 = self.uniform();
+        // 1-u is in (0,1], so ln is finite.
+        -(1.0 - u).ln() / rate
+    }
+
+    /// Standard normal sample (Box–Muller).
+    #[inline]
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        debug_assert!(std_dev >= 0.0);
+        let u1: f64 = 1.0 - self.uniform(); // (0, 1]
+        let u2: f64 = self.uniform();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// Log-normal sample parameterized by the *target* median and a
+    /// multiplicative spread sigma (of the underlying normal).
+    #[inline]
+    pub fn log_normal(&mut self, median: f64, sigma: f64) -> f64 {
+        debug_assert!(median > 0.0);
+        median * self.normal(0.0, sigma).exp()
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// A uniformly random derangement-ish pairing used by mpiGraph-style
+    /// benchmarks: returns a permutation of `0..n` with no fixed points
+    /// (no endpoint sends to itself). Uses repeated shuffle-and-fix.
+    pub fn pairing(&mut self, n: usize) -> Vec<usize> {
+        assert!(n >= 2, "pairing needs at least two endpoints");
+        let mut perm: Vec<usize> = (0..n).collect();
+        loop {
+            self.shuffle(&mut perm);
+            if perm.iter().enumerate().all(|(i, &p)| i != p) {
+                return perm;
+            }
+        }
+    }
+
+    /// Sample from any `rand` distribution.
+    #[inline]
+    pub fn sample<D: Distribution<f64>>(&mut self, dist: &D) -> f64 {
+        dist.sample(&mut self.inner)
+    }
+}
+
+impl RngCore for StreamRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproducible() {
+        let mut a = StreamRng::for_component(1, "x", 0);
+        let mut b = StreamRng::for_component(1, "x", 0);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn independent_components_differ() {
+        let a = StreamRng::for_component(1, "x", 0).next_u64();
+        let b = StreamRng::for_component(1, "x", 1).next_u64();
+        let c = StreamRng::for_component(1, "y", 0).next_u64();
+        let d = StreamRng::for_component(2, "x", 0).next_u64();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut rng = StreamRng::from_seed(7);
+        for _ in 0..10_000 {
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut rng = StreamRng::from_seed(11);
+        let rate = 4.0;
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(rate)).sum::<f64>() / n as f64;
+        assert!(
+            (mean - 1.0 / rate).abs() < 0.01,
+            "exponential mean {mean} too far from {}",
+            1.0 / rate
+        );
+    }
+
+    #[test]
+    fn normal_moments_close() {
+        let mut rng = StreamRng::from_seed(13);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05);
+        assert!((var - 4.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn pairing_has_no_fixed_points_and_is_permutation() {
+        let mut rng = StreamRng::from_seed(17);
+        for n in [2usize, 3, 8, 129] {
+            let p = rng.pairing(n);
+            assert_eq!(p.len(), n);
+            let mut seen = vec![false; n];
+            for (i, &t) in p.iter().enumerate() {
+                assert_ne!(i, t, "fixed point at {i} for n={n}");
+                assert!(!seen[t]);
+                seen[t] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset() {
+        let mut rng = StreamRng::from_seed(19);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn log_normal_median_close() {
+        let mut rng = StreamRng::from_seed(23);
+        let n = 20_001;
+        let mut samples: Vec<f64> = (0..n).map(|_| rng.log_normal(5.0, 0.5)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[n / 2];
+        assert!((median - 5.0).abs() < 0.2, "median {median}");
+    }
+}

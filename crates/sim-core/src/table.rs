@@ -1,0 +1,127 @@
+//! Plain-text table rendering for the `repro` harness.
+//!
+//! Every experiment in `frontier-bench` prints its result in the same layout
+//! as the corresponding table of the paper; [`Table`] does the column
+//! alignment.
+
+use std::fmt;
+
+/// A simple aligned text table with a title, a header row, and data rows.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a data row. Panics if the column count does not match the
+    /// header.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Convenience: append a row of displayable items.
+    pub fn row_display<D: fmt::Display>(&mut self, cells: &[D]) -> &mut Self {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&cells)
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Cell accessor for tests: (row, col).
+    pub fn cell(&self, row: usize, col: usize) -> &str {
+        &self.rows[row][col]
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let total: usize = widths.iter().sum::<usize>() + 3 * ncols.saturating_sub(1);
+        writeln!(f, "{}", self.title)?;
+        writeln!(f, "{}", "=".repeat(total.max(self.title.len())))?;
+        for (i, h) in self.header.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{h:<w$}", w = widths[i])?;
+        }
+        writeln!(f)?;
+        writeln!(f, "{}", "-".repeat(total.max(self.title.len())))?;
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " | ")?;
+                }
+                write!(f, "{cell:<w$}", w = widths[i])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("Demo", &["Name", "Value"]);
+        t.row(&["Copy".into(), "176780.4".into()]);
+        t.row(&["Triad".into(), "120702.1".into()]);
+        let s = t.to_string();
+        assert!(s.contains("Demo"));
+        assert!(s.contains("Copy"));
+        assert!(s.contains("176780.4"));
+        // both rows start at the same column
+        let lines: Vec<&str> = s.lines().collect();
+        let copy_line = lines.iter().find(|l| l.contains("Copy")).unwrap();
+        let triad_line = lines.iter().find(|l| l.contains("Triad")).unwrap();
+        assert_eq!(copy_line.find('|').unwrap(), triad_line.find('|').unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_mismatched_rows() {
+        let mut t = Table::new("Demo", &["A", "B"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn cell_access() {
+        let mut t = Table::new("Demo", &["A"]);
+        t.row_display(&[42]);
+        assert_eq!(t.cell(0, 0), "42");
+        assert_eq!(t.num_rows(), 1);
+    }
+}

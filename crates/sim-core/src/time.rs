@@ -1,0 +1,220 @@
+//! Simulated time.
+//!
+//! [`SimTime`] is an absolute instant on the simulation clock, stored as an
+//! integer count of **picoseconds**. Picosecond resolution lets the node
+//! models express sub-nanosecond quantities (a single DDR4-3200 beat is
+//! 312.5 ps) without floating-point drift, while a `u64` still covers
+//! ~213 days of simulated time — far beyond any experiment in this workspace.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An absolute instant of simulated time, in picoseconds since simulation start.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The maximum representable instant.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from picoseconds.
+    #[inline]
+    pub const fn from_picos(ps: u64) -> Self {
+        SimTime(ps)
+    }
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns * 1_000)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000_000)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000_000)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000_000)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest picosecond.
+    ///
+    /// Panics in debug builds if `s` is negative or non-finite.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        debug_assert!(s.is_finite() && s >= 0.0, "invalid duration: {s}");
+        SimTime((s * 1e12).round() as u64)
+    }
+
+    /// Picoseconds since simulation start.
+    #[inline]
+    pub const fn as_picos(self) -> u64 {
+        self.0
+    }
+
+    /// Time as fractional nanoseconds.
+    #[inline]
+    pub fn as_nanos_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Time as fractional microseconds.
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Time as fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// Saturating subtraction: `self - other`, clamped at zero.
+    #[inline]
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+
+    /// Checked addition, `None` on overflow.
+    #[inline]
+    pub fn checked_add(self, other: SimTime) -> Option<SimTime> {
+        self.0.checked_add(other.0).map(SimTime)
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// The earlier of two instants.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps == 0 {
+            write!(f, "0s")
+        } else if ps < 1_000 {
+            write!(f, "{ps}ps")
+        } else if ps < 1_000_000 {
+            write!(f, "{:.3}ns", ps as f64 / 1e3)
+        } else if ps < 1_000_000_000 {
+            write!(f, "{:.3}us", ps as f64 / 1e6)
+        } else if ps < 1_000_000_000_000 {
+            write!(f, "{:.3}ms", ps as f64 / 1e9)
+        } else {
+            write!(f, "{:.3}s", ps as f64 / 1e12)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_round_trips() {
+        assert_eq!(SimTime::from_nanos(1).as_picos(), 1_000);
+        assert_eq!(SimTime::from_micros(1).as_picos(), 1_000_000);
+        assert_eq!(SimTime::from_millis(1).as_picos(), 1_000_000_000);
+        assert_eq!(SimTime::from_secs(1).as_picos(), 1_000_000_000_000);
+    }
+
+    #[test]
+    fn fractional_seconds() {
+        let t = SimTime::from_secs_f64(1.5);
+        assert_eq!(t.as_picos(), 1_500_000_000_000);
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_nanos(10);
+        let b = SimTime::from_nanos(4);
+        assert_eq!((a + b).as_picos(), 14_000);
+        assert_eq!((a - b).as_picos(), 6_000);
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![
+            SimTime::from_nanos(5),
+            SimTime::ZERO,
+            SimTime::from_secs(1),
+            SimTime::from_picos(1),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                SimTime::ZERO,
+                SimTime::from_picos(1),
+                SimTime::from_nanos(5),
+                SimTime::from_secs(1),
+            ]
+        );
+    }
+
+    #[test]
+    fn display_picks_reasonable_units() {
+        assert_eq!(SimTime::ZERO.to_string(), "0s");
+        assert_eq!(SimTime::from_picos(312).to_string(), "312ps");
+        assert_eq!(SimTime::from_nanos(2).to_string(), "2.000ns");
+        assert_eq!(SimTime::from_micros(3).to_string(), "3.000us");
+        assert_eq!(SimTime::from_millis(7).to_string(), "7.000ms");
+        assert_eq!(SimTime::from_secs(2).to_string(), "2.000s");
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        assert_eq!(SimTime::MAX.checked_add(SimTime::from_picos(1)), None);
+        assert!(SimTime::ZERO.checked_add(SimTime::MAX).is_some());
+    }
+}

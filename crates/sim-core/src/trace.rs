@@ -1,0 +1,208 @@
+//! Simulation event tracing.
+//!
+//! A lightweight timeline recorder: components emit `(time, track, label)`
+//! events while a simulation runs; afterwards the trace can be queried,
+//! summarized per track (busy time, event counts), or dumped as a
+//! chrome://tracing-style JSON array for visual inspection. Used by the
+//! examples to explain *where* simulated time went.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One trace record: a point event or a span.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    pub track: String,
+    pub label: String,
+    pub start: SimTime,
+    /// Equal to `start` for point events.
+    pub end: SimTime,
+}
+
+impl TraceEvent {
+    pub fn duration(&self) -> SimTime {
+        self.end - self.start
+    }
+}
+
+/// An append-only trace.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an instantaneous event.
+    pub fn point(&mut self, track: impl Into<String>, label: impl Into<String>, t: SimTime) {
+        self.span(track, label, t, t);
+    }
+
+    /// Record a span. Panics if `end < start`.
+    pub fn span(
+        &mut self,
+        track: impl Into<String>,
+        label: impl Into<String>,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        assert!(end >= start, "span ends before it starts");
+        self.events.push(TraceEvent {
+            track: track.into(),
+            label: label.into(),
+            start,
+            end,
+        });
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events on one track, in recording order.
+    pub fn track<'a>(&'a self, track: &'a str) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events.iter().filter(move |e| e.track == track)
+    }
+
+    /// Total busy (span) time on a track. Overlapping spans are merged so
+    /// concurrent work on one track is not double-counted.
+    pub fn busy_time(&self, track: &str) -> SimTime {
+        let mut spans: Vec<(u64, u64)> = self
+            .track(track)
+            .filter(|e| e.end > e.start)
+            .map(|e| (e.start.as_picos(), e.end.as_picos()))
+            .collect();
+        spans.sort_unstable();
+        let mut total = 0u64;
+        let mut cur: Option<(u64, u64)> = None;
+        for (s, e) in spans {
+            match cur {
+                Some((cs, ce)) if s <= ce => cur = Some((cs, ce.max(e))),
+                Some((cs, ce)) => {
+                    total += ce - cs;
+                    cur = Some((s, e));
+                }
+                None => cur = Some((s, e)),
+            }
+        }
+        if let Some((cs, ce)) = cur {
+            total += ce - cs;
+        }
+        SimTime::from_picos(total)
+    }
+
+    /// The end of the last event across all tracks.
+    pub fn horizon(&self) -> SimTime {
+        self.events
+            .iter()
+            .map(|e| e.end)
+            .fold(SimTime::ZERO, SimTime::max)
+    }
+
+    /// Distinct track names, sorted.
+    pub fn tracks(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.events.iter().map(|e| e.track.clone()).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// chrome://tracing "traceEvents" JSON (complete events, µs units).
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                r#"{{"name":"{}","cat":"sim","ph":"X","ts":{:.3},"dur":{:.3},"pid":0,"tid":"{}"}}"#,
+                e.label,
+                e.start.as_micros_f64(),
+                e.duration().as_micros_f64(),
+                e.track
+            ));
+        }
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_queries() {
+        let mut tr = Trace::new();
+        tr.span(
+            "gcd0",
+            "gemm",
+            SimTime::from_micros(0),
+            SimTime::from_micros(10),
+        );
+        tr.span(
+            "gcd0",
+            "copy",
+            SimTime::from_micros(10),
+            SimTime::from_micros(14),
+        );
+        tr.point("sched", "job-start", SimTime::from_micros(1));
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.track("gcd0").count(), 2);
+        assert_eq!(tr.busy_time("gcd0"), SimTime::from_micros(14));
+        assert_eq!(tr.busy_time("sched"), SimTime::ZERO);
+        assert_eq!(tr.horizon(), SimTime::from_micros(14));
+        assert_eq!(tr.tracks(), vec!["gcd0".to_string(), "sched".to_string()]);
+    }
+
+    #[test]
+    fn overlapping_spans_merge() {
+        let mut tr = Trace::new();
+        tr.span("t", "a", SimTime::from_nanos(0), SimTime::from_nanos(100));
+        tr.span("t", "b", SimTime::from_nanos(50), SimTime::from_nanos(150));
+        tr.span("t", "c", SimTime::from_nanos(300), SimTime::from_nanos(400));
+        assert_eq!(tr.busy_time("t"), SimTime::from_nanos(250));
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let mut tr = Trace::new();
+        tr.span(
+            "nic",
+            "msg",
+            SimTime::from_micros(2),
+            SimTime::from_micros(5),
+        );
+        let j = tr.to_chrome_json();
+        assert!(j.starts_with('[') && j.ends_with(']'));
+        assert!(j.contains(r#""ph":"X""#));
+        assert!(j.contains(r#""tid":"nic""#));
+        assert!(j.contains(r#""dur":3.000"#));
+    }
+
+    #[test]
+    #[should_panic(expected = "ends before")]
+    fn backwards_span_rejected() {
+        let mut tr = Trace::new();
+        tr.span("t", "bad", SimTime::from_nanos(5), SimTime::from_nanos(1));
+    }
+
+    #[test]
+    fn empty_trace() {
+        let tr = Trace::new();
+        assert!(tr.is_empty());
+        assert_eq!(tr.horizon(), SimTime::ZERO);
+        assert_eq!(tr.to_chrome_json(), "[]");
+    }
+}

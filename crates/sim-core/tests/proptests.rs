@@ -1,0 +1,131 @@
+//! Property-based tests for the sim-core substrate.
+
+use frontier_sim_core::prelude::*;
+use frontier_sim_core::stats::{geometric_mean, harmonic_mean};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always come out of the queue in non-decreasing time order,
+    /// regardless of insertion order.
+    #[test]
+    fn event_queue_is_time_ordered(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q: EventQueue<usize> = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_picos(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut n = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            n += 1;
+        }
+        prop_assert_eq!(n, times.len());
+    }
+
+    /// Same-time events preserve insertion order (stability).
+    #[test]
+    fn event_queue_stable_for_ties(n in 1usize..100, t in 0u64..1000) {
+        let mut q: EventQueue<usize> = EventQueue::new();
+        for i in 0..n {
+            q.push(SimTime::from_picos(t), i);
+        }
+        let mut prev = None;
+        while let Some((_, i)) = q.pop() {
+            if let Some(p) = prev {
+                prop_assert!(i > p);
+            }
+            prev = Some(i);
+        }
+    }
+
+    /// OnlineStats::merge is associative with sequential pushes.
+    #[test]
+    fn online_stats_merge_matches_sequential(
+        data in proptest::collection::vec(-1e6f64..1e6, 2..300),
+        split in 0usize..300,
+    ) {
+        let split = split.min(data.len());
+        let mut whole = OnlineStats::new();
+        for &x in &data { whole.push(x); }
+        let (l, r) = data.split_at(split);
+        let mut a = OnlineStats::new();
+        for &x in l { a.push(x); }
+        let mut b = OnlineStats::new();
+        for &x in r { b.push(x); }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!((a.variance() - whole.variance()).abs() <= 1e-5 * (1.0 + whole.variance().abs()));
+    }
+
+    /// Percentiles are monotone in q and bounded by min/max.
+    #[test]
+    fn percentile_monotone(data in proptest::collection::vec(-1e9f64..1e9, 1..200)) {
+        let p0 = percentile(&data, 0.0);
+        let p50 = percentile(&data, 50.0);
+        let p99 = percentile(&data, 99.0);
+        let p100 = percentile(&data, 100.0);
+        prop_assert!(p0 <= p50 && p50 <= p99 && p99 <= p100);
+        let min = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(p0, min);
+        prop_assert_eq!(p100, max);
+    }
+
+    /// Histogram conserves observations: bins + underflow + overflow = count.
+    #[test]
+    fn histogram_conserves_mass(data in proptest::collection::vec(-10.0f64..20.0, 0..500)) {
+        let mut h = Histogram::new(0.0, 10.0, 13);
+        h.record_all(&data);
+        let binned: u64 = h.bins().map(|(_, c)| c).sum();
+        prop_assert_eq!(binned + h.underflow() + h.overflow(), h.count());
+        prop_assert_eq!(h.count(), data.len() as u64);
+    }
+
+    /// Pairings are fixed-point-free permutations for any n >= 2.
+    #[test]
+    fn pairing_is_valid(seed in 0u64..1000, n in 2usize..64) {
+        let mut rng = StreamRng::from_seed(seed);
+        let p = rng.pairing(n);
+        let mut seen = vec![false; n];
+        for (i, &t) in p.iter().enumerate() {
+            prop_assert_ne!(i, t);
+            prop_assert!(!seen[t]);
+            seen[t] = true;
+        }
+    }
+
+    /// AM >= GM >= HM for positive data.
+    #[test]
+    fn mean_inequality(data in proptest::collection::vec(1e-3f64..1e6, 1..50)) {
+        let am = data.iter().sum::<f64>() / data.len() as f64;
+        let gm = geometric_mean(&data);
+        let hm = harmonic_mean(&data);
+        prop_assert!(am >= gm * (1.0 - 1e-9));
+        prop_assert!(gm >= hm * (1.0 - 1e-9));
+    }
+
+    /// Bandwidth::time_for is exact: moving B bytes at R B/s takes B/R secs.
+    #[test]
+    fn bandwidth_time_roundtrip(bytes in 1u64..1_000_000_000, gbps in 1.0f64..1000.0) {
+        let bw = Bandwidth::gb_s(gbps);
+        let t = bw.time_for(Bytes::new(bytes));
+        let expect = bytes as f64 / (gbps * 1e9);
+        prop_assert!((t.as_secs_f64() - expect).abs() <= 2e-12 + expect * 1e-9);
+    }
+
+    /// StreamRng is reproducible: same derivation triple, same stream.
+    #[test]
+    fn rng_streams_reproducible(seed in 0u64..u64::MAX, idx in 0u64..1000) {
+        let a: Vec<u64> = {
+            let mut r = StreamRng::for_component(seed, "t", idx);
+            (0..8).map(|_| rand::RngCore::next_u64(&mut r)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StreamRng::for_component(seed, "t", idx);
+            (0..8).map(|_| rand::RngCore::next_u64(&mut r)).collect()
+        };
+        prop_assert_eq!(a, b);
+    }
+}

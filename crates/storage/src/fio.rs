@@ -1,0 +1,174 @@
+//! fio-like workload driver for the node-local volume (§4.3.1).
+//!
+//! The paper measures the node-local drives "using the industry standard
+//! fio benchmark"; this module generates the same workload shapes
+//! (sequential read/write streams, 4 KiB random reads at depth) and runs
+//! them against the device model through the DES, producing per-job
+//! bandwidth/IOPS results with deterministic run-to-run jitter.
+
+use crate::nodelocal::NodeLocalStorage;
+use frontier_sim_core::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Access pattern of an fio job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FioPattern {
+    SeqRead,
+    SeqWrite,
+    /// 4 KiB random reads.
+    RandRead4k,
+}
+
+/// One fio job description.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FioJob {
+    pub pattern: FioPattern,
+    /// Total bytes transferred (or, for random reads, total ops × 4 KiB).
+    pub total: Bytes,
+    /// Block size of each I/O.
+    pub block: Bytes,
+    pub seed: u64,
+}
+
+impl FioJob {
+    pub fn seq_read(total: Bytes) -> Self {
+        FioJob {
+            pattern: FioPattern::SeqRead,
+            total,
+            block: Bytes::mib(1),
+            seed: 1,
+        }
+    }
+
+    pub fn seq_write(total: Bytes) -> Self {
+        FioJob {
+            pattern: FioPattern::SeqWrite,
+            total,
+            block: Bytes::mib(1),
+            seed: 2,
+        }
+    }
+
+    pub fn rand_read_4k(ops: u64) -> Self {
+        FioJob {
+            pattern: FioPattern::RandRead4k,
+            total: Bytes::kib(4) * ops,
+            block: Bytes::kib(4),
+            seed: 3,
+        }
+    }
+}
+
+/// Result of one fio run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FioResult {
+    pub elapsed: SimTime,
+    pub bandwidth: Bandwidth,
+    pub iops: f64,
+}
+
+/// calibrated: per-run fio measurement jitter (sigma of a log-normal).
+const RUN_SIGMA: f64 = 0.008;
+
+/// Run an fio job against a node-local volume through the DES: I/Os are
+/// issued block-by-block (batched for large jobs) into a queue drained at
+/// the device's measured rate.
+pub fn run(storage: &NodeLocalStorage, job: &FioJob) -> FioResult {
+    assert!(!job.total.is_zero(), "empty fio job");
+    let rate = match job.pattern {
+        FioPattern::SeqRead => storage.measured_read(),
+        FioPattern::SeqWrite => storage.measured_write(),
+        FioPattern::RandRead4k => {
+            // IOPS-limited: bytes/s = iops * 4 KiB.
+            Bandwidth::bytes_per_sec(storage.measured_iops() * 4096.0)
+        }
+    };
+
+    // Drive the transfer through the event queue in up-to-1024-block
+    // batches so multi-terabyte jobs stay cheap while still exercising the
+    // simulator's timing machinery.
+    let block = job.block.as_u64().max(1);
+    let batch = block * 1024;
+    let mut sim: Simulator<u64> = Simulator::new();
+    let mut remaining = job.total.as_u64();
+    sim.schedule_at(SimTime::ZERO, remaining.min(batch));
+    let mut end = SimTime::ZERO;
+    sim.run(|sim, t, bytes| {
+        let dt = rate.time_for(Bytes::new(bytes));
+        end = t + dt;
+        remaining -= bytes;
+        if remaining > 0 {
+            sim.schedule_at(end, remaining.min(batch));
+        }
+        true
+    });
+
+    // Deterministic measurement jitter.
+    let mut rng = StreamRng::for_component(job.seed, "fio", job.pattern as u64);
+    let jitter = rng.log_normal(1.0, RUN_SIGMA);
+    let elapsed = SimTime::from_secs_f64(end.as_secs_f64() * jitter);
+    let secs = elapsed.as_secs_f64();
+    FioResult {
+        elapsed,
+        bandwidth: Bandwidth::bytes_per_sec(job.total.as_f64() / secs),
+        iops: (job.total.as_u64() / job.block.as_u64().max(1)) as f64 / secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn storage() -> NodeLocalStorage {
+        NodeLocalStorage::frontier()
+    }
+
+    #[test]
+    fn seq_read_hits_7_1_gb_s() {
+        let r = run(&storage(), &FioJob::seq_read(Bytes::gib(64)));
+        assert!(
+            (r.bandwidth.as_gb_s() - 7.1).abs() < 0.2,
+            "{}",
+            r.bandwidth.as_gb_s()
+        );
+    }
+
+    #[test]
+    fn seq_write_hits_4_2_gb_s() {
+        let r = run(&storage(), &FioJob::seq_write(Bytes::gib(64)));
+        assert!(
+            (r.bandwidth.as_gb_s() - 4.2).abs() < 0.15,
+            "{}",
+            r.bandwidth.as_gb_s()
+        );
+    }
+
+    #[test]
+    fn rand_read_hits_1_58m_iops() {
+        let r = run(&storage(), &FioJob::rand_read_4k(10_000_000));
+        assert!((r.iops / 1e6 - 1.58).abs() < 0.05, "IOPS {}", r.iops / 1e6);
+    }
+
+    #[test]
+    fn elapsed_scales_with_size() {
+        let s = storage();
+        let a = run(&s, &FioJob::seq_read(Bytes::gib(8)));
+        let b = run(&s, &FioJob::seq_read(Bytes::gib(16)));
+        let ratio = b.elapsed.as_secs_f64() / a.elapsed.as_secs_f64();
+        assert!((ratio - 2.0).abs() < 0.05, "{ratio}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let s = storage();
+        let a = run(&s, &FioJob::seq_write(Bytes::gib(4)));
+        let b = run(&s, &FioJob::seq_write(Bytes::gib(4)));
+        assert_eq!(a.elapsed, b.elapsed);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty fio job")]
+    fn empty_job_rejected() {
+        run(&storage(), &FioJob::seq_read(Bytes::ZERO));
+    }
+}

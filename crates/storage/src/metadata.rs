@@ -1,0 +1,151 @@
+//! Lustre metadata-operation model (§3.3).
+//!
+//! Orion's metadata servers carry NVMe flash "to enable improved metadata
+//! and small I/O performance", and the Data-on-Metadata layout exists so
+//! that "the contents are returned when the file is opened without having
+//! to then contact an object server". This module models the op-rate side
+//! of that design: file creates, stats, and opens — including the
+//! one-round-trip DoM open that skips the OST — under the
+//! file-per-process storms HPC applications generate.
+
+use crate::pfl::PflLayout;
+use frontier_sim_core::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Metadata service configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetadataService {
+    /// Metadata servers.
+    pub mds_count: usize,
+    /// calibrated: creates per second one flash-backed MDS sustains.
+    pub creates_per_mds: f64,
+    /// calibrated: stats per second per MDS (read-only, cheaper).
+    pub stats_per_mds: f64,
+    /// calibrated: opens per second per MDS.
+    pub opens_per_mds: f64,
+    /// Client-observed round-trip to an MDS.
+    pub mds_rtt: SimTime,
+    /// Additional round-trip to an object server when the open must also
+    /// reach an OST (non-DoM files).
+    pub ost_rtt: SimTime,
+    pub layout: PflLayout,
+}
+
+impl Default for MetadataService {
+    fn default() -> Self {
+        Self::orion()
+    }
+}
+
+impl MetadataService {
+    pub fn orion() -> Self {
+        MetadataService {
+            mds_count: 40,
+            creates_per_mds: 50_000.0,
+            stats_per_mds: 200_000.0,
+            opens_per_mds: 120_000.0,
+            mds_rtt: SimTime::from_micros(30),
+            ost_rtt: SimTime::from_micros(40),
+            layout: PflLayout::orion(),
+        }
+    }
+
+    /// Aggregate create rate: 2 M creates/s on Orion.
+    pub fn aggregate_creates(&self) -> f64 {
+        self.creates_per_mds * self.mds_count as f64
+    }
+
+    /// Aggregate stat rate.
+    pub fn aggregate_stats(&self) -> f64 {
+        self.stats_per_mds * self.mds_count as f64
+    }
+
+    /// Time for a file-per-process create storm: `ranks` ranks each
+    /// creating `files_per_rank` files, spread over the MDSes by hash.
+    pub fn create_storm(&self, ranks: u64, files_per_rank: u64) -> SimTime {
+        let total = (ranks * files_per_rank) as f64;
+        SimTime::from_secs_f64(total / self.aggregate_creates())
+    }
+
+    /// Latency to open a file and read its first bytes: DoM-resident files
+    /// are served by the MDS alone; larger files pay the extra OST
+    /// round-trip — the design rationale of §3.3.
+    pub fn open_read_latency(&self, file_size: Bytes) -> SimTime {
+        if self.layout.served_from_metadata(file_size) {
+            self.mds_rtt
+        } else {
+            self.mds_rtt + self.ost_rtt
+        }
+    }
+
+    /// Sustained open rate for a uniform file-size workload.
+    pub fn open_rate(&self, file_size: Bytes) -> f64 {
+        let base = self.opens_per_mds * self.mds_count as f64;
+        if self.layout.served_from_metadata(file_size) {
+            base
+        } else {
+            // Non-DoM opens also consume OST request slots; model the OST
+            // leg as halving the sustainable small-file open throughput.
+            base * 0.5
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dom_open_skips_the_ost() {
+        let m = MetadataService::orion();
+        let small = m.open_read_latency(Bytes::kib(100));
+        let large = m.open_read_latency(Bytes::mib(100));
+        assert_eq!(small, SimTime::from_micros(30));
+        assert_eq!(large, SimTime::from_micros(70));
+        assert!(m.open_rate(Bytes::kib(100)) > m.open_rate(Bytes::mib(100)));
+    }
+
+    #[test]
+    fn create_storm_full_machine() {
+        // File-per-process at 8 PPN on all 9,472 nodes: 75,776 creates.
+        let m = MetadataService::orion();
+        let t = m.create_storm(9_472 * 8, 1);
+        // Sub-second thanks to the flash MDSes.
+        assert!(t.as_secs_f64() < 0.1, "{}", t.as_secs_f64());
+        // But a 100-files-per-rank storm takes seconds — why PFL + few
+        // large files is still the guidance.
+        let heavy = m.create_storm(9_472 * 8, 100);
+        assert!(
+            (1.0..10.0).contains(&heavy.as_secs_f64()),
+            "{}",
+            heavy.as_secs_f64()
+        );
+    }
+
+    #[test]
+    fn storm_time_is_linear() {
+        let m = MetadataService::orion();
+        let a = m.create_storm(1_000, 10);
+        let b = m.create_storm(2_000, 10);
+        assert!((b.as_secs_f64() / a.as_secs_f64() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_rates() {
+        let m = MetadataService::orion();
+        assert!((m.aggregate_creates() - 2e6).abs() < 1.0);
+        assert!((m.aggregate_stats() - 8e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn boundary_is_the_pfl_dom_limit() {
+        let m = MetadataService::orion();
+        assert_eq!(
+            m.open_read_latency(Bytes::kib(256)),
+            m.open_read_latency(Bytes::kib(1))
+        );
+        assert!(
+            m.open_read_latency(Bytes::new(256 * 1024 + 1)) > m.open_read_latency(Bytes::kib(256))
+        );
+    }
+}

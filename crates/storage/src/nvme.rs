@@ -1,0 +1,194 @@
+//! Storage device models and RAID-0 aggregation.
+//!
+//! Devices are described by their *contractual* sequential rates and 4 KiB
+//! random-read IOPS plus measured-efficiency factors; the measured numbers
+//! of §4.3.1 are the product of the two. RAID-0 stripes across members —
+//! exactly what Frontier's node-local pair does "to increase bandwidth and
+//! IOPS".
+
+use frontier_sim_core::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// A block-storage device.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    pub name: String,
+    pub capacity: Bytes,
+    /// Contract sequential read rate.
+    pub seq_read: Bandwidth,
+    /// Contract sequential write rate.
+    pub seq_write: Bandwidth,
+    /// Contract 4 KiB random-read IOPS.
+    pub rand_read_iops: f64,
+    /// calibrated: measured/contract for sequential reads.
+    pub read_efficiency: f64,
+    /// calibrated: measured/contract for sequential writes.
+    pub write_efficiency: f64,
+    /// calibrated: measured/contract for random-read IOPS.
+    pub iops_efficiency: f64,
+}
+
+impl DeviceSpec {
+    /// One of the node-local M.2 NVMe drives. The node contract is 8 GB/s
+    /// read / 4 GB/s write / 1.6 M IOPS over the 2-drive RAID-0; measured
+    /// 7.1 / 4.2 / 1.58 M (§4.3.1).
+    pub fn node_local_m2() -> Self {
+        DeviceSpec {
+            name: "M.2 NVMe (node-local)".into(),
+            capacity: Bytes::new(1_920_000_000_000), // 1.92 TB -> ~3.5 TB/node usable... per drive
+            seq_read: Bandwidth::gb_s(4.0),
+            seq_write: Bandwidth::gb_s(2.0),
+            rand_read_iops: 800_000.0,
+            read_efficiency: 0.8875,
+            write_efficiency: 1.05,
+            iops_efficiency: 0.9875,
+        }
+    }
+
+    /// One of Orion's 3.2 TB enterprise NVMe drives (performance tier).
+    pub fn orion_nvme() -> Self {
+        DeviceSpec {
+            name: "Enterprise NVMe 3.2TB (Orion)".into(),
+            capacity: Bytes::new(3_200_000_000_000),
+            seq_read: Bandwidth::gb_s(6.5),
+            seq_write: Bandwidth::gb_s(3.5),
+            rand_read_iops: 1_000_000.0,
+            read_efficiency: 0.9,
+            write_efficiency: 0.9,
+            iops_efficiency: 0.85,
+        }
+    }
+
+    /// One of Orion's 18 TB hard drives (capacity tier).
+    pub fn orion_hdd() -> Self {
+        DeviceSpec {
+            name: "18TB HDD (Orion)".into(),
+            capacity: Bytes::new(18_000_000_000_000),
+            seq_read: Bandwidth::mb_s(260.0),
+            seq_write: Bandwidth::mb_s(250.0),
+            rand_read_iops: 200.0,
+            read_efficiency: 0.9,
+            write_efficiency: 0.85,
+            iops_efficiency: 0.9,
+        }
+    }
+
+    /// Measured sequential read rate.
+    pub fn measured_read(&self) -> Bandwidth {
+        self.seq_read * self.read_efficiency
+    }
+
+    /// Measured sequential write rate.
+    pub fn measured_write(&self) -> Bandwidth {
+        self.seq_write * self.write_efficiency
+    }
+
+    /// Measured random-read IOPS.
+    pub fn measured_iops(&self) -> f64 {
+        self.rand_read_iops * self.iops_efficiency
+    }
+}
+
+/// A RAID-0 (striping, no redundancy) volume over identical members.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Raid0 {
+    pub member: DeviceSpec,
+    pub members: usize,
+}
+
+impl Raid0 {
+    pub fn new(member: DeviceSpec, members: usize) -> Self {
+        assert!(members >= 1);
+        Raid0 { member, members }
+    }
+
+    /// Usable capacity: the full sum (no redundancy).
+    pub fn capacity(&self) -> Bytes {
+        self.member.capacity * self.members as u64
+    }
+
+    /// Contract sequential read rate: members stripe perfectly.
+    pub fn seq_read(&self) -> Bandwidth {
+        self.member.seq_read * self.members as f64
+    }
+
+    pub fn seq_write(&self) -> Bandwidth {
+        self.member.seq_write * self.members as f64
+    }
+
+    pub fn rand_read_iops(&self) -> f64 {
+        self.member.rand_read_iops * self.members as f64
+    }
+
+    pub fn measured_read(&self) -> Bandwidth {
+        self.member.measured_read() * self.members as f64
+    }
+
+    pub fn measured_write(&self) -> Bandwidth {
+        self.member.measured_write() * self.members as f64
+    }
+
+    pub fn measured_iops(&self) -> f64 {
+        self.member.measured_iops() * self.members as f64
+    }
+
+    /// Time to read `bytes` sequentially at the measured rate.
+    pub fn read_time(&self, bytes: Bytes) -> SimTime {
+        self.measured_read().time_for(bytes)
+    }
+
+    /// Time to write `bytes` sequentially at the measured rate.
+    pub fn write_time(&self, bytes: Bytes) -> SimTime {
+        self.measured_write().time_for(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_local_pair_matches_contract() {
+        let r = Raid0::new(DeviceSpec::node_local_m2(), 2);
+        assert!((r.seq_read().as_gb_s() - 8.0).abs() < 1e-9);
+        assert!((r.seq_write().as_gb_s() - 4.0).abs() < 1e-9);
+        assert!((r.rand_read_iops() - 1_600_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn node_local_pair_matches_measured() {
+        // §4.3.1: measured 7.1 GB/s read, 4.2 GB/s write, 1.58 M IOPS.
+        let r = Raid0::new(DeviceSpec::node_local_m2(), 2);
+        assert!((r.measured_read().as_gb_s() - 7.1).abs() < 0.05);
+        assert!((r.measured_write().as_gb_s() - 4.2).abs() < 0.05);
+        assert!((r.measured_iops() - 1_580_000.0).abs() < 1_000.0);
+    }
+
+    #[test]
+    fn raid0_capacity_is_sum() {
+        let r = Raid0::new(DeviceSpec::node_local_m2(), 2);
+        assert!((r.capacity().as_tb() - 3.84).abs() < 0.01);
+    }
+
+    #[test]
+    fn read_write_times() {
+        let r = Raid0::new(DeviceSpec::node_local_m2(), 2);
+        let t = r.read_time(Bytes::gb(71));
+        assert!((t.as_secs_f64() - 10.0).abs() < 0.05);
+        assert!(r.write_time(Bytes::gb(42)) > r.read_time(Bytes::gb(42)));
+    }
+
+    #[test]
+    fn hdd_is_slower_than_nvme() {
+        let hdd = DeviceSpec::orion_hdd();
+        let nvme = DeviceSpec::orion_nvme();
+        assert!(nvme.measured_read().as_gb_s() > 20.0 * hdd.measured_read().as_gb_s());
+        assert!(nvme.measured_iops() > 1000.0 * hdd.measured_iops());
+    }
+
+    #[test]
+    #[should_panic]
+    fn raid0_needs_members() {
+        Raid0::new(DeviceSpec::node_local_m2(), 0);
+    }
+}

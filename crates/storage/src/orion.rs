@@ -1,0 +1,305 @@
+//! The Orion center-wide Lustre file system (§3.3, §4.3.2, Table 2).
+//!
+//! Orion aggregates 225 SSUs into an NVMe *performance* tier and an HDD
+//! *capacity* tier under one POSIX namespace, plus flash metadata servers
+//! that also hold the first 256 KiB of every file (Data-on-Metadata). The
+//! tier a write lands on is decided by the Progressive File Layout
+//! ([`crate::pfl`]), since the auto-migration software was not production
+//! ready at the time of the paper.
+
+use crate::pfl::PflLayout;
+use crate::ssu::Ssu;
+use frontier_sim_core::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Orion's three storage tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OrionTier {
+    /// Flash metadata servers (DoM + metadata + small I/O).
+    Metadata,
+    /// NVMe performance tier.
+    Performance,
+    /// Hard-disk capacity tier.
+    Capacity,
+}
+
+/// Whole-file-system configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OrionConfig {
+    pub ssus: usize,
+    pub ssu: Ssu,
+    pub layout: PflLayout,
+    /// Metadata servers with NVMe flash.
+    pub mds_count: usize,
+    /// Usable flash per MDS.
+    pub mds_capacity: Bytes,
+    /// Aggregate metadata-tier streaming rates (Table 2: 0.8 / 0.4 TB/s).
+    pub mds_read: Bandwidth,
+    pub mds_write: Bandwidth,
+    /// calibrated: measured/theoretical per tier and direction (§4.3.2:
+    /// flash tier measured 11.7 read / 9.4 write vs 10.0 contract;
+    /// capacity tier 4.9 / 4.3 vs 5.5 / 4.6).
+    pub perf_read_measured_factor: f64,
+    pub perf_write_measured_factor: f64,
+    pub cap_read_measured_factor: f64,
+    pub cap_write_measured_factor: f64,
+}
+
+impl Default for OrionConfig {
+    fn default() -> Self {
+        Self::frontier()
+    }
+}
+
+impl OrionConfig {
+    pub fn frontier() -> Self {
+        OrionConfig {
+            ssus: 225,
+            ssu: Ssu::orion(),
+            layout: PflLayout::orion(),
+            mds_count: 40,
+            mds_capacity: Bytes::new(250_000_000_000_000), // 250 TB
+            mds_read: Bandwidth::tb_s(0.8),
+            mds_write: Bandwidth::tb_s(0.4),
+            perf_read_measured_factor: 1.17,
+            perf_write_measured_factor: 0.94,
+            cap_read_measured_factor: 0.89,
+            cap_write_measured_factor: 0.935,
+        }
+    }
+}
+
+/// The assembled file system.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Orion {
+    cfg: OrionConfig,
+}
+
+impl Default for Orion {
+    fn default() -> Self {
+        Self::frontier()
+    }
+}
+
+impl Orion {
+    pub fn frontier() -> Self {
+        Orion {
+            cfg: OrionConfig::frontier(),
+        }
+    }
+
+    pub fn new(cfg: OrionConfig) -> Self {
+        Orion { cfg }
+    }
+
+    pub fn config(&self) -> &OrionConfig {
+        &self.cfg
+    }
+
+    pub fn layout(&self) -> &PflLayout {
+        &self.cfg.layout
+    }
+
+    /// Usable capacity of a tier (Table 2's capacity column).
+    pub fn capacity(&self, tier: OrionTier) -> Bytes {
+        match tier {
+            OrionTier::Metadata => self.cfg.mds_capacity * self.cfg.mds_count as u64,
+            OrionTier::Performance => {
+                Bytes::new(self.cfg.ssu.flash_usable().as_u64() * self.cfg.ssus as u64)
+            }
+            OrionTier::Capacity => {
+                Bytes::new(self.cfg.ssu.disk_usable().as_u64() * self.cfg.ssus as u64)
+            }
+        }
+    }
+
+    /// Theoretical aggregate read rate of a tier (Table 2's read column).
+    pub fn theoretical_read(&self, tier: OrionTier) -> Bandwidth {
+        match tier {
+            OrionTier::Metadata => self.cfg.mds_read,
+            OrionTier::Performance => self.cfg.ssu.flash_read() * self.cfg.ssus as f64,
+            OrionTier::Capacity => self.cfg.ssu.disk_read() * self.cfg.ssus as f64,
+        }
+    }
+
+    /// Theoretical aggregate write rate of a tier (Table 2's write column).
+    pub fn theoretical_write(&self, tier: OrionTier) -> Bandwidth {
+        match tier {
+            OrionTier::Metadata => self.cfg.mds_write,
+            OrionTier::Performance => self.cfg.ssu.flash_write() * self.cfg.ssus as f64,
+            OrionTier::Capacity => self.cfg.ssu.disk_write() * self.cfg.ssus as f64,
+        }
+    }
+
+    /// Measured aggregate read rate (§4.3.2).
+    pub fn measured_read(&self, tier: OrionTier) -> Bandwidth {
+        let f = match tier {
+            OrionTier::Metadata => 1.0,
+            OrionTier::Performance => self.cfg.perf_read_measured_factor,
+            OrionTier::Capacity => self.cfg.cap_read_measured_factor,
+        };
+        self.theoretical_read(tier) * f
+    }
+
+    /// Measured aggregate write rate (§4.3.2).
+    pub fn measured_write(&self, tier: OrionTier) -> Bandwidth {
+        let f = match tier {
+            OrionTier::Metadata => 1.0,
+            OrionTier::Performance => self.cfg.perf_write_measured_factor,
+            OrionTier::Capacity => self.cfg.cap_write_measured_factor,
+        };
+        self.theoretical_write(tier) * f
+    }
+
+    /// Effective aggregate write bandwidth for a stream of files of uniform
+    /// `file_size`: bytes split across tiers by the PFL, each tier drains at
+    /// its measured rate, and the slowest *loaded* tier paces the stream.
+    pub fn file_write_bandwidth(&self, file_size: Bytes) -> Bandwidth {
+        assert!(!file_size.is_zero(), "empty file");
+        let split = self.cfg.layout.split(file_size);
+        let total = split.total().as_f64();
+        let mut time = 0.0f64;
+        for (bytes, tier) in [
+            (split.dom, OrionTier::Metadata),
+            (split.performance, OrionTier::Performance),
+            (split.capacity, OrionTier::Capacity),
+        ] {
+            if !bytes.is_zero() {
+                // Tiers absorb their shares concurrently; the stream is
+                // paced by the tier that takes longest per file.
+                time = time.max(bytes.as_f64() / self.measured_write(tier).as_bytes_per_sec());
+            }
+        }
+        Bandwidth::bytes_per_sec(total / time)
+    }
+
+    /// Effective aggregate read bandwidth for a stream of files of uniform
+    /// `file_size` (the restore path): the PFL split drains each tier at
+    /// its measured read rate, paced by the slowest loaded tier.
+    pub fn file_read_bandwidth(&self, file_size: Bytes) -> Bandwidth {
+        assert!(!file_size.is_zero(), "empty file");
+        let split = self.cfg.layout.split(file_size);
+        let total = split.total().as_f64();
+        let mut time = 0.0f64;
+        for (bytes, tier) in [
+            (split.dom, OrionTier::Metadata),
+            (split.performance, OrionTier::Performance),
+            (split.capacity, OrionTier::Capacity),
+        ] {
+            if !bytes.is_zero() {
+                time = time.max(bytes.as_f64() / self.measured_read(tier).as_bytes_per_sec());
+            }
+        }
+        Bandwidth::bytes_per_sec(total / time)
+    }
+
+    /// Time to ingest `total` bytes of checkpoint data written as large
+    /// files (the §4.3.2 scenario: ~700 TiB of HBM in ~180 s).
+    pub fn checkpoint_ingest_time(&self, total: Bytes, file_size: Bytes) -> SimTime {
+        self.file_write_bandwidth(file_size).time_for(total)
+    }
+
+    /// Time to read a checkpoint back after an interrupt (the restore leg
+    /// of the resilience story).
+    pub fn checkpoint_restore_time(&self, total: Bytes, file_size: Bytes) -> SimTime {
+        self.file_read_bandwidth(file_size).time_for(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn orion() -> Orion {
+        Orion::frontier()
+    }
+
+    #[test]
+    fn table2_capacities() {
+        let o = orion();
+        assert!((o.capacity(OrionTier::Metadata).as_pb() - 10.0).abs() < 0.1);
+        assert!((o.capacity(OrionTier::Performance).as_pb() - 11.5).abs() < 0.1);
+        assert!((o.capacity(OrionTier::Capacity).as_pb() - 679.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn table2_theoretical_rates() {
+        let o = orion();
+        assert!((o.theoretical_read(OrionTier::Metadata).as_tb_s() - 0.8).abs() < 1e-9);
+        assert!((o.theoretical_write(OrionTier::Metadata).as_tb_s() - 0.4).abs() < 1e-9);
+        assert!((o.theoretical_read(OrionTier::Performance).as_tb_s() - 10.0).abs() < 0.2);
+        assert!((o.theoretical_write(OrionTier::Performance).as_tb_s() - 10.0).abs() < 0.2);
+        assert!((o.theoretical_read(OrionTier::Capacity).as_tb_s() - 5.5).abs() < 0.1);
+        assert!((o.theoretical_write(OrionTier::Capacity).as_tb_s() - 4.6).abs() < 0.1);
+    }
+
+    #[test]
+    fn measured_rates_match_section_432() {
+        let o = orion();
+        // "up to 11.7 TB/s for reads and up to 9.4 TB/s for writes if the
+        //  application has small files that fit within the Flash tier.
+        //  Large files will see 4.9 TB/s and 4.3 TB/s."
+        assert!((o.measured_read(OrionTier::Performance).as_tb_s() - 11.7).abs() < 0.3);
+        assert!((o.measured_write(OrionTier::Performance).as_tb_s() - 9.4).abs() < 0.3);
+        assert!((o.measured_read(OrionTier::Capacity).as_tb_s() - 4.9).abs() < 0.15);
+        assert!((o.measured_write(OrionTier::Capacity).as_tb_s() - 4.3).abs() < 0.15);
+    }
+
+    #[test]
+    fn small_files_write_at_flash_speed() {
+        let o = orion();
+        let bw = o.file_write_bandwidth(Bytes::mib(8));
+        // Mostly flash tier (some DoM), so near the flash measured rate.
+        assert!(bw.as_tb_s() > 7.0, "{}", bw.as_tb_s());
+    }
+
+    #[test]
+    fn large_files_write_at_capacity_speed() {
+        let o = orion();
+        let bw = o.file_write_bandwidth(Bytes::gib(8));
+        assert!((bw.as_tb_s() - 4.3).abs() < 0.2, "{}", bw.as_tb_s());
+    }
+
+    #[test]
+    fn checkpoint_ingest_near_180s() {
+        // §4.3.2: Orion ingests ~700 TiB (~776 TB) in ~180 s.
+        let o = orion();
+        let t = o.checkpoint_ingest_time(Bytes::tib(700), Bytes::gib(8));
+        assert!(
+            (160.0..200.0).contains(&t.as_secs_f64()),
+            "ingest took {}s",
+            t.as_secs_f64()
+        );
+    }
+
+    #[test]
+    fn restore_is_faster_than_ingest_for_large_files() {
+        // Capacity-tier reads (4.9 TB/s) outrun writes (4.3 TB/s), so a
+        // restart reads the checkpoint back faster than it was written.
+        let o = orion();
+        let ingest = o.checkpoint_ingest_time(Bytes::tib(700), Bytes::gib(8));
+        let restore = o.checkpoint_restore_time(Bytes::tib(700), Bytes::gib(8));
+        assert!(restore < ingest, "{restore:?} vs {ingest:?}");
+        assert!(
+            (140.0..175.0).contains(&restore.as_secs_f64()),
+            "{}",
+            restore.as_secs_f64()
+        );
+    }
+
+    #[test]
+    fn flash_reads_beat_flash_writes() {
+        let o = orion();
+        let r = o.file_read_bandwidth(Bytes::mib(8));
+        let w = o.file_write_bandwidth(Bytes::mib(8));
+        assert!(r > w);
+    }
+
+    #[test]
+    fn tiny_files_are_metadata_bound() {
+        let o = orion();
+        let bw = o.file_write_bandwidth(Bytes::kib(64));
+        // All DoM -> metadata write rate.
+        assert!((bw.as_tb_s() - 0.4).abs() < 0.01);
+    }
+}

@@ -1,0 +1,143 @@
+//! Lustre Progressive File Layout (PFL) routing (§3.3).
+//!
+//! Orion uses a self-extending layout: the first 256 KiB of every file lands
+//! on the flash-based metadata servers via Data-on-Metadata (DoM) — so tiny
+//! files are returned at `open()` without touching an object server — the
+//! range up to 8 MiB lands on the NVMe performance tier, and everything
+//! beyond on the hard-disk capacity tier.
+
+use frontier_sim_core::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// The tier boundaries of a progressive layout.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PflLayout {
+    /// Bytes of each file stored on the metadata servers (DoM).
+    pub dom_limit: Bytes,
+    /// File offset up to which data lands on the performance tier.
+    pub perf_limit: Bytes,
+}
+
+impl Default for PflLayout {
+    fn default() -> Self {
+        Self::orion()
+    }
+}
+
+/// How one file's bytes split across the tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TierSplit {
+    pub dom: Bytes,
+    pub performance: Bytes,
+    pub capacity: Bytes,
+}
+
+impl TierSplit {
+    pub fn total(&self) -> Bytes {
+        self.dom + self.performance + self.capacity
+    }
+}
+
+impl PflLayout {
+    /// Orion's production layout: 256 KiB DoM, 8 MiB performance boundary.
+    pub fn orion() -> Self {
+        PflLayout {
+            dom_limit: Bytes::kib(256),
+            perf_limit: Bytes::mib(8),
+        }
+    }
+
+    /// Custom boundaries (for the PFL ablation bench).
+    pub fn with_limits(dom: Bytes, perf: Bytes) -> Self {
+        assert!(
+            dom <= perf,
+            "DoM boundary must not exceed the perf boundary"
+        );
+        PflLayout {
+            dom_limit: dom,
+            perf_limit: perf,
+        }
+    }
+
+    /// Split a file of `size` bytes across the tiers.
+    pub fn split(&self, size: Bytes) -> TierSplit {
+        let dom = size.min(self.dom_limit);
+        let performance = size.min(self.perf_limit).saturating_sub(self.dom_limit);
+        let capacity = size.saturating_sub(self.perf_limit);
+        TierSplit {
+            dom,
+            performance,
+            capacity,
+        }
+    }
+
+    /// True if a file of `size` is served entirely at `open()` (fits in
+    /// DoM) — the "really small files" case the layout is designed for.
+    pub fn served_from_metadata(&self, size: Bytes) -> bool {
+        size <= self.dom_limit
+    }
+
+    /// True if a file avoids the capacity (hard-disk) tier entirely.
+    pub fn fits_in_flash(&self, size: Bytes) -> bool {
+        size <= self.perf_limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_file_is_all_dom() {
+        let l = PflLayout::orion();
+        let s = l.split(Bytes::kib(100));
+        assert_eq!(s.dom, Bytes::kib(100));
+        assert_eq!(s.performance, Bytes::ZERO);
+        assert_eq!(s.capacity, Bytes::ZERO);
+        assert!(l.served_from_metadata(Bytes::kib(100)));
+    }
+
+    #[test]
+    fn medium_file_spans_dom_and_flash() {
+        let l = PflLayout::orion();
+        let s = l.split(Bytes::mib(1));
+        assert_eq!(s.dom, Bytes::kib(256));
+        assert_eq!(s.performance, Bytes::kib(1024 - 256));
+        assert_eq!(s.capacity, Bytes::ZERO);
+        assert!(l.fits_in_flash(Bytes::mib(1)));
+    }
+
+    #[test]
+    fn large_file_reaches_capacity_tier() {
+        let l = PflLayout::orion();
+        let s = l.split(Bytes::gib(1));
+        assert_eq!(s.dom, Bytes::kib(256));
+        assert_eq!(s.performance, Bytes::mib(8) - Bytes::kib(256));
+        assert_eq!(s.capacity, Bytes::gib(1) - Bytes::mib(8));
+        assert!(!l.fits_in_flash(Bytes::gib(1)));
+    }
+
+    #[test]
+    fn split_partitions_exactly() {
+        let l = PflLayout::orion();
+        for size in [0u64, 1, 262_144, 262_145, 8 << 20, (8 << 20) + 1, 1 << 34] {
+            let s = l.split(Bytes::new(size));
+            assert_eq!(s.total().as_u64(), size, "size {size}");
+        }
+    }
+
+    #[test]
+    fn boundary_values_exact() {
+        let l = PflLayout::orion();
+        assert!(l.served_from_metadata(Bytes::kib(256)));
+        assert!(!l.served_from_metadata(Bytes::new(262_145)));
+        assert!(l.fits_in_flash(Bytes::mib(8)));
+        assert!(!l.fits_in_flash(Bytes::new((8 << 20) + 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "boundary")]
+    fn invalid_layout_rejected() {
+        PflLayout::with_limits(Bytes::mib(16), Bytes::mib(8));
+    }
+}

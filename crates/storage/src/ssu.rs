@@ -1,0 +1,169 @@
+//! Orion's Scalable Storage Unit (§3.3).
+//!
+//! Each of Orion's 225 SSUs has two controllers with two Slingshot (Cassini)
+//! NICs each, 24 × 3.2 TB NVMe drives, and 212 × 18 TB hard drives. The
+//! NVMe and HDD sets form two distinct groups of ZFS dRAID-2 vdevs whose
+//! usable fractions — after parity, spares, and metadata — are calibrated to
+//! Table 2's tier capacities (11.5 PB flash / 679 PB disk over 225 SSUs).
+
+use crate::nvme::DeviceSpec;
+use frontier_sim_core::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One Scalable Storage Unit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ssu {
+    pub nvme_drives: usize,
+    pub hdd_drives: usize,
+    pub nvme: DeviceSpec,
+    pub hdd: DeviceSpec,
+    /// NICs across both controllers (4 × 25 GB/s).
+    pub nics: usize,
+    pub nic_rate: Bandwidth,
+    /// calibrated: usable fraction of raw NVMe capacity after dRAID-2
+    /// parity/spares (Table 2: 11.5 PB / 225 / 76.8 TB).
+    pub nvme_usable_fraction: f64,
+    /// calibrated: usable fraction of raw HDD capacity after dRAID-2
+    /// (Table 2: 679 PB / 225 / 3,816 TB ≈ 0.79, consistent with 8+2
+    /// parity groups).
+    pub hdd_usable_fraction: f64,
+    /// calibrated: fraction of summed drive streaming rate the dRAID/ZFS
+    /// stack sustains end-to-end for each tier and direction.
+    pub flash_read_fraction: f64,
+    pub flash_write_fraction: f64,
+    pub disk_read_fraction: f64,
+    pub disk_write_fraction: f64,
+}
+
+impl Default for Ssu {
+    fn default() -> Self {
+        Self::orion()
+    }
+}
+
+impl Ssu {
+    /// The Orion production SSU.
+    pub fn orion() -> Self {
+        Ssu {
+            nvme_drives: 24,
+            hdd_drives: 212,
+            nvme: DeviceSpec::orion_nvme(),
+            hdd: DeviceSpec::orion_hdd(),
+            nics: 4,
+            nic_rate: Bandwidth::gbit_s(200.0),
+            nvme_usable_fraction: 0.666,
+            hdd_usable_fraction: 0.791,
+            flash_read_fraction: 0.285,
+            flash_write_fraction: 0.53,
+            disk_read_fraction: 0.443,
+            disk_write_fraction: 0.386,
+        }
+    }
+
+    /// Raw flash capacity: 76.8 TB.
+    pub fn flash_raw(&self) -> Bytes {
+        self.nvme.capacity * self.nvme_drives as u64
+    }
+
+    /// Usable flash capacity after dRAID-2.
+    pub fn flash_usable(&self) -> Bytes {
+        Bytes::new((self.flash_raw().as_f64() * self.nvme_usable_fraction) as u64)
+    }
+
+    /// Raw disk capacity: 3,816 TB.
+    pub fn disk_raw(&self) -> Bytes {
+        self.hdd.capacity * self.hdd_drives as u64
+    }
+
+    /// Usable disk capacity after dRAID-2.
+    pub fn disk_usable(&self) -> Bytes {
+        Bytes::new((self.disk_raw().as_f64() * self.hdd_usable_fraction) as u64)
+    }
+
+    /// Network ceiling of the SSU: 4 NICs × 25 GB/s = 100 GB/s.
+    pub fn network_ceiling(&self) -> Bandwidth {
+        self.nic_rate * self.nics as f64
+    }
+
+    /// Theoretical flash-tier streaming read rate of the SSU, clamped by the
+    /// network.
+    pub fn flash_read(&self) -> Bandwidth {
+        let drives = self.nvme.seq_read * self.nvme_drives as f64 * self.flash_read_fraction;
+        drives.min(self.network_ceiling())
+    }
+
+    pub fn flash_write(&self) -> Bandwidth {
+        let drives = self.nvme.seq_write * self.nvme_drives as f64 * self.flash_write_fraction;
+        drives.min(self.network_ceiling())
+    }
+
+    pub fn disk_read(&self) -> Bandwidth {
+        let drives = self.hdd.seq_read * self.hdd_drives as f64 * self.disk_read_fraction;
+        drives.min(self.network_ceiling())
+    }
+
+    pub fn disk_write(&self) -> Bandwidth {
+        let drives = self.hdd.seq_write * self.hdd_drives as f64 * self.disk_write_fraction;
+        drives.min(self.network_ceiling())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_capacities() {
+        let s = Ssu::orion();
+        assert!((s.flash_raw().as_tb() - 76.8).abs() < 0.01);
+        assert!((s.disk_raw().as_tb() - 3_816.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn usable_capacity_matches_table2_per_ssu() {
+        let s = Ssu::orion();
+        // 11.5 PB / 225 = 51.1 TB flash; 679 PB / 225 = 3,017.8 TB disk.
+        assert!((s.flash_usable().as_tb() - 51.1).abs() < 0.3);
+        assert!((s.disk_usable().as_tb() - 3_018.0).abs() < 15.0);
+    }
+
+    #[test]
+    fn tier_rates_match_table2_per_ssu() {
+        let s = Ssu::orion();
+        // Table 2 / 225 SSUs: perf 44.4/44.4 GB/s, capacity 24.4/20.4 GB/s.
+        assert!(
+            (s.flash_read().as_gb_s() - 44.4).abs() < 1.0,
+            "{}",
+            s.flash_read().as_gb_s()
+        );
+        assert!(
+            (s.flash_write().as_gb_s() - 44.4).abs() < 1.0,
+            "{}",
+            s.flash_write().as_gb_s()
+        );
+        assert!(
+            (s.disk_read().as_gb_s() - 24.4).abs() < 1.0,
+            "{}",
+            s.disk_read().as_gb_s()
+        );
+        assert!(
+            (s.disk_write().as_gb_s() - 20.4).abs() < 1.0,
+            "{}",
+            s.disk_write().as_gb_s()
+        );
+    }
+
+    #[test]
+    fn network_never_exceeded() {
+        let s = Ssu::orion();
+        let ceil = s.network_ceiling().as_gb_s();
+        for bw in [
+            s.flash_read(),
+            s.flash_write(),
+            s.disk_read(),
+            s.disk_write(),
+        ] {
+            assert!(bw.as_gb_s() <= ceil + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Checkpoint-workload analysis (§4.3.2).
+//!
+//! The paper sizes Orion against the historical observation that "90 % of
+//! applications write 15 % or less of the GPU memory per hour" and shows
+//! the consequence: with 4.6 PiB of HBM, Orion ingests the resulting
+//! ~700 TiB in ~180 s, so "most apps will spend less than 5 % of walltime
+//! per hour doing I/O".
+
+use crate::orion::Orion;
+use frontier_sim_core::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Result of analyzing one checkpoint cadence against Orion.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CheckpointAnalysis {
+    /// Bytes written per checkpoint.
+    pub bytes: Bytes,
+    /// Time to drain one checkpoint.
+    pub ingest_time: SimTime,
+    /// Fraction of walltime spent on I/O at the given cadence.
+    pub io_fraction: f64,
+}
+
+/// Analyze a job that checkpoints `hbm_fraction` of `hbm_capacity` every
+/// `period` of walltime, writing `file_size`-sized files.
+pub fn analyze_checkpoint(
+    orion: &Orion,
+    hbm_capacity: Bytes,
+    hbm_fraction: f64,
+    period: SimTime,
+    file_size: Bytes,
+) -> CheckpointAnalysis {
+    assert!((0.0..=1.0).contains(&hbm_fraction));
+    assert!(period > SimTime::ZERO);
+    let bytes = Bytes::new((hbm_capacity.as_f64() * hbm_fraction) as u64);
+    let ingest_time = orion.checkpoint_ingest_time(bytes, file_size);
+    CheckpointAnalysis {
+        bytes,
+        ingest_time,
+        io_fraction: ingest_time.as_secs_f64() / period.as_secs_f64(),
+    }
+}
+
+/// The paper's canonical case: the full machine's 4.6 PiB of HBM, 15 %
+/// written hourly as large files.
+pub fn frontier_hourly_checkpoint(orion: &Orion) -> CheckpointAnalysis {
+    analyze_checkpoint(
+        orion,
+        Bytes::gib(512) * 9_472,
+        0.15,
+        SimTime::from_secs(3600),
+        Bytes::gib(8),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hourly_checkpoint_is_under_5_percent() {
+        let o = Orion::frontier();
+        let a = frontier_hourly_checkpoint(&o);
+        // ~700 TiB...
+        assert!(
+            (a.bytes.as_tib() - 710.0).abs() < 15.0,
+            "{}",
+            a.bytes.as_tib()
+        );
+        // ...in ~180 s...
+        assert!(
+            (160.0..200.0).contains(&a.ingest_time.as_secs_f64()),
+            "{}",
+            a.ingest_time.as_secs_f64()
+        );
+        // ...which is ~5 % of the hour at the 90th-percentile write volume,
+        // so apps writing *less* than 15 % stay under 5 %.
+        assert!(a.io_fraction < 0.052, "{}", a.io_fraction);
+        let lighter = analyze_checkpoint(
+            &o,
+            Bytes::gib(512) * 9_472,
+            0.10,
+            SimTime::from_secs(3600),
+            Bytes::gib(8),
+        );
+        assert!(lighter.io_fraction < 0.05, "{}", lighter.io_fraction);
+    }
+
+    #[test]
+    fn io_fraction_scales_with_cadence() {
+        let o = Orion::frontier();
+        let hourly = analyze_checkpoint(
+            &o,
+            Bytes::tib(100),
+            0.5,
+            SimTime::from_secs(3600),
+            Bytes::gib(8),
+        );
+        let half_hourly = analyze_checkpoint(
+            &o,
+            Bytes::tib(100),
+            0.5,
+            SimTime::from_secs(1800),
+            Bytes::gib(8),
+        );
+        assert!((half_hourly.io_fraction / hourly.io_fraction - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_file_checkpoints_are_slower() {
+        let o = Orion::frontier();
+        let large = analyze_checkpoint(
+            &o,
+            Bytes::tib(100),
+            0.15,
+            SimTime::from_secs(3600),
+            Bytes::gib(8),
+        );
+        let tiny = analyze_checkpoint(
+            &o,
+            Bytes::tib(100),
+            0.15,
+            SimTime::from_secs(3600),
+            Bytes::kib(128),
+        );
+        // Tiny files land in DoM, whose aggregate write rate is 10x lower.
+        assert!(tiny.ingest_time.as_secs_f64() > 5.0 * large.ingest_time.as_secs_f64());
+    }
+
+    #[test]
+    fn zero_fraction_is_free() {
+        let o = Orion::frontier();
+        let a = analyze_checkpoint(
+            &o,
+            Bytes::tib(100),
+            0.0,
+            SimTime::from_secs(3600),
+            Bytes::gib(1),
+        );
+        assert_eq!(a.bytes, Bytes::ZERO);
+        assert_eq!(a.io_fraction, 0.0);
+    }
+}

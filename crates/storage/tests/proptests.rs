@@ -1,0 +1,127 @@
+//! Property-based tests for the storage models.
+
+use frontier_sim_core::prelude::*;
+use frontier_storage::fio::{run, FioJob, FioPattern};
+use frontier_storage::nodelocal::NodeLocalStorage;
+use frontier_storage::nvme::{DeviceSpec, Raid0};
+use frontier_storage::orion::Orion;
+use frontier_storage::pfl::PflLayout;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// PFL routing partitions every file's bytes exactly across tiers, and
+    /// tier assignments respect the boundaries.
+    #[test]
+    fn pfl_partitions_exactly(size in 0u64..1_000_000_000_000) {
+        let l = PflLayout::orion();
+        let s = l.split(Bytes::new(size));
+        prop_assert_eq!(s.total().as_u64(), size);
+        prop_assert!(s.dom.as_u64() <= 256 * 1024);
+        prop_assert!(s.dom + s.performance <= Bytes::mib(8).max(Bytes::new(size)));
+        if size <= 256 * 1024 {
+            prop_assert_eq!(s.performance, Bytes::ZERO);
+            prop_assert_eq!(s.capacity, Bytes::ZERO);
+        }
+        if size <= 8 << 20 {
+            prop_assert_eq!(s.capacity, Bytes::ZERO);
+        }
+    }
+
+    /// PFL splits are monotone: a larger file never stores fewer bytes on
+    /// any tier.
+    #[test]
+    fn pfl_monotone(a in 0u64..100_000_000, b in 0u64..100_000_000) {
+        let l = PflLayout::orion();
+        let (lo, hi) = (a.min(b), a.max(b));
+        let slo = l.split(Bytes::new(lo));
+        let shi = l.split(Bytes::new(hi));
+        prop_assert!(shi.dom >= slo.dom);
+        prop_assert!(shi.performance >= slo.performance);
+        prop_assert!(shi.capacity >= slo.capacity);
+    }
+
+    /// Custom PFL boundaries keep the exact-partition property.
+    #[test]
+    fn pfl_custom_boundaries(dom_kib in 0u64..1024, perf_mib in 1u64..128, size in 0u64..10_000_000_000) {
+        prop_assume!(dom_kib * 1024 <= perf_mib << 20);
+        let l = PflLayout::with_limits(Bytes::kib(dom_kib), Bytes::mib(perf_mib));
+        let s = l.split(Bytes::new(size));
+        prop_assert_eq!(s.total().as_u64(), size);
+    }
+
+    /// RAID-0 scales every rate linearly in member count.
+    #[test]
+    fn raid0_linear(members in 1usize..16) {
+        let one = Raid0::new(DeviceSpec::node_local_m2(), 1);
+        let many = Raid0::new(DeviceSpec::node_local_m2(), members);
+        let k = members as f64;
+        prop_assert!((many.measured_read().as_gb_s() - k * one.measured_read().as_gb_s()).abs() < 1e-9);
+        prop_assert!((many.measured_iops() - k * one.measured_iops()).abs() < 1.0);
+        prop_assert_eq!(many.capacity().as_u64(), one.capacity().as_u64() * members as u64);
+    }
+
+    /// fio elapsed time is (almost) linear in transfer size, and bandwidth
+    /// is size-independent to within the jitter.
+    #[test]
+    fn fio_linear_in_size(gib in 1u64..64) {
+        let s = NodeLocalStorage::frontier();
+        let a = run(&s, &FioJob::seq_read(Bytes::gib(gib)));
+        let b = run(&s, &FioJob::seq_read(Bytes::gib(gib * 2)));
+        let ratio = b.elapsed.as_secs_f64() / a.elapsed.as_secs_f64();
+        prop_assert!((ratio - 2.0).abs() < 0.05, "{ratio}");
+        prop_assert!((a.bandwidth.as_gb_s() - b.bandwidth.as_gb_s()).abs() < 0.3);
+    }
+
+    /// Every fio pattern reports bandwidth bounded by the volume's
+    /// measured ceiling for that pattern.
+    #[test]
+    fn fio_bounded(pattern_idx in 0usize..3, mib in 64u64..10_000) {
+        let s = NodeLocalStorage::frontier();
+        let job = match pattern_idx {
+            0 => FioJob::seq_read(Bytes::mib(mib)),
+            1 => FioJob::seq_write(Bytes::mib(mib)),
+            _ => FioJob::rand_read_4k(mib * 16),
+        };
+        let r = run(&s, &job);
+        let ceiling = match job.pattern {
+            FioPattern::SeqRead => s.measured_read().as_gb_s(),
+            FioPattern::SeqWrite => s.measured_write().as_gb_s(),
+            FioPattern::RandRead4k => s.measured_iops() * 4096.0 / 1e9,
+        };
+        // 3% headroom for the deterministic jitter.
+        prop_assert!(r.bandwidth.as_gb_s() <= ceiling * 1.03);
+        prop_assert!(r.bandwidth.as_gb_s() >= ceiling * 0.97);
+    }
+
+    /// Orion aggregate write bandwidth for uniform file sizes is bounded
+    /// by the sum of the tier rates (tiers drain concurrently, so a split
+    /// can exceed any single tier but never their combined capacity).
+    #[test]
+    fn orion_file_bandwidth_bounded(size in 1u64..100_000_000_000) {
+        use frontier_storage::orion::OrionTier;
+        let o = Orion::frontier();
+        let bw = o.file_write_bandwidth(Bytes::new(size));
+        let sum = o.measured_write(OrionTier::Performance)
+            + o.measured_write(OrionTier::Capacity)
+            + o.measured_write(OrionTier::Metadata);
+        prop_assert!(bw.as_bytes_per_sec() <= sum.as_bytes_per_sec() * (1.0 + 1e-9));
+        prop_assert!(bw.as_bytes_per_sec() > 0.0);
+        // And never below the slowest tier that carries load.
+        prop_assert!(
+            bw.as_bytes_per_sec()
+                >= o.measured_write(OrionTier::Metadata).as_bytes_per_sec() * (1.0 - 1e-9)
+        );
+    }
+
+    /// Checkpoint ingest time is linear in total volume.
+    #[test]
+    fn ingest_linear(tib in 1u64..1000) {
+        let o = Orion::frontier();
+        let t1 = o.checkpoint_ingest_time(Bytes::tib(tib), Bytes::gib(8));
+        let t2 = o.checkpoint_ingest_time(Bytes::tib(tib * 2), Bytes::gib(8));
+        let ratio = t2.as_secs_f64() / t1.as_secs_f64().max(1e-12);
+        prop_assert!((ratio - 2.0).abs() < 0.01);
+    }
+}

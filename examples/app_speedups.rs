@@ -1,0 +1,81 @@
+//! Application speedups: evaluate the CAAR (Table 6) and ECP (Table 7)
+//! proxy models, show the hardware/software split behind each number, and
+//! the weak-scaling curves of §4.4.
+//!
+//! ```text
+//! cargo run --release --example app_speedups
+//! ```
+
+use frontier::apps::caar::caar_apps;
+use frontier::apps::caar::caar_results;
+use frontier::apps::ecp::{ecp_apps, ecp_results};
+use frontier::apps::fom::render_table;
+use frontier::apps::machine::MachineModel;
+use frontier::apps::scaling::WeakScalingModel;
+
+fn main() {
+    let frontier = MachineModel::frontier();
+
+    println!(
+        "{}",
+        render_table(
+            "Table 6: CAAR applications (target 4x over Summit)",
+            &caar_results(&frontier)
+        )
+    );
+    println!(
+        "{}",
+        render_table(
+            "Table 7: ECP applications (target 50x)",
+            &ecp_results(&frontier)
+        )
+    );
+
+    println!("== where each CAAR speedup comes from ==");
+    for app in caar_apps() {
+        println!(
+            "  {:<9} {:>5.2}x = hardware {:>5.2}x x software {:>5.2}x",
+            app.name,
+            app.speedup(&frontier),
+            app.hardware_ratio(&frontier),
+            app.software_factor
+        );
+        println!("            ({})", app.software_attribution);
+    }
+
+    println!("\n== where each ECP speedup comes from ==");
+    for app in ecp_apps() {
+        println!(
+            "  {:<14} {:>6.1}x = hardware {:>6.1}x x software {:>5.2}x vs {}",
+            app.name,
+            app.speedup(&frontier),
+            app.hardware_ratio(&frontier),
+            app.software_factor,
+            app.baseline.name
+        );
+    }
+
+    println!("\n== weak-scaling efficiency curves (§4.4) ==");
+    let curves = [
+        WeakScalingModel::warpx_frontier(),
+        WeakScalingModel::shift_frontier(),
+        WeakScalingModel::athenapk_frontier(),
+        WeakScalingModel::picongpu_frontier(),
+        WeakScalingModel::athenapk_summit(),
+    ];
+    print!("{:>22}", "nodes:");
+    for n in [64usize, 512, 4096, 9216] {
+        print!("{n:>9}");
+    }
+    println!();
+    for c in &curves {
+        print!("{:>22}", c.name);
+        for n in [64usize, 512, 4096, 9216] {
+            print!("{:>8.1}%", c.efficiency(n) * 100.0);
+        }
+        println!();
+    }
+    println!(
+        "\n(AthenaPK: 96% on Frontier vs 48% on Summit at scale — the paper's NIC-per-GPU point)"
+    );
+}

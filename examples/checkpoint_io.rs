@@ -1,0 +1,95 @@
+//! Checkpoint I/O study: drive the node-local and Orion storage models
+//! through the §4.3 scenarios and plan an optimal checkpoint cadence
+//! against the machine's MTTI.
+//!
+//! ```text
+//! cargo run --release --example checkpoint_io
+//! ```
+
+use frontier::prelude::*;
+use frontier::resilience::checkpoint;
+use frontier::resilience::fit::{FitModel, Inventory};
+use frontier::resilience::mtti::analytic_mtti;
+use frontier::storage::fio::{run, FioJob};
+use frontier::storage::nodelocal::NodeLocalStorage;
+use frontier::storage::orion::{Orion, OrionTier};
+use frontier::storage::workload::analyze_checkpoint;
+
+fn main() {
+    println!("== node-local burst buffer (fio, §4.3.1) ==");
+    let nl = NodeLocalStorage::frontier();
+    let read = run(&nl, &FioJob::seq_read(Bytes::gib(64)));
+    let write = run(&nl, &FioJob::seq_write(Bytes::gib(64)));
+    let iops = run(&nl, &FioJob::rand_read_4k(8_000_000));
+    println!("  seq read : {:>5.1} GB/s", read.bandwidth.as_gb_s());
+    println!("  seq write: {:>5.1} GB/s", write.bandwidth.as_gb_s());
+    println!("  4k rand  : {:>5.2} M IOPS", iops.iops / 1e6);
+
+    println!("\n== Orion tiers (§4.3.2) ==");
+    let orion = Orion::frontier();
+    for (name, tier) in [
+        ("metadata (DoM)", OrionTier::Metadata),
+        ("performance   ", OrionTier::Performance),
+        ("capacity      ", OrionTier::Capacity),
+    ] {
+        println!(
+            "  {name}: {:>7.1} PB, read {:>5.1} TB/s, write {:>5.1} TB/s",
+            orion.capacity(tier).as_pb(),
+            orion.measured_read(tier).as_tb_s(),
+            orion.measured_write(tier).as_tb_s()
+        );
+    }
+
+    println!("\n== file-size routing through the PFL ==");
+    for size in [
+        Bytes::kib(64),
+        Bytes::kib(256),
+        Bytes::mib(1),
+        Bytes::mib(8),
+        Bytes::gib(1),
+        Bytes::gib(64),
+    ] {
+        let split = orion.layout().split(size);
+        println!(
+            "  {:>9}: DoM {:>9}, flash {:>9}, disk {:>9} -> {:>7.2} TB/s aggregate write",
+            size.to_string(),
+            split.dom.to_string(),
+            split.performance.to_string(),
+            split.capacity.to_string(),
+            orion.file_write_bandwidth(size).as_tb_s()
+        );
+    }
+
+    println!("\n== the paper's checkpoint arithmetic ==");
+    let a = analyze_checkpoint(
+        &orion,
+        Bytes::gib(512) * 9_472,
+        0.15,
+        SimTime::from_secs(3600),
+        Bytes::gib(8),
+    );
+    println!(
+        "  15% of 4.6 PiB HBM = {:.0} TiB -> ingested in {:.0} s = {:.1}% of each hour",
+        a.bytes.as_tib(),
+        a.ingest_time.as_secs_f64(),
+        a.io_fraction * 100.0
+    );
+
+    println!("\n== Young/Daly cadence against the modelled MTTI ==");
+    let mtti = analytic_mtti(&Inventory::frontier(), &FitModel::frontier());
+    let plan = checkpoint::plan(a.ingest_time.as_secs_f64(), mtti.mtti_hours * 3600.0);
+    println!(
+        "  MTTI {:.2} h -> checkpoint every {:.0} min -> {:.1}% machine efficiency",
+        mtti.mtti_hours,
+        plan.interval_s / 60.0,
+        plan.efficiency * 100.0
+    );
+    let improved = analytic_mtti(&Inventory::frontier(), &FitModel::frontier().improved_10x());
+    let plan2 = checkpoint::plan(a.ingest_time.as_secs_f64(), improved.mtti_hours * 3600.0);
+    println!(
+        "  at 10x-better FIT rates ({:.0} h MTTI): every {:.0} min -> {:.1}%",
+        improved.mtti_hours,
+        plan2.interval_s / 60.0,
+        plan2.efficiency * 100.0
+    );
+}

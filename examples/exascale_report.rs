@@ -1,0 +1,92 @@
+//! The §5 scorecard: how Frontier measures up against the 2008 DARPA
+//! exascale report's four challenges, computed from the models.
+//!
+//! ```text
+//! cargo run --release --example exascale_report
+//! ```
+
+use frontier::apps::hpl::{run as run_hpl, HplConfig};
+use frontier::prelude::*;
+use frontier::resilience::checkpoint;
+
+fn main() {
+    let machine = FrontierMachine::standard();
+
+    println!("=== Frontier vs the 2008 exascale report ===\n");
+
+    // 1. Energy and power.
+    let g = machine.green500();
+    let hpl = run_hpl(&HplConfig::frontier_june2022());
+    println!("1. ENERGY AND POWER — excels");
+    println!(
+        "   HPL: {:.3} EF in {:.2} h ({:.0}% of vector peak, panel-loop model)",
+        hpl.rmax.as_ef(),
+        hpl.runtime.as_secs_f64() / 3600.0,
+        hpl.efficiency_vs_vector_peak * 100.0
+    );
+    println!(
+        "   {:.1} GF/W (target: 50) | {:.1} MW/EF (bound: 20)",
+        g.gf_per_watt, g.mw_per_ef
+    );
+
+    // 2. Memory and storage.
+    let a = machine.aggregates();
+    println!("\n2. MEMORY AND STORAGE — met by heterogeneity");
+    println!(
+        "   HBM2e: {:.1} PiB at {:.1} PB/s ({}x the DDR rate per node)",
+        a.hbm_capacity.as_pib(),
+        a.hbm_bandwidth.as_tb_s() / 1000.0,
+        machine.node().hbm_to_ddr_ratio().round()
+    );
+    let orion = machine.orion();
+    println!(
+        "   Orion: {:.0} PB disk + {:.1} PB flash; ingests a 15% HBM checkpoint in {:.0} s",
+        orion
+            .capacity(frontier::storage::orion::OrionTier::Capacity)
+            .as_pb(),
+        orion
+            .capacity(frontier::storage::orion::OrionTier::Performance)
+            .as_pb(),
+        orion
+            .checkpoint_ingest_time(Bytes::tib(710), Bytes::gib(8))
+            .as_secs_f64()
+    );
+
+    // 3. Concurrency and locality.
+    let threads = machine.nodes() * 4 * 220 * 64;
+    println!("\n3. CONCURRENCY AND LOCALITY — met by GPUs");
+    println!(
+        "   {} nodes x 8 GCDs = {} accelerators; {} threads near 1 GHz \
+         (report projected needing 1 billion cores)",
+        machine.nodes(),
+        machine.nodes() * 8,
+        threads
+    );
+
+    // 4. Resiliency.
+    let mtti = machine.mtti();
+    println!("\n4. RESILIENCY — still the struggle");
+    println!(
+        "   hardware MTTI {:.1} h (the report's 10x-improved projection was ~4 h)",
+        mtti.mtti_hours
+    );
+    for (class, share) in mtti.shares.iter().take(3) {
+        println!(
+            "     {:>14}: {:>4.1}% of interrupts",
+            class.name(),
+            share * 100.0
+        );
+    }
+    let plan = checkpoint::plan(180.0, mtti.mtti_hours * 3600.0);
+    println!(
+        "   mitigation: checkpoint every {:.0} min -> {:.1}% machine efficiency",
+        plan.interval_s / 60.0,
+        plan.efficiency * 100.0
+    );
+
+    println!(
+        "\nVerdict (the paper's): judged by real application speedups — every CAAR \
+         app >4x, every ECP app >50x —\nFrontier meets the spirit of the exascale \
+         definition, at a cost the 2008 report declined to model."
+    );
+}

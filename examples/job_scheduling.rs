@@ -1,0 +1,73 @@
+//! Scheduler study: run a mixed job stream through the Slurm-like
+//! scheduler on a reduced dragonfly and compare the pack/spread placement
+//! policies (§3.4.2).
+//!
+//! ```text
+//! cargo run --release --example job_scheduling
+//! ```
+
+use frontier::fabric::dragonfly::{Dragonfly, DragonflyParams};
+use frontier::prelude::*;
+use frontier::sched::placement::{allocate, placement_metrics, PlacementPolicy};
+use frontier::sched::slurm::Scheduler;
+use std::collections::BTreeSet;
+
+fn main() {
+    // 16 groups x 8 switches x 8 endpoints, 4 NICs/node -> 256 nodes.
+    let params = DragonflyParams::scaled(16, 8, 8);
+
+    println!("== placement quality: pack vs spread ==");
+    let df = Dragonfly::build(params.clone());
+    let free: BTreeSet<usize> = (0..df.params().total_nodes()).collect();
+    for nodes in [8usize, 16, 64, 128] {
+        for policy in [PlacementPolicy::Pack, PlacementPolicy::Spread] {
+            let a = allocate(&df, &free, nodes, policy).expect("machine empty");
+            let m = placement_metrics(&df, &a);
+            println!(
+                "  {nodes:>4} nodes {policy:>7?}: {:>2} groups, minimal global bw {:>8.1} GB/s, {:>5.1}% intra-group pairs",
+                m.groups_spanned,
+                m.minimal_global_bandwidth.as_gb_s(),
+                m.intra_group_pair_fraction * 100.0
+            );
+        }
+    }
+
+    println!("\n== a day of mixed jobs through the scheduler ==");
+    let df = Dragonfly::build(params);
+    let mut sched = Scheduler::new(df, PlacementPolicy::TopologyAware);
+    let mut rng = StreamRng::from_seed(2023);
+    // A log-normal-ish mix: mostly small jobs, a few hero runs.
+    let mut submitted = 0usize;
+    for i in 0..60 {
+        let nodes = if i % 12 == 0 {
+            128 + rng.index(64) // hero job: half the machine or more
+        } else {
+            1 + rng.index(24)
+        };
+        let hours = 0.5 + rng.uniform() * 3.0;
+        sched.submit(nodes, SimTime::from_secs_f64(hours * 3600.0));
+        submitted += 1;
+    }
+    let makespan = sched.run_to_completion();
+    println!(
+        "  submitted {submitted} jobs; makespan {:.1} h",
+        makespan.as_secs_f64() / 3600.0
+    );
+    println!("  completed: {}", sched.completed().len());
+    assert_eq!(sched.completed().len(), submitted);
+
+    // Show where the first hero job landed.
+    let hero = sched
+        .completed()
+        .iter()
+        .map(|&id| sched.job(id))
+        .find(|j| j.nodes >= 128)
+        .expect("a hero job ran");
+    let m = placement_metrics(sched.dragonfly(), &hero.allocation);
+    println!(
+        "  hero job ({} nodes) spread over {} groups with {:.1} TB/s of minimal-path global bandwidth",
+        hero.nodes,
+        m.groups_spanned,
+        m.minimal_global_bandwidth.as_tb_s()
+    );
+}

@@ -1,0 +1,86 @@
+//! Network study: the Fig. 6 mpiGraph comparison, routing-policy effects,
+//! and the taper ablation, on a ratio-preserving reduced dragonfly.
+//!
+//! ```text
+//! cargo run --release --example network_study            # reduced fabric
+//! cargo run --release --example network_study -- --full  # all 9,472 nodes
+//! ```
+
+use frontier::fabric::dragonfly::{Dragonfly, DragonflyParams};
+use frontier::fabric::fattree::{FatTree, FatTreeParams};
+use frontier::fabric::mpigraph;
+use frontier::fabric::patterns::all_to_all_throughput;
+use frontier::fabric::routing::RoutePolicy;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let (df, ft) = if full {
+        (Dragonfly::frontier(), FatTree::summit())
+    } else {
+        (
+            Dragonfly::build(DragonflyParams::scaled(16, 8, 8)),
+            FatTree::build(FatTreeParams::scaled(32, 32)),
+        )
+    };
+    println!(
+        "dragonfly: {} endpoints over {} groups; taper {:.0}%",
+        df.params().total_endpoints(),
+        df.params().groups,
+        df.taper() * 100.0
+    );
+
+    println!("\n== mpiGraph (Fig. 6) ==");
+    let frontier = mpigraph::run_dragonfly(&df, RoutePolicy::adaptive_default(), 7);
+    println!(
+        "{}",
+        frontier.histogram(20.0, 40).render(
+            60,
+            &format!(
+                "Frontier-style dragonfly (mean {:.1} GB/s, sd {:.1})",
+                frontier.summary.mean, frontier.summary.std_dev
+            )
+        )
+    );
+    let summit = mpigraph::run_fattree(&ft, 7);
+    println!(
+        "{}",
+        summit.histogram(12.5, 25).render(
+            60,
+            &format!(
+                "Summit-style fat-tree (mean {:.1} GB/s, sd {:.2})",
+                summit.summary.mean, summit.summary.std_dev
+            )
+        )
+    );
+
+    println!("== routing policy effect on random pairs ==");
+    for (name, policy) in [
+        ("minimal", RoutePolicy::Minimal),
+        ("adaptive", RoutePolicy::adaptive_default()),
+        ("valiant", RoutePolicy::Valiant),
+    ] {
+        let r = mpigraph::run_dragonfly(&df, policy, 11);
+        println!(
+            "  {name:<8}: mean {:>5.2} GB/s, p50 {:>5.2}, min {:>5.2}, max {:>5.2}",
+            r.summary.mean, r.summary.p50, r.summary.min, r.summary.max
+        );
+    }
+
+    println!("\n== taper ablation (bundle size between group pairs) ==");
+    for bundles in [1usize, 2, 4] {
+        let mut p = DragonflyParams::frontier();
+        p.bundles_per_group_pair = bundles;
+        let d = Dragonfly::build(p);
+        let t = all_to_all_throughput(&d, 1.0);
+        println!(
+            "  bundles={bundles}: taper {:>5.1}%, all-to-all {:>5.1} GB/s/node{}",
+            d.taper() * 100.0,
+            t.per_node.as_gb_s(),
+            if bundles == 2 {
+                "   <- as deployed"
+            } else {
+                ""
+            }
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: build the Frontier machine and read off its headline
+//! architecture numbers.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use frontier::prelude::*;
+
+fn main() {
+    let machine = FrontierMachine::standard();
+
+    println!("{}", machine.table1());
+    println!("{}", machine.table2());
+
+    let node = machine.node();
+    println!("One Bard Peak node:");
+    println!("  GCDs (GPUs seen by the OS) : {}", node.gcd_count());
+    println!("  CPU cores                  : {}", node.cpu().cores());
+    println!(
+        "  HBM2e                      : {} at {}",
+        node.hbm_capacity(),
+        node.hbm_bandwidth()
+    );
+    println!(
+        "  DDR4                       : {} at {}",
+        node.ddr_capacity(),
+        node.ddr_bandwidth()
+    );
+    println!(
+        "  HBM:DDR bandwidth ratio    : {:.0}x (Titan was 40x, Summit 16x)",
+        node.hbm_to_ddr_ratio()
+    );
+    println!(
+        "  injection                  : {} over 4 NICs attached to the OAMs",
+        node.injection_bandwidth()
+    );
+
+    let df = machine.fabric();
+    println!("\nSlingshot dragonfly:");
+    println!("  groups            : {} compute", df.params().groups);
+    println!("  endpoints         : {}", df.params().total_endpoints());
+    println!("  per-group inject  : {}", df.group_injection_bandwidth());
+    println!("  per-group global  : {}", df.group_global_bandwidth());
+    println!("  taper             : {:.0}%", df.taper() * 100.0);
+    println!("  global bandwidth  : {}", df.total_global_bandwidth());
+
+    let g = machine.green500();
+    println!(
+        "\nGreen500: {:.3} EF at {:.1} MW = {:.1} GF/W",
+        g.rmax.as_ef(),
+        g.power_mw,
+        g.gf_per_watt
+    );
+
+    let mtti = machine.mtti();
+    println!(
+        "MTTI: {:.1} h; top contributor: {} ({:.0}% of interrupts)",
+        mtti.mtti_hours,
+        mtti.shares[0].0.name(),
+        mtti.shares[0].1 * 100.0
+    );
+}

@@ -1,0 +1,96 @@
+//! Cross-crate integration: the assembled machine is internally consistent
+//! — node aggregates, fabric, storage, power, and resilience agree with
+//! each other and with the paper's Table 1/2 arithmetic.
+
+use frontier::prelude::*;
+
+#[test]
+fn machine_assembles_at_frontier_scale() {
+    let m = FrontierMachine::standard();
+    assert_eq!(m.nodes(), 9_472);
+    assert_eq!(m.fabric().params().total_endpoints(), 37_888);
+    assert_eq!(m.node().gcd_count(), 8);
+}
+
+#[test]
+fn node_aggregates_match_fabric_scale() {
+    // The node model's injection spec must equal what the fabric provides
+    // per node: 4 NICs x 25 GB/s.
+    let m = FrontierMachine::standard();
+    let from_node = m.node().injection_bandwidth().as_gb_s();
+    let from_fabric =
+        m.fabric().params().link_rate.as_gb_s() * m.fabric().params().nics_per_node as f64;
+    assert!((from_node - from_fabric).abs() < 1e-9);
+}
+
+#[test]
+fn table1_numbers_are_derived_not_transcribed() {
+    let m = FrontierMachine::standard();
+    let a = m.aggregates();
+    // Node model x node count, computed two independent ways.
+    let hbm_tb_s = m.node().hbm_bandwidth().as_tb_s() * m.nodes() as f64;
+    assert!((a.hbm_bandwidth.as_tb_s() - hbm_tb_s).abs() < 1.0);
+    assert!((a.dgemm.as_ef() - 2.0).abs() < 0.01);
+}
+
+#[test]
+fn taper_arithmetic_consistent() {
+    let m = FrontierMachine::standard();
+    let df = m.fabric();
+    // 73 pipes x 100 GB/s vs 512 endpoints x 25 GB/s.
+    let global = df.group_global_bandwidth().as_gb_s();
+    let inject = df.group_injection_bandwidth().as_gb_s();
+    assert!((global - 7_300.0).abs() < 1.0);
+    assert!((inject - 12_800.0).abs() < 1.0);
+    assert!((df.taper() - global / inject).abs() < 1e-12);
+}
+
+#[test]
+fn storage_can_absorb_hbm_checkpoints() {
+    // The design claim of §4.3.2: Orion ingests a 15% HBM checkpoint fast
+    // enough that hourly checkpointing costs ~5% of walltime.
+    let m = FrontierMachine::standard();
+    let hbm = m.aggregates().hbm_capacity;
+    let bytes = Bytes::new((hbm.as_f64() * 0.15) as u64);
+    let t = m.orion().checkpoint_ingest_time(bytes, Bytes::gib(8));
+    assert!(t.as_secs_f64() < 200.0, "{}", t.as_secs_f64());
+}
+
+#[test]
+fn mtti_supports_practical_checkpointing() {
+    // Resilience x storage: at the modelled MTTI and the modelled ingest
+    // time, Young/Daly still leaves >80% machine efficiency.
+    let m = FrontierMachine::standard();
+    let mtti_s = m.mtti().mtti_hours * 3600.0;
+    let hbm = m.aggregates().hbm_capacity;
+    let write_s = m
+        .orion()
+        .checkpoint_ingest_time(Bytes::new((hbm.as_f64() * 0.15) as u64), Bytes::gib(8))
+        .as_secs_f64();
+    let plan = frontier::resilience::checkpoint::plan(write_s, mtti_s);
+    assert!(plan.efficiency > 0.80, "{}", plan.efficiency);
+}
+
+#[test]
+fn power_is_consistent_with_green500() {
+    let m = FrontierMachine::standard();
+    let g = m.green500();
+    assert!((g.rmax.as_ef() - 1.102).abs() < 0.01);
+    assert!(g.gf_per_watt > 50.0 && g.gf_per_watt < 55.0);
+    assert!(g.mw_per_ef < 20.0);
+}
+
+#[test]
+fn exascale_report_scorecard() {
+    // §5's four challenges, as the paper scores them.
+    let m = FrontierMachine::standard();
+    // 1. Energy and power: excels.
+    assert!(m.green500().gf_per_watt > 50.0);
+    // 2. Memory and storage: HBM everywhere, tiers meet app needs.
+    assert!(m.aggregates().hbm_bandwidth.as_tb_s() > 100_000.0);
+    // 3. Concurrency: >500M threads near 1 GHz.
+    let threads = m.nodes() * 4 * 220 * 64;
+    assert!(threads > 500_000_000);
+    // 4. Resiliency: struggles — MTTI still in the ~4h band.
+    assert!(m.mtti().mtti_hours < 8.0);
+}
