@@ -1,0 +1,88 @@
+//! Max-min solver bench: the incremental, indexed, parallel solver vs the
+//! straightforward progressive-filling reference, on an mpiGraph-scale
+//! flow set (a ratio-preserving 40×16×16 dragonfly, 10,240 saturating
+//! flows — the same shape as the Fig. 6 workload at ~27 % of full
+//! Frontier).
+//!
+//! Besides the Criterion timings, the bench records a machine-readable
+//! perf trajectory point in `BENCH_maxmin.json` at the workspace root
+//! (median ns per solve for both solvers, the speedup, and the round
+//! count) so future PRs can track the solver's trend.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use frontier_core::fabric::dragonfly::{Dragonfly, DragonflyParams};
+use frontier_core::fabric::maxmin::{solve_maxmin, solve_maxmin_reference};
+use frontier_core::fabric::patterns::mpigraph_pairs;
+use frontier_core::fabric::routing::{RoutePolicy, Router};
+use frontier_core::fabric::topology::Flow;
+use frontier_core::sim_core::rng::StreamRng;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// mpiGraph-scale workload: every endpoint sends to one random partner.
+fn mpigraph_scale_flows() -> (Dragonfly, Vec<Flow>) {
+    let df = Dragonfly::build(DragonflyParams::scaled(40, 16, 16));
+    let n = df.params().total_endpoints();
+    assert!(n >= 10_000, "bench below mpiGraph scale: {n} flows");
+    let mut rng = StreamRng::for_component(7, "bench-maxmin-pairs", 0);
+    let pairs = mpigraph_pairs(n, &mut rng);
+    let router = Router::new(&df, RoutePolicy::adaptive_default());
+    let mut route_rng = StreamRng::for_component(7, "bench-maxmin-routes", 0);
+    let flows = router.flows_for_pairs(&pairs, 0, &mut route_rng);
+    (df, flows)
+}
+
+/// Median wall-clock ns of `reps` runs of `f` (each returning the round
+/// count of the solve it performed).
+fn median_ns<F: FnMut() -> usize>(reps: usize, mut f: F) -> (f64, usize) {
+    let mut times = Vec::with_capacity(reps);
+    let mut rounds = 0;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        rounds = black_box(f());
+        times.push(t0.elapsed().as_nanos() as f64);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (times[times.len() / 2], rounds)
+}
+
+fn bench_maxmin(c: &mut Criterion) {
+    let (df, flows) = mpigraph_scale_flows();
+    let topo = df.topology();
+
+    c.bench_function("maxmin_incremental_10k_flows", |b| {
+        b.iter(|| black_box(solve_maxmin(topo, &flows).rounds))
+    });
+    c.bench_function("maxmin_reference_10k_flows", |b| {
+        b.iter(|| black_box(solve_maxmin_reference(topo, &flows, |_| 1.0).rounds))
+    });
+
+    // Standalone medians for the JSON perf record (Criterion keeps its
+    // estimates in its own target directory; this file is the stable,
+    // single-point summary future PRs diff against).
+    let (inc_ns, rounds) = median_ns(5, || solve_maxmin(topo, &flows).rounds);
+    let (ref_ns, _) = median_ns(3, || solve_maxmin_reference(topo, &flows, |_| 1.0).rounds);
+    let json = format!(
+        "{{\n  \"experiment\": \"maxmin_mpigraph_scale\",\n  \"flows\": {},\n  \"links\": {},\n  \"rounds\": {},\n  \"median_ns_incremental\": {},\n  \"median_ns_reference\": {},\n  \"speedup\": {:.2}\n}}\n",
+        flows.len(),
+        topo.num_links(),
+        rounds,
+        inc_ns,
+        ref_ns,
+        ref_ns / inc_ns
+    );
+    // crates/bench -> workspace root.
+    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_maxmin.json");
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("bench_maxmin: wrote {}:\n{json}", out.display()),
+        Err(e) => eprintln!("bench_maxmin: could not write {}: {e}", out.display()),
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_maxmin
+}
+criterion_main!(benches);

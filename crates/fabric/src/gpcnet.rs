@@ -113,13 +113,24 @@ impl GpcnetReport {
 }
 
 /// The victim and congestor flow sets of a run.
+///
+/// All flows live in one vector — victims (vni 0) first, congestors
+/// (vni 1..=5) after — so the isolated solve takes the victim prefix and
+/// the congested solve takes the whole slice without cloning any routed
+/// path. Routing happens exactly once per flow.
 struct Workload {
-    /// Victim flows (vni 0): one per victim rank.
-    victim_flows: Vec<Flow>,
-    /// Congestor flows (vni 1..=5).
-    congestor_flows: Vec<Flow>,
+    /// Victim flows, then congestor flows.
+    flows: Vec<Flow>,
+    /// Length of the victim prefix of `flows`.
+    n_victims: usize,
     /// Victim rank count (for the allreduce size).
     victim_ranks: u64,
+}
+
+impl Workload {
+    fn victim_flows(&self) -> &[Flow] {
+        &self.flows[..self.n_victims]
+    }
 }
 
 fn build_workload(df: &Dragonfly, cfg: &GpcnetConfig) -> Workload {
@@ -154,17 +165,18 @@ fn build_workload(df: &Dragonfly, cfg: &GpcnetConfig) -> Workload {
 
     // Random-ring pairing over victim ranks.
     let perm = rng.pairing(victim_rank_ep.len());
-    let mut victim_flows = Vec::with_capacity(victim_rank_ep.len());
+    let mut flows = Vec::with_capacity(victim_rank_ep.len());
     for (i, &j) in perm.iter().enumerate() {
         let (s, d) = (victim_rank_ep[i], victim_rank_ep[j]);
         if s == d {
             continue; // two ranks of the same NIC drew each other
         }
-        victim_flows.push(Flow::saturating(s, d, router.route(s, d, &mut rng), 0));
+        flows.push(Flow::saturating(s, d, router.route(s, d, &mut rng), 0));
     }
+    let n_victims = flows.len();
 
-    // Congestor patterns: one VNI per pattern, nodes split five ways.
-    let mut congestor_flows = Vec::new();
+    // Congestor patterns: one VNI per pattern, nodes split five ways,
+    // appended behind the victim prefix.
     let chunk = (congestors.len() / 5).max(1);
     for (p, part) in congestors.chunks(chunk).take(5).enumerate() {
         let vni = (p + 1) as u32;
@@ -199,13 +211,13 @@ fn build_workload(df: &Dragonfly, cfg: &GpcnetConfig) -> Workload {
             }
         };
         for (s, d) in pairs {
-            congestor_flows.push(Flow::saturating(s, d, router.route(s, d, &mut rng), vni));
+            flows.push(Flow::saturating(s, d, router.route(s, d, &mut rng), vni));
         }
     }
 
     Workload {
-        victim_flows,
-        congestor_flows,
+        flows,
+        n_victims,
         victim_ranks: victim_rank_ep.len() as u64,
     }
 }
@@ -217,16 +229,15 @@ pub fn run(cfg: &GpcnetConfig) -> GpcnetReport {
     let wl = build_workload(&df, cfg);
     let lat = LatencyModel::default();
 
-    // Isolated: victims alone on the fabric.
-    let iso_alloc = solve_maxmin(topo, &wl.victim_flows);
+    // Isolated: victims alone on the fabric (the victim prefix of the
+    // one routed flow vector — no re-routing, no cloning).
+    let iso_alloc = solve_maxmin(topo, wl.victim_flows());
 
     // Congested, unprotected: per-flow fairness with every congestor flow.
-    let mut all_flows = wl.victim_flows.clone();
-    all_flows.extend(wl.congestor_flows.iter().cloned());
-    let mixed_alloc = solve_maxmin(topo, &all_flows);
+    let mixed_alloc = solve_maxmin(topo, &wl.flows);
     let util = {
         let mut load = vec![0.0f64; topo.num_links() as usize];
-        for (f, &r) in all_flows.iter().zip(&mixed_alloc.rates) {
+        for (f, &r) in wl.flows.iter().zip(&mixed_alloc.rates) {
             if f.vni != 0 {
                 for l in &f.path {
                     load[l.0 as usize] += r;
@@ -253,7 +264,7 @@ pub fn run(cfg: &GpcnetConfig) -> GpcnetReport {
         0.0
     };
 
-    let nv = wl.victim_flows.len();
+    let nv = wl.n_victims;
     let mut rng = StreamRng::for_component(cfg.seed, "gpcnet-measure", 1);
 
     // --- Bandwidth+Sync test -------------------------------------------
@@ -280,7 +291,7 @@ pub fn run(cfg: &GpcnetConfig) -> GpcnetReport {
 
     // --- Latency test ---------------------------------------------------
     let lat_samples = |protected: bool, rng: &mut StreamRng| -> Vec<f64> {
-        wl.victim_flows
+        wl.victim_flows()
             .iter()
             .map(|f| {
                 let path_util = f
@@ -303,7 +314,7 @@ pub fn run(cfg: &GpcnetConfig) -> GpcnetReport {
         let mean_util = if nv == 0 {
             0.0
         } else {
-            wl.victim_flows
+            wl.victim_flows()
                 .iter()
                 .map(|f| {
                     f.path

@@ -11,7 +11,9 @@
 //! * [`routing`] — minimal, Valiant (non-minimal), and UGAL-like adaptive
 //!   dragonfly routing;
 //! * [`maxmin`] — progressive-filling max-min-fair bandwidth allocation, the
-//!   flow-level equivalent of per-flow fair queueing;
+//!   flow-level equivalent of per-flow fair queueing, implemented as an
+//!   incremental water-level solver with per-link flow indexing and
+//!   rayon-parallel rounds above a size threshold;
 //! * [`patterns`] — traffic generators (mpiGraph pairings, all-to-all,
 //!   incast, broadcast);
 //! * [`mpigraph`] — the Fig. 6 experiment;
@@ -44,7 +46,9 @@ pub mod topology;
 pub mod prelude {
     pub use crate::dragonfly::{Dragonfly, DragonflyParams};
     pub use crate::fattree::{FatTree, FatTreeParams};
-    pub use crate::maxmin::{solve_maxmin, Allocation};
+    pub use crate::maxmin::{
+        solve_maxmin, solve_maxmin_per_vni, solve_maxmin_weighted, Allocation, VniWeights,
+    };
     pub use crate::routing::{RoutePolicy, Router};
     pub use crate::topology::{EndpointId, Flow, LinkId, SwitchId, Topology};
 }

@@ -111,6 +111,24 @@ impl<'a> FabricManager<'a> {
             .map(|&(s, d)| Flow::saturating(s, d, self.route(s, d, rng), vni))
             .collect()
     }
+
+    /// Re-route only the flows whose current path crosses a dead link,
+    /// leaving every healthy path untouched — the incremental analogue of
+    /// the manager "send[ing] updated routing tables to all *affected*
+    /// network switches". Degradation sweeps route their pair set once and
+    /// repair it in place after each injected failure instead of
+    /// re-routing the whole workload from scratch. Returns how many flows
+    /// were re-routed.
+    pub fn reroute_failed(&self, flows: &mut [Flow], rng: &mut StreamRng) -> usize {
+        let mut rerouted = 0;
+        for f in flows.iter_mut() {
+            if !self.path_alive(&f.path) {
+                f.path = self.route(f.src, f.dst, rng);
+                rerouted += 1;
+            }
+        }
+        rerouted
+    }
 }
 
 #[cfg(test)]
@@ -172,22 +190,62 @@ mod tests {
             .map(|e| (EndpointId(e), EndpointId(e + epg)))
             .collect();
         let mut rng = StreamRng::from_seed(4);
-        let healthy_flows = fm.flows_for_pairs(&pairs, 0, &mut rng);
-        let healthy = solve_maxmin(df.topology(), &healthy_flows).total();
+        // Route once; after the failure only the affected flows re-route.
+        let mut flows = fm.flows_for_pairs(&pairs, 0, &mut rng);
+        let healthy = solve_maxmin(df.topology(), &flows).total();
 
+        // Kill the direct pipe plus two of the four detour exits. The
+        // remaining detours (via groups 4 and 5) each enter at gateway
+        // switch 0 and leave at gateway switch 1, so all traffic funnels
+        // through two 25 GB/s local links — a structural reduction from
+        // the 100 GB/s direct pipe, whatever the Valiant draws do.
         fm.fail_pipe(0, 1);
+        fm.fail_pipe(2, 1);
+        fm.fail_pipe(3, 1);
         fm.sweep();
-        let degraded_flows = fm.flows_for_pairs(&pairs, 0, &mut rng);
-        let degraded = solve_maxmin(df.topology(), &degraded_flows).total();
+        let rerouted = fm.reroute_failed(&mut flows, &mut rng);
+        assert!(rerouted > 0, "the dead pipe carried traffic");
+        let alloc = solve_maxmin(df.topology(), &flows);
+        let degraded = alloc.total();
 
         // Every flow still gets bandwidth...
-        let alloc = solve_maxmin(df.topology(), &degraded_flows);
         for (i, r) in alloc.rates.iter().enumerate() {
             assert!(*r > 0.0, "flow {i} starved");
         }
-        // ...but the aggregate dropped (detours share other groups' pipes,
-        // though path diversity can keep much of the throughput).
+        // ...but the aggregate dropped: the two surviving detours cap the
+        // group pair at 2 local links = 50 GB/s.
         assert!(degraded < healthy, "{degraded:?} vs {healthy:?}");
+        assert!(degraded.as_gb_s() <= 50.0 + 1e-6, "{degraded:?}");
+    }
+
+    #[test]
+    fn reroute_failed_keeps_unaffected_paths() {
+        let df = df();
+        let mut fm = FabricManager::new(&df);
+        let epg = df.params().endpoints_per_group() as u32;
+        // Group 0 -> group 1 and group 2 -> group 3 traffic.
+        let pairs: Vec<(EndpointId, EndpointId)> = (0..epg)
+            .map(|e| (EndpointId(e), EndpointId(e + epg)))
+            .chain((0..epg).map(|e| (EndpointId(e + 2 * epg), EndpointId(e + 3 * epg))))
+            .collect();
+        let mut rng = StreamRng::from_seed(6);
+        let mut flows = fm.flows_for_pairs(&pairs, 0, &mut rng);
+        let before: Vec<_> = flows.iter().map(|f| f.path.clone()).collect();
+
+        // Kill the 0<->1 pipe: only the first half of the flows may move.
+        fm.fail_pipe(0, 1);
+        fm.sweep();
+        let rerouted = fm.reroute_failed(&mut flows, &mut rng);
+        assert!(
+            rerouted > 0 && rerouted <= epg as usize,
+            "{rerouted} rerouted"
+        );
+        for (i, (f, old)) in flows.iter().zip(&before).enumerate() {
+            assert!(fm.path_alive(&f.path), "flow {i} still dead");
+            if i >= epg as usize {
+                assert_eq!(&f.path, old, "unaffected flow {i} was re-routed");
+            }
+        }
     }
 
     #[test]

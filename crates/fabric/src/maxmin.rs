@@ -13,33 +13,106 @@
 //! `1 / (flows in its VNI)` makes applications — not individual flows —
 //! share contended links equally, which is how the congestion-control-ON
 //! configuration of the GPCNeT experiment is modelled.
+//!
+//! # Algorithm
+//!
+//! The solver is *incremental*: instead of tracking per-flow rates round by
+//! round, it tracks one scalar — the fair-share *water level* — and the
+//! rate of every still-active flow is `weight × level` by construction.
+//! A link `l` therefore saturates exactly at `level = avail(l) /
+//! link_weight(l)` and a flow hits its demand at `level = demand / weight`,
+//! so each round reduces to a minimum over the *contended* links and the
+//! *demand-limited* active flows, both of which shrink as the fill
+//! progresses. A per-link index of crossing flows (built once, CSR layout)
+//! turns a link saturation into an event that visits only the flows on that
+//! link, replacing the full per-round rescan of every flow. Above
+//! [`PAR_THRESHOLD`] work items per round the reductions run as `rayon`
+//! parallel reductions; below it they stay serial so small unit-test
+//! topologies pay no thread overhead. The superseded straightforward loop
+//! is kept as [`solve_maxmin_reference`] and a property test pins the two
+//! to 1e-9 relative agreement.
 
 use crate::topology::{Flow, Topology};
 use frontier_sim_core::units::Bandwidth;
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// Relative tolerance for saturation/demand checks.
+const REL_EPS: f64 = 1e-9;
+
+/// Minimum per-round work (contended links + demand-limited active flows)
+/// before the solver's reductions move onto the rayon thread pool. Below
+/// this, serial scans win: the fork/join overhead of a parallel reduction
+/// is on the order of microseconds, which dwarfs a few thousand
+/// divide-and-compare operations.
+pub const PAR_THRESHOLD: usize = 4096;
 
 /// Result of a max-min solve.
 #[derive(Debug, Clone)]
 pub struct Allocation {
-    /// Allocated rate per flow, bytes/s, parallel to the input slice.
+    /// Allocated rate per flow, bytes/s. The slice is *parallel to the
+    /// input flow slice*: `rates[i]` is the rate of `flows[i]` as passed
+    /// to the solver.
     pub rates: Vec<f64>,
     /// Progressive-filling rounds used.
     pub rounds: usize,
 }
 
 impl Allocation {
-    /// Rate of flow `i`.
+    /// Rate of flow `i`, indexed as in the flow slice the solver was
+    /// called with.
     pub fn rate(&self, i: usize) -> Bandwidth {
         Bandwidth::bytes_per_sec(self.rates[i])
     }
 
-    /// Aggregate allocated throughput.
+    /// Aggregate allocated throughput over all flows of the solve
+    /// (zero for an empty flow set).
     pub fn total(&self) -> Bandwidth {
         Bandwidth::bytes_per_sec(self.rates.iter().sum())
     }
 
     /// Minimum flow rate (the "victim" rate in contention studies).
+    /// Returns zero bandwidth for an empty flow set.
     pub fn min_rate(&self) -> Bandwidth {
-        Bandwidth::bytes_per_sec(self.rates.iter().copied().fold(f64::INFINITY, f64::min))
+        let m = self.rates.iter().copied().fold(f64::INFINITY, f64::min);
+        Bandwidth::bytes_per_sec(if m.is_finite() { m } else { 0.0 })
+    }
+}
+
+/// Per-VNI weight table: weight `1 / (flows in the VNI)` makes
+/// applications, not individual flows, share contended links equally.
+///
+/// Building the table once and reusing it across solves avoids both the
+/// per-call `HashMap` construction the solver used to do and the panic the
+/// old closure hit when asked to weigh a flow whose VNI it had never
+/// counted: unknown VNIs fall back to weight 1.0.
+#[derive(Debug, Clone, Default)]
+pub struct VniWeights {
+    counts: HashMap<u32, usize>,
+}
+
+impl VniWeights {
+    /// Count the flows of each VNI in `flows`.
+    pub fn from_flows(flows: &[Flow]) -> Self {
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for f in flows {
+            *counts.entry(f.vni).or_insert(0) += 1;
+        }
+        VniWeights { counts }
+    }
+
+    /// Number of counted flows in `vni` (zero if never seen).
+    pub fn count(&self, vni: u32) -> usize {
+        self.counts.get(&vni).copied().unwrap_or(0)
+    }
+
+    /// Weight of `flow`: `1 / count(flow.vni)`, or 1.0 for a VNI the
+    /// table has not seen (instead of panicking on the missing entry).
+    pub fn weight(&self, flow: &Flow) -> f64 {
+        match self.counts.get(&flow.vni) {
+            Some(&c) if c > 0 => 1.0 / c as f64,
+            _ => 1.0,
+        }
     }
 }
 
@@ -51,17 +124,192 @@ pub fn solve_maxmin(topo: &Topology, flows: &[Flow]) -> Allocation {
 /// Per-VNI fairness: each application's flow set shares contended links
 /// equally with other applications (Slingshot congestion control ON).
 pub fn solve_maxmin_per_vni(topo: &Topology, flows: &[Flow]) -> Allocation {
-    use std::collections::HashMap;
-    let mut counts: HashMap<u32, usize> = HashMap::new();
-    for f in flows {
-        *counts.entry(f.vni).or_insert(0) += 1;
-    }
-    solve_maxmin_weighted(topo, flows, |f| 1.0 / counts[&f.vni] as f64)
+    let vni = VniWeights::from_flows(flows);
+    solve_maxmin_weighted(topo, flows, |f| vni.weight(f))
 }
 
 /// Weighted progressive filling. `weight` must be strictly positive for
 /// every flow.
 pub fn solve_maxmin_weighted<W>(topo: &Topology, flows: &[Flow], weight: W) -> Allocation
+where
+    W: Fn(&Flow) -> f64,
+{
+    let weights: Vec<f64> = flows
+        .iter()
+        .map(|f| {
+            let w = weight(f);
+            assert!(w > 0.0 && w.is_finite(), "flow weight must be positive");
+            w
+        })
+        .collect();
+    solve_incremental(topo, flows, &weights)
+}
+
+/// Minimum of `f` over a work list, parallel above the caller's threshold
+/// decision.
+fn min_over<F>(items: &[u32], parallel: bool, f: F) -> f64
+where
+    F: Fn(u32) -> f64 + Sync + Send,
+{
+    if parallel {
+        items
+            .par_iter()
+            .map(|&i| f(i))
+            .reduce(|| f64::INFINITY, f64::min)
+    } else {
+        items.iter().map(|&i| f(i)).fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// The work-list items satisfying `f`, parallel above the caller's
+/// threshold decision.
+fn filter_collect<F>(items: &[u32], parallel: bool, f: F) -> Vec<u32>
+where
+    F: Fn(u32) -> bool + Sync + Send,
+{
+    if parallel {
+        items.par_iter().filter(|&&i| f(i)).copied().collect()
+    } else {
+        items.iter().filter(|&&i| f(i)).copied().collect()
+    }
+}
+
+/// The incremental water-level solver behind every public entry point.
+fn solve_incremental(topo: &Topology, flows: &[Flow], weights: &[f64]) -> Allocation {
+    let nl = topo.num_links() as usize;
+    let nf = flows.len();
+
+    // One-time CSR index of the flows crossing each link, so a saturating
+    // link freezes exactly the flows it carries instead of triggering a
+    // scan of every flow in the solve.
+    let mut deg = vec![0u32; nl];
+    for f in flows {
+        for l in &f.path {
+            deg[l.0 as usize] += 1;
+        }
+    }
+    let mut off = vec![0u32; nl + 1];
+    for l in 0..nl {
+        off[l + 1] = off[l] + deg[l];
+    }
+    let mut cursor: Vec<u32> = off[..nl].to_vec();
+    let mut link_flows = vec![0u32; off[nl] as usize];
+    for (fi, f) in flows.iter().enumerate() {
+        for l in &f.path {
+            let li = l.0 as usize;
+            link_flows[cursor[li] as usize] = fi as u32;
+            cursor[li] += 1;
+        }
+    }
+
+    let caps: Vec<f64> = topo
+        .links()
+        .iter()
+        .map(|l| l.capacity.as_bytes_per_sec())
+        .collect();
+    // Capacity not yet pinned down by frozen flows.
+    let mut avail = caps.clone();
+    // Sum of active-flow weights per link.
+    let mut link_weight = vec![0.0f64; nl];
+    for (f, &w) in flows.iter().zip(weights) {
+        for l in &f.path {
+            link_weight[l.0 as usize] += w;
+        }
+    }
+
+    // Water level at which each flow hits its demand (infinite for
+    // saturating flows, which only ever freeze via link saturation).
+    let d_over_w: Vec<f64> = flows
+        .iter()
+        .zip(weights)
+        .map(|(f, &w)| f.demand.as_bytes_per_sec() / w)
+        .collect();
+
+    let mut rates = vec![0.0f64; nf];
+    let mut active: Vec<bool> = flows.iter().map(|f| !f.path.is_empty()).collect();
+    let mut n_active = active.iter().filter(|&&a| a).count();
+
+    // Shrinking work lists, pruned lazily at the top of each round.
+    let mut contended: Vec<u32> = (0..nl as u32)
+        .filter(|&l| link_weight[l as usize] > REL_EPS)
+        .collect();
+    let mut limited: Vec<u32> = (0..nf as u32)
+        .filter(|&f| active[f as usize] && d_over_w[f as usize].is_finite())
+        .collect();
+
+    // The water level: every still-active flow's rate is weight × level.
+    let mut level = 0.0f64;
+    let mut rounds = 0usize;
+
+    while n_active > 0 {
+        rounds += 1;
+        assert!(
+            rounds <= nl + nf + 1,
+            "progressive filling failed to converge"
+        );
+
+        contended.retain(|&l| link_weight[l as usize] > REL_EPS);
+        limited.retain(|&f| active[f as usize]);
+        let parallel = contended.len() + limited.len() >= PAR_THRESHOLD;
+
+        // The next binding constraint: the lowest level at which a link
+        // saturates or a demand is met.
+        let link_level = min_over(&contended, parallel, |l| {
+            avail[l as usize] / link_weight[l as usize]
+        });
+        let flow_level = min_over(&limited, parallel, |f| d_over_w[f as usize]);
+        let next = link_level.min(flow_level);
+        assert!(
+            next.is_finite(),
+            "no binding constraint: flows without links must have finite demand"
+        );
+        level = next.max(level);
+
+        // This round's events, collected from one consistent snapshot.
+        // Freezing a flow at rate weight × level leaves every link's
+        // `avail - level × link_weight` unchanged, so the order the two
+        // event sets are applied in cannot disturb either decision.
+        let at_demand = filter_collect(&limited, parallel, |f| {
+            d_over_w[f as usize] <= level * (1.0 + REL_EPS)
+        });
+        let saturated = filter_collect(&contended, parallel, |l| {
+            let li = l as usize;
+            avail[li] - level * link_weight[li] <= caps[li] * REL_EPS
+        });
+
+        let mut freeze = |fi: usize| {
+            if !active[fi] {
+                return;
+            }
+            active[fi] = false;
+            n_active -= 1;
+            let r = weights[fi] * level;
+            rates[fi] = r;
+            for l in &flows[fi].path {
+                let li = l.0 as usize;
+                link_weight[li] -= weights[fi];
+                avail[li] -= r;
+            }
+        };
+        for &f in &at_demand {
+            freeze(f as usize);
+        }
+        for &l in &saturated {
+            for idx in off[l as usize]..off[l as usize + 1] {
+                freeze(link_flows[idx as usize] as usize);
+            }
+        }
+    }
+
+    Allocation { rates, rounds }
+}
+
+/// The straightforward progressive-filling loop the incremental solver
+/// replaced: every round rescans all links and all flows, giving
+/// O(rounds × (links + flows × |path|)). Kept as the oracle for the
+/// `optimized_matches_reference` property test and as the baseline the
+/// `bench_maxmin` speedup is measured against.
+pub fn solve_maxmin_reference<W>(topo: &Topology, flows: &[Flow], weight: W) -> Allocation
 where
     W: Fn(&Flow) -> f64,
 {
@@ -93,9 +341,6 @@ where
     let mut active: Vec<bool> = flows.iter().map(|f| !f.path.is_empty()).collect();
     let mut n_active = active.iter().filter(|&&a| a).count();
     let mut rounds = 0usize;
-
-    // Relative tolerance for saturation/demand checks.
-    const REL_EPS: f64 = 1e-9;
 
     while n_active > 0 {
         rounds += 1;
@@ -164,8 +409,10 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dragonfly::{Dragonfly, DragonflyParams};
+    use crate::routing::{RoutePolicy, Router};
     use crate::topology::{EndpointId, Flow, LinkLevel, SwitchId};
-    use frontier_sim_core::units::Bandwidth;
+    use frontier_sim_core::prelude::*;
 
     /// Two endpoints on one switch, three saturating flows through one
     /// shared 30 GB/s link: each gets 10.
@@ -306,5 +553,159 @@ mod tests {
         let a = solve_maxmin(&t, &flows);
         assert!((a.total().as_gb_s() - 30.0).abs() < 1e-6);
         assert!((a.min_rate().as_gb_s() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_flow_set_min_rate_is_zero() {
+        let (t, _) = shared_link_setup();
+        let a = solve_maxmin(&t, &[]);
+        assert_eq!(a.rates.len(), 0);
+        assert_eq!(a.rounds, 0);
+        assert_eq!(a.min_rate().as_bytes_per_sec(), 0.0);
+        assert_eq!(a.total().as_bytes_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn vni_weights_handle_empty_and_unknown() {
+        let empty = VniWeights::from_flows(&[]);
+        assert_eq!(empty.count(0), 0);
+        let f = Flow::saturating(EndpointId(0), EndpointId(1), vec![], 7);
+        // Unknown VNI weighs 1.0 instead of panicking.
+        assert_eq!(empty.weight(&f), 1.0);
+        // Per-VNI solve of an empty flow set is well-defined.
+        let (t, _) = shared_link_setup();
+        let a = solve_maxmin_per_vni(&t, &[]);
+        assert_eq!(a.min_rate().as_bytes_per_sec(), 0.0);
+
+        let (_, flows) = shared_link_setup();
+        let w = VniWeights::from_flows(&flows);
+        assert_eq!(w.count(0), 1);
+        assert!((w.weight(&flows[0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_vni_solve_matches_weight_table_closure() {
+        let (t, mut flows) = shared_link_setup();
+        flows[1].vni = 0; // two VNIs of sizes 2 and 1
+        let vni = VniWeights::from_flows(&flows);
+        let a = solve_maxmin_per_vni(&t, &flows);
+        let b = solve_maxmin_weighted(&t, &flows, |f| vni.weight(f));
+        assert_eq!(a.rates, b.rates);
+    }
+
+    /// Random dragonfly flow sets, compared flow-by-flow against the
+    /// reference implementation (also covered at larger scale by the
+    /// `optimized_matches_reference` property test).
+    #[test]
+    fn incremental_matches_reference_on_random_flow_sets() {
+        for seed in 0..40u64 {
+            let df = Dragonfly::build(DragonflyParams::scaled(
+                2 + (seed % 5) as usize,
+                1 + (seed % 4) as usize,
+                1 + (seed % 3) as usize,
+            ));
+            let topo = df.topology();
+            let n = df.params().total_endpoints();
+            if n < 2 {
+                continue;
+            }
+            let mut rng = StreamRng::from_seed(seed);
+            let router = Router::new(&df, RoutePolicy::adaptive_default());
+            let nflows = 1 + rng.index(40);
+            let mut flows = Vec::with_capacity(nflows);
+            for i in 0..nflows {
+                let s = rng.index(n);
+                let mut d = rng.index(n);
+                if d == s {
+                    d = (d + 1) % n;
+                }
+                let mut f = Flow::saturating(
+                    EndpointId(s as u32),
+                    EndpointId(d as u32),
+                    router.route(EndpointId(s as u32), EndpointId(d as u32), &mut rng),
+                    (i % 4) as u32,
+                );
+                if i % 3 == 0 {
+                    f.demand = Bandwidth::gb_s(0.5 + 30.0 * rng.uniform());
+                }
+                flows.push(f);
+            }
+            let weight = |f: &Flow| 0.5 + f.vni as f64;
+            let opt = solve_maxmin_weighted(topo, &flows, weight);
+            let reference = solve_maxmin_reference(topo, &flows, weight);
+            for (i, (a, b)) in opt.rates.iter().zip(&reference.rates).enumerate() {
+                let scale = 1.0f64.max(a.abs()).max(b.abs());
+                assert!(
+                    (a - b).abs() <= 1e-9 * scale,
+                    "seed {seed} flow {i}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    /// The incremental algorithm keeps the progressive-filling convergence
+    /// bound: at least one flow freezes per round.
+    #[test]
+    fn rounds_bound_regression() {
+        for seed in 0..20u64 {
+            let df = Dragonfly::build(DragonflyParams::scaled(6, 4, 4));
+            let topo = df.topology();
+            let n = df.params().total_endpoints();
+            let mut rng = StreamRng::from_seed(1000 + seed);
+            let router = Router::new(&df, RoutePolicy::adaptive_default());
+            let flows: Vec<Flow> = (0..30)
+                .map(|i| {
+                    let s = rng.index(n);
+                    let mut d = rng.index(n);
+                    if d == s {
+                        d = (d + 1) % n;
+                    }
+                    Flow::saturating(
+                        EndpointId(s as u32),
+                        EndpointId(d as u32),
+                        router.route(EndpointId(s as u32), EndpointId(d as u32), &mut rng),
+                        i % 3,
+                    )
+                })
+                .collect();
+            let a = solve_maxmin(topo, &flows);
+            let nl = topo.num_links() as usize;
+            assert!(
+                a.rounds <= nl + flows.len() + 1,
+                "seed {seed}: {} rounds for {} links + {} flows",
+                a.rounds,
+                nl,
+                flows.len()
+            );
+        }
+    }
+
+    /// Above `PAR_THRESHOLD` work items the rayon reductions engage; the
+    /// allocation must not depend on which path ran.
+    #[test]
+    fn parallel_reduction_matches_serial_above_threshold() {
+        let mut t = Topology::new();
+        t.add_switches(2);
+        let shared = t.add_link(Bandwidth::gb_s(100.0), LinkLevel::Local);
+        // Enough flows that contended links comfortably exceed the
+        // threshold in round one.
+        let nf = PAR_THRESHOLD;
+        let mut flows = Vec::with_capacity(nf);
+        for i in 0..nf {
+            let s = t.add_endpoint(SwitchId(0), Bandwidth::gb_s(50.0));
+            let d = t.add_endpoint(SwitchId(1), Bandwidth::gb_s(50.0));
+            let path = vec![t.injection_link(s), shared, t.ejection_link(d)];
+            let mut f = Flow::saturating(s, d, path, (i % 7) as u32);
+            if i % 2 == 0 {
+                f.demand = Bandwidth::gb_s(0.001 + (i % 13) as f64 * 0.001);
+            }
+            flows.push(f);
+        }
+        let opt = solve_maxmin(&t, &flows);
+        let reference = solve_maxmin_reference(&t, &flows, |_| 1.0);
+        for (i, (a, b)) in opt.rates.iter().zip(&reference.rates).enumerate() {
+            let scale = 1.0f64.max(a.abs()).max(b.abs());
+            assert!((a - b).abs() <= 1e-9 * scale, "flow {i}: {a} vs {b}");
+        }
     }
 }

@@ -13,6 +13,7 @@ use crate::fattree::FatTree;
 use crate::maxmin::solve_maxmin;
 use crate::patterns::mpigraph_pairs;
 use crate::routing::{RoutePolicy, Router};
+use crate::topology::{Flow, Topology};
 use frontier_sim_core::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -57,6 +58,15 @@ impl MpiGraphResult {
     }
 }
 
+/// Solve a pre-routed mpiGraph flow set: one max-min solve plus the
+/// measurement-noise packaging. Callers that already hold routed flows
+/// (ablation sweeps, benches) reuse them here instead of re-routing.
+pub fn run_with_flows(topo: &Topology, flows: &[Flow], seed: u64) -> MpiGraphResult {
+    let alloc = solve_maxmin(topo, flows);
+    let rates: Vec<f64> = alloc.rates.iter().map(|&r| r / 1e9).collect();
+    MpiGraphResult::from_rates(rates, seed)
+}
+
 /// Run mpiGraph over a dragonfly with the given routing policy.
 pub fn run_dragonfly(df: &Dragonfly, policy: RoutePolicy, seed: u64) -> MpiGraphResult {
     let n = df.params().total_endpoints();
@@ -65,9 +75,7 @@ pub fn run_dragonfly(df: &Dragonfly, policy: RoutePolicy, seed: u64) -> MpiGraph
     let router = Router::new(df, policy);
     let mut route_rng = StreamRng::for_component(seed, "mpigraph-routes", 0);
     let flows = router.flows_for_pairs(&pairs, 0, &mut route_rng);
-    let alloc = solve_maxmin(df.topology(), &flows);
-    let rates: Vec<f64> = alloc.rates.iter().map(|&r| r / 1e9).collect();
-    MpiGraphResult::from_rates(rates, seed)
+    run_with_flows(df.topology(), &flows, seed)
 }
 
 /// Run mpiGraph over a fat-tree.
@@ -76,9 +84,7 @@ pub fn run_fattree(ft: &FatTree, seed: u64) -> MpiGraphResult {
     let mut rng = StreamRng::for_component(seed, "mpigraph-pairs", 1);
     let pairs = mpigraph_pairs(n, &mut rng);
     let flows = ft.flows_for_pairs(&pairs, 0);
-    let alloc = solve_maxmin(ft.topology(), &flows);
-    let rates: Vec<f64> = alloc.rates.iter().map(|&r| r / 1e9).collect();
-    MpiGraphResult::from_rates(rates, seed)
+    run_with_flows(ft.topology(), &flows, seed)
 }
 
 #[cfg(test)]

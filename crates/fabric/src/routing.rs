@@ -64,7 +64,11 @@ impl<'a> Router<'a> {
         let gs = df.group_of(src);
         let gd = df.group_of(dst);
 
-        let mut path = vec![df.topology().injection_link(src)];
+        // Longest possible path is inj + local + global + local + global +
+        // local + ej = 7 links (Valiant); pre-sizing avoids the repeated
+        // reallocations that dominated routing 38k-flow workloads.
+        let mut path = Vec::with_capacity(7);
+        path.push(df.topology().injection_link(src));
         if gs == gd {
             // Intra-group: at most one L1 hop (switches fully connected).
             let ss = df.local_switch_of(src);

@@ -2,7 +2,7 @@
 //! fairness invariants.
 
 use frontier_fabric::dragonfly::{Dragonfly, DragonflyParams};
-use frontier_fabric::maxmin::{solve_maxmin, solve_maxmin_weighted};
+use frontier_fabric::maxmin::{solve_maxmin, solve_maxmin_reference, solve_maxmin_weighted};
 use frontier_fabric::routing::{RoutePolicy, Router};
 use frontier_fabric::topology::{EndpointId, Flow, LinkLevel};
 use frontier_sim_core::prelude::*;
@@ -99,6 +99,63 @@ proptest! {
             });
             prop_assert!(at_demand || bottlenecked, "flow neither satisfied nor bottlenecked");
         }
+    }
+
+    /// The incremental, indexed, parallel solver is allocation-preserving:
+    /// on random dragonfly shapes, random pair sets, random finite and
+    /// infinite demands, and random weights it matches the straightforward
+    /// progressive-filling reference to 1e-9 relative — and it keeps the
+    /// `rounds <= links + flows + 1` convergence bound.
+    #[test]
+    fn optimized_matches_reference(
+        seed in 0u64..1000,
+        groups in 2usize..7,
+        spg in 1usize..5,
+        eps in 1usize..4,
+        nflows in 1usize..60,
+        wmul in 0.2f64..5.0,
+    ) {
+        let df = Dragonfly::build(DragonflyParams::scaled(groups, spg, eps));
+        let n = df.params().total_endpoints();
+        prop_assume!(n >= 2);
+        let topo = df.topology();
+        let mut rng = StreamRng::from_seed(seed);
+        let router = Router::new(&df, RoutePolicy::adaptive_default());
+        let mut flows = Vec::with_capacity(nflows);
+        for i in 0..nflows {
+            let s = rng.index(n);
+            let mut d = rng.index(n);
+            if d == s { d = (d + 1) % n; }
+            let mut f = Flow::saturating(
+                EndpointId(s as u32),
+                EndpointId(d as u32),
+                router.route(EndpointId(s as u32), EndpointId(d as u32), &mut rng),
+                (i % 5) as u32,
+            );
+            if i % 3 == 0 {
+                // A mix of finite demands; the rest stay saturating.
+                f.demand = Bandwidth::gb_s(0.3 + 40.0 * rng.uniform());
+            }
+            flows.push(f);
+        }
+        let weight = |f: &Flow| wmul * (0.5 + f.vni as f64);
+        let opt = solve_maxmin_weighted(topo, &flows, weight);
+        let reference = solve_maxmin_reference(topo, &flows, weight);
+        prop_assert_eq!(opt.rates.len(), reference.rates.len());
+        for (i, (a, b)) in opt.rates.iter().zip(&reference.rates).enumerate() {
+            let scale = 1.0f64.max(a.abs()).max(b.abs());
+            prop_assert!(
+                (a - b).abs() <= 1e-9 * scale,
+                "flow {}: optimized {} vs reference {}", i, a, b
+            );
+        }
+        // Regression: the incremental algorithm still freezes at least one
+        // flow per round, so the classic convergence bound holds.
+        let nl = topo.num_links() as usize;
+        prop_assert!(
+            opt.rounds <= nl + flows.len() + 1,
+            "{} rounds for {} links + {} flows", opt.rounds, nl, flows.len()
+        );
     }
 
     /// Scaling all weights by a constant does not change the allocation.
