@@ -1,0 +1,90 @@
+//! End-to-end `repro` wall-clock bench: times the real binary on the
+//! heavyweight sections (`table5`, `fig6`, `mtti`) at full machine scale,
+//! serial (`--serial`, one rayon thread) vs parallel (default pool), and
+//! records the medians to `BENCH_repro.json` at the workspace root so
+//! future PRs can track the experiment engine's trend.
+//!
+//! The serial and parallel runs must also produce byte-identical stdout —
+//! the determinism contract of the keyed-stream design — so this bench
+//! asserts it on every section it times.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use frontier_bench::experiments as exp;
+use frontier_bench::Scale;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::Instant;
+
+/// Run `repro <section>` once, returning (wall-clock ns, stdout).
+fn run_repro(section: &str, serial: bool) -> (f64, Vec<u8>) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_repro"));
+    if serial {
+        // One rayon thread *and* serial section dispatch: a genuinely
+        // single-threaded baseline.
+        cmd.arg("--serial").env("RAYON_NUM_THREADS", "1");
+    }
+    cmd.arg(section);
+    let t0 = Instant::now();
+    let out = cmd.output().expect("spawn repro");
+    let ns = t0.elapsed().as_nanos() as f64;
+    assert!(out.status.success(), "repro {section} failed: {out:?}");
+    (ns, out.stdout)
+}
+
+/// Median wall-clock ns of `reps` runs, plus the stdout of the last run.
+fn median_run(section: &str, serial: bool, reps: usize) -> (f64, Vec<u8>) {
+    let mut times = Vec::with_capacity(reps);
+    let mut stdout = Vec::new();
+    for _ in 0..reps {
+        let (ns, out) = run_repro(section, serial);
+        times.push(ns);
+        stdout = out;
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (times[times.len() / 2], stdout)
+}
+
+fn bench_repro(c: &mut Criterion) {
+    // Criterion point: the small-scale section renders exercise the same
+    // code paths in-process (cache warm after the first iteration).
+    c.bench_function("repro_small_table5_in_process", |b| {
+        b.iter(|| black_box(exp::section_text("table5", Scale::Small)))
+    });
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut entries = String::new();
+    for (i, section) in ["table5", "fig6", "mtti"].iter().enumerate() {
+        let (ser_ns, ser_out) = median_run(section, true, 3);
+        let (par_ns, par_out) = median_run(section, false, 3);
+        assert_eq!(
+            ser_out, par_out,
+            "serial and parallel `repro {section}` outputs diverge"
+        );
+        if i > 0 {
+            entries.push_str(",\n");
+        }
+        entries.push_str(&format!(
+            "    \"{section}\": {{ \"serial_median_ns\": {ser_ns}, \"parallel_median_ns\": {par_ns}, \"speedup\": {:.2} }}",
+            ser_ns / par_ns
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"repro_end_to_end\",\n  \"threads\": {threads},\n  \"sections\": {{\n{entries}\n  }}\n}}\n"
+    );
+    // crates/bench -> workspace root.
+    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_repro.json");
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("bench_repro: wrote {}:\n{json}", out.display()),
+        Err(e) => eprintln!("bench_repro: could not write {}: {e}", out.display()),
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_repro
+}
+criterion_main!(benches);

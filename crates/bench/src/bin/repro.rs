@@ -5,10 +5,19 @@
 //! cargo run --release -p frontier-bench --bin repro            # everything
 //! cargo run --release -p frontier-bench --bin repro -- table3  # one section
 //! cargo run --release -p frontier-bench --bin repro -- --small all
+//! cargo run --release -p frontier-bench --bin repro -- --jobs 4 all
+//! cargo run --release -p frontier-bench --bin repro -- --serial all
 //! ```
+//!
+//! Sections are independent, so by default they render concurrently on
+//! the rayon pool with output buffered per section and printed in the
+//! requested (paper) order — byte-identical to `--serial`, because every
+//! random draw comes from a stream keyed by `(seed, component, index)`
+//! rather than from shared sequential state.
 
 use frontier_bench::experiments as exp;
 use frontier_bench::Scale;
+use rayon::prelude::*;
 
 const SECTIONS: &[(&str, &str)] = &[
     ("table1", "Frontier compute peak specifications"),
@@ -44,7 +53,14 @@ const SECTIONS: &[(&str, &str)] = &[
 ];
 
 fn usage() -> ! {
-    eprintln!("usage: repro [--small] [SECTION ...]\n\nsections:");
+    eprintln!(
+        "usage: repro [--small] [--serial] [--jobs N] [SECTION ...]\n\n\
+         options:\n  \
+         --small     ratio-preserving reduced fabric (fast)\n  \
+         --serial    render sections one at a time on this thread\n  \
+         --jobs N    size of the rayon pool (default: all cores)\n\n\
+         sections:"
+    );
     for (name, desc) in SECTIONS {
         eprintln!("  {name:<10} {desc}");
     }
@@ -53,11 +69,24 @@ fn usage() -> ! {
 
 fn main() {
     let mut scale = Scale::Full;
+    let mut serial = false;
     let mut sections: Vec<String> = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--small" => scale = Scale::Small,
             "--full" => scale = Scale::Full,
+            "--serial" => serial = true,
+            "--jobs" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage());
+                // Sizes the global pool; must land before rayon's first
+                // use. Solver-internal parallelism honors it too.
+                std::env::set_var("RAYON_NUM_THREADS", n.to_string());
+            }
             "-h" | "--help" => usage(),
             s if s.starts_with('-') => usage(),
             s => sections.push(s.to_string()),
@@ -66,34 +95,31 @@ fn main() {
     if sections.is_empty() {
         sections.push("all".to_string());
     }
-    for section in &sections {
-        let text = match section.as_str() {
-            "table1" => exp::table1_text(),
-            "table2" => exp::table2_text(),
-            "table3" => exp::table3_text(),
-            "table4" => exp::table4_text(),
-            "table5" => exp::table5_text(scale),
-            "table6" => exp::table6_text(),
-            "table7" => exp::table7_text(),
-            "fig3" => exp::fig3_text(),
-            "fig4" => exp::fig4_text(),
-            "fig5" => exp::fig5_text(),
-            "fig6" => exp::fig6_text(scale),
-            "nodelocal" => exp::nodelocal_text(),
-            "orion" => exp::orion_text(),
-            "power" => exp::power_text(),
-            "mtti" => exp::mtti_text(),
-            "taper" => exp::taper_text(),
-            "placement" => exp::placement_text(),
-            "nps" => exp::nps_text(),
-            "nic" => exp::nic_text(),
-            "hpl" => exp::hpl_text(),
-            "collectives" => exp::collectives_text(),
-            "ugal" => exp::ugal_text(),
-            "ue" => exp::ue_text(),
-            "all" => exp::all_text(scale),
-            _ => usage(),
-        };
+
+    // Expand `all` to its sections so they can render independently.
+    // Per-section `println!` emits the same bytes as printing the joined
+    // `all_text` (sections are joined with "\n" and each println appends
+    // one), so concurrent, serial, and pre-expansion outputs all match.
+    let expanded: Vec<&str> = sections
+        .iter()
+        .flat_map(|s| match s.as_str() {
+            "all" => exp::PAPER_ORDER.to_vec(),
+            other => vec![other],
+        })
+        .collect();
+    for s in &expanded {
+        if !exp::PAPER_ORDER.contains(s) {
+            usage();
+        }
+    }
+
+    let render = |name: &&str| exp::section_text(name, scale).expect("validated above");
+    let texts: Vec<String> = if serial {
+        expanded.iter().map(render).collect()
+    } else {
+        expanded.par_iter().map(render).collect()
+    };
+    for text in texts {
         println!("{text}");
     }
 }

@@ -1,0 +1,122 @@
+//! Process-wide caches of the expensive, immutable model inputs.
+//!
+//! `repro -- all` used to rebuild the full 9,472-node dragonfly (and the
+//! Summit fat-tree, and the machine model) for every section that needed
+//! it — seconds of identical graph construction per section. Topologies
+//! are immutable after `build`, so every experiment and Criterion bench
+//! can share one instance behind an `Arc`. Keys are the complete
+//! parameter sets (floats compared by bit pattern), so two sections only
+//! share a topology when they would have built byte-identical ones.
+//!
+//! Each key maps to its own `OnceLock` cell: concurrent sections asking
+//! for the *same* topology block until the single build finishes, while
+//! builds of *different* topologies (e.g. the taper ablation's three
+//! bundle variants) proceed in parallel.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use frontier_core::apps::machine::MachineModel;
+use frontier_core::fabric::dragonfly::{Dragonfly, DragonflyParams};
+use frontier_core::fabric::fattree::{FatTree, FatTreeParams};
+
+/// One cache cell per key: waiters on the same key block behind the
+/// single build without holding the registry lock.
+type Registry<K, V> = Mutex<HashMap<K, Arc<OnceLock<Arc<V>>>>>;
+
+/// Get-or-build `key`'s value in `registry`, building at most once per
+/// key for the life of the process.
+fn cached<K, V>(registry: &Registry<K, V>, key: K, build: impl FnOnce() -> V) -> Arc<V>
+where
+    K: Eq + Hash,
+{
+    let cell = {
+        let mut map = registry.lock().expect("cache poisoned");
+        Arc::clone(map.entry(key).or_default())
+    };
+    // The registry lock is dropped before building: only waiters on this
+    // exact key serialize behind the build.
+    Arc::clone(cell.get_or_init(|| Arc::new(build())))
+}
+
+/// A `DragonflyParams` fingerprint: every field, floats by bit pattern.
+type DfKey = (usize, usize, usize, usize, u64, u64, usize, usize, usize);
+
+fn df_key(p: &DragonflyParams) -> DfKey {
+    (
+        p.groups,
+        p.switches_per_group,
+        p.endpoints_per_switch,
+        p.nics_per_node,
+        p.link_rate.as_bytes_per_sec().to_bits(),
+        p.protocol_efficiency.to_bits(),
+        p.bundles_per_group_pair,
+        p.io_groups,
+        p.bundles_per_io_pair,
+    )
+}
+
+/// A `FatTreeParams` fingerprint.
+type FtKey = (usize, usize, u64, u64, u64);
+
+fn ft_key(p: &FatTreeParams) -> FtKey {
+    (
+        p.edge_switches,
+        p.endpoints_per_edge,
+        p.link_rate.as_bytes_per_sec().to_bits(),
+        p.protocol_efficiency.to_bits(),
+        p.uplink_ratio.to_bits(),
+    )
+}
+
+/// The shared dragonfly built from `params`.
+pub fn dragonfly(params: DragonflyParams) -> Arc<Dragonfly> {
+    static CACHE: OnceLock<Registry<DfKey, Dragonfly>> = OnceLock::new();
+    let registry = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    cached(registry, df_key(&params), || Dragonfly::build(params))
+}
+
+/// The shared fat-tree built from `params`.
+pub fn fattree(params: FatTreeParams) -> Arc<FatTree> {
+    static CACHE: OnceLock<Registry<FtKey, FatTree>> = OnceLock::new();
+    let registry = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    cached(registry, ft_key(&params), || FatTree::build(params))
+}
+
+/// The shared Frontier machine model (Tables 6 and 7 both score every
+/// application against it).
+pub fn frontier_machine() -> Arc<MachineModel> {
+    static CACHE: OnceLock<Arc<MachineModel>> = OnceLock::new();
+    Arc::clone(CACHE.get_or_init(|| Arc::new(MachineModel::frontier())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_params_share_one_instance() {
+        let a = dragonfly(DragonflyParams::scaled(4, 4, 2));
+        let b = dragonfly(DragonflyParams::scaled(4, 4, 2));
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn different_params_get_different_instances() {
+        let a = dragonfly(DragonflyParams::scaled(4, 4, 2));
+        let mut p = DragonflyParams::scaled(4, 4, 2);
+        p.protocol_efficiency += 0.01;
+        let b = dragonfly(p.clone());
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(b.params(), &p);
+    }
+
+    #[test]
+    fn fattree_and_machine_are_cached() {
+        let a = fattree(FatTreeParams::scaled(4, 4));
+        let b = fattree(FatTreeParams::scaled(4, 4));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&frontier_machine(), &frontier_machine()));
+    }
+}

@@ -7,11 +7,13 @@
 //! `Scale::Small` uses a ratio-preserving reduced fabric for quick runs
 //! and tests.
 
+use std::sync::Arc;
+
 use frontier_core::prelude::*;
 use frontier_core::{apps, fabric, node, power, resilience, storage};
 
 use fabric::dragonfly::{Dragonfly, DragonflyParams};
-use fabric::fattree::FatTree;
+use fabric::fattree::FatTreeParams;
 use fabric::gpcnet::{self, GpcnetConfig};
 use fabric::mpigraph;
 use fabric::patterns::all_to_all_throughput;
@@ -21,6 +23,8 @@ use node::gemm::{GemmModel, Precision};
 use node::hbm::HbmStack;
 use node::stream::{cpu_stream, gpu_stream};
 use node::transfer::{TransferEngine, TransferKind};
+
+use crate::cache;
 
 /// Experiment scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,11 +36,11 @@ pub enum Scale {
 }
 
 impl Scale {
-    fn dragonfly(self) -> Dragonfly {
-        match self {
-            Scale::Small => Dragonfly::build(DragonflyParams::scaled(16, 8, 8)),
-            Scale::Full => Dragonfly::frontier(),
-        }
+    fn dragonfly(self) -> Arc<Dragonfly> {
+        cache::dragonfly(match self {
+            Scale::Small => DragonflyParams::scaled(16, 8, 8),
+            Scale::Full => DragonflyParams::frontier(),
+        })
     }
 }
 
@@ -173,10 +177,10 @@ pub fn fig5_text() -> String {
 pub fn fig6_text(scale: Scale) -> String {
     let df = scale.dragonfly();
     let frontier = mpigraph::run_dragonfly(&df, RoutePolicy::adaptive_default(), 0xF16);
-    let ft = match scale {
-        Scale::Small => FatTree::build(fabric::fattree::FatTreeParams::scaled(32, 32)),
-        Scale::Full => FatTree::summit(),
-    };
+    let ft = cache::fattree(match scale {
+        Scale::Small => FatTreeParams::scaled(32, 32),
+        Scale::Full => FatTreeParams::summit(),
+    });
     let summit = mpigraph::run_fattree(&ft, 0xF16);
     let mut out = String::from("Figure 6: mpiGraph per-NIC receive bandwidth\n");
     out.push_str(&frontier.histogram(20.0, 40).render(
@@ -202,7 +206,9 @@ pub fn table5_text(scale: Scale) -> String {
         Scale::Small => GpcnetConfig::scaled_for_tests(),
         Scale::Full => GpcnetConfig::frontier_table5(),
     };
-    let report = gpcnet::run(&cfg);
+    // Both PPN variants run against one shared topology build.
+    let df = cache::dragonfly(cfg.params.clone());
+    let report = gpcnet::run_on(&df, &cfg);
     let paper_iso = [(2.6, 4.8), (3497.2, 2514.4), (51.5, 54.1)];
     let paper_con = [(2.6, 4.7), (3472.2, 2487.0), (51.6, 54.3)];
     let mut t = Table::new(
@@ -248,7 +254,7 @@ pub fn table5_text(scale: Scale) -> String {
     // The paper's 32 PPN observation: partial degradation even with CC on.
     let mut cfg32 = cfg.clone();
     cfg32.ppn = 32;
-    let r32 = gpcnet::run(&cfg32);
+    let r32 = gpcnet::run_on(&df, &cfg32);
     let worst = (0..3).map(|i| r32.impact_factor(i)).fold(0.0f64, f64::max);
     out.push_str(&format!(
         "at 32 PPN: worst average impact {:.2}x (paper: 1.2-1.6x averages)\n",
@@ -259,7 +265,7 @@ pub fn table5_text(scale: Scale) -> String {
 
 /// Table 6: CAAR application speedups.
 pub fn table6_text() -> String {
-    let f = apps::machine::MachineModel::frontier();
+    let f = cache::frontier_machine();
     apps::fom::render_table(
         "Table 6: CAAR and INCITE applications vs the 4.0x Summit KPP",
         &apps::caar::caar_results(&f),
@@ -269,7 +275,7 @@ pub fn table6_text() -> String {
 
 /// Table 7: ECP application speedups.
 pub fn table7_text() -> String {
-    let f = apps::machine::MachineModel::frontier();
+    let f = cache::frontier_machine();
     apps::fom::render_table(
         "Table 7: ECP applications vs the 50x KPP",
         &apps::ecp::ecp_results(&f),
@@ -378,7 +384,7 @@ pub fn taper_text() -> String {
     for bundles in [1usize, 2, 4] {
         let mut p = DragonflyParams::frontier();
         p.bundles_per_group_pair = bundles;
-        let df = Dragonfly::build(p);
+        let df = cache::dragonfly(p);
         let t = all_to_all_throughput(&df, 1.0);
         out.push_str(&format!(
             "bundles={bundles}: taper {:>4.1}%, global {:>5.1} TB/s, all-to-all {:>4.1} GB/s/node{}\n",
@@ -395,7 +401,7 @@ pub fn taper_text() -> String {
 pub fn placement_text() -> String {
     use frontier_core::sched::placement::{allocate, placement_metrics, PlacementPolicy};
     use std::collections::BTreeSet;
-    let df = Dragonfly::build(DragonflyParams::scaled(16, 8, 8));
+    let df = cache::dragonfly(DragonflyParams::scaled(16, 8, 8));
     let free: BTreeSet<usize> = (0..df.params().total_nodes()).collect();
     let mut out =
         String::from("Slurm topology-aware placement (paper: pack small jobs, spread large)\n");
@@ -481,7 +487,7 @@ pub fn hpl_text() -> String {
 pub fn collectives_text() -> String {
     use fabric::collectives::{AllreduceAlgo, Collectives};
     use fabric::topology::EndpointId;
-    let df = Dragonfly::build(DragonflyParams::scaled(8, 8, 8));
+    let df = cache::dragonfly(DragonflyParams::scaled(8, 8, 8));
     let ranks: Vec<EndpointId> = (0..64).map(EndpointId).collect();
     let c = Collectives::new(&df, ranks, RoutePolicy::Minimal, 0xC0);
     let mut out = String::from(
@@ -517,7 +523,7 @@ pub fn ugal_text() -> String {
     use fabric::maxmin::solve_maxmin;
     use fabric::routing::Router;
     use fabric::topology::EndpointId;
-    let df = Dragonfly::build(DragonflyParams::scaled(16, 8, 8));
+    let df = cache::dragonfly(DragonflyParams::scaled(16, 8, 8));
     let epg = df.params().endpoints_per_group() as u32;
     let n = df.params().total_endpoints() as u32;
     // Adversarial: group g -> group g+1, all endpoints.
@@ -525,9 +531,8 @@ pub fn ugal_text() -> String {
         .map(|e| (EndpointId(e), EndpointId((e + epg) % n)))
         .collect();
     let r = Router::new(&df, RoutePolicy::Minimal);
-    let mut rng = frontier_core::prelude::StreamRng::from_seed(0x06A1);
-    let t_min = solve_maxmin(df.topology(), &r.flows_for_pairs(&pairs, 0, &mut rng)).total();
-    let t_ugal = solve_maxmin(df.topology(), &r.route_all_ugal(&pairs, 0, &mut rng)).total();
+    let t_min = solve_maxmin(df.topology(), &r.route_all(&pairs, 0, 0x06A1)).total();
+    let t_ugal = solve_maxmin(df.topology(), &r.route_all_ugal(&pairs, 0, 0x06A1)).total();
     format!(
         "Routing ablation on adversarial group-shift traffic (§3.2: direct networks\n\
          need non-minimal routing)\n\
@@ -545,7 +550,7 @@ pub fn ue_text() -> String {
     let m = UeModel::default();
     let f = HbmInstallation::frontier();
     let s = HbmInstallation::summit();
-    let df = Dragonfly::frontier();
+    let df = cache::dragonfly(DragonflyParams::frontier());
     format!(
         "HBM uncorrectable errors (paper: Frontier's UE level is Summit's HBM2 rate\n\
          scaled by HBM2e capacity)\n\
@@ -564,33 +569,74 @@ pub fn ue_text() -> String {
     )
 }
 
+/// Every section name, in the paper's presentation order. `repro -- all`
+/// expands to exactly this list, whether it renders the sections serially
+/// or fans them out over a thread pool.
+pub const PAPER_ORDER: &[&str] = &[
+    "table1",
+    "table2",
+    "table3",
+    "fig3",
+    "table4",
+    "fig4",
+    "fig5",
+    "fig6",
+    "table5",
+    "nodelocal",
+    "orion",
+    "table6",
+    "table7",
+    "power",
+    "mtti",
+    "taper",
+    "placement",
+    "nps",
+    "nic",
+    "hpl",
+    "collectives",
+    "ugal",
+    "ue",
+];
+
+/// Render one section by name, or `None` for an unknown name. This is the
+/// single dispatch point shared by [`all_text`], the `repro` binary, and
+/// the `bench_repro` harness — every consumer renders identical text for
+/// a given `(name, scale)`.
+pub fn section_text(name: &str, scale: Scale) -> Option<String> {
+    Some(match name {
+        "table1" => table1_text(),
+        "table2" => table2_text(),
+        "table3" => table3_text(),
+        "table4" => table4_text(),
+        "table5" => table5_text(scale),
+        "table6" => table6_text(),
+        "table7" => table7_text(),
+        "fig3" => fig3_text(),
+        "fig4" => fig4_text(),
+        "fig5" => fig5_text(),
+        "fig6" => fig6_text(scale),
+        "nodelocal" => nodelocal_text(),
+        "orion" => orion_text(),
+        "power" => power_text(),
+        "mtti" => mtti_text(),
+        "taper" => taper_text(),
+        "placement" => placement_text(),
+        "nps" => nps_text(),
+        "nic" => nic_text(),
+        "hpl" => hpl_text(),
+        "collectives" => collectives_text(),
+        "ugal" => ugal_text(),
+        "ue" => ue_text(),
+        _ => return None,
+    })
+}
+
 /// Everything, in paper order.
 pub fn all_text(scale: Scale) -> String {
-    let sections = [
-        table1_text(),
-        table2_text(),
-        table3_text(),
-        fig3_text(),
-        table4_text(),
-        fig4_text(),
-        fig5_text(),
-        fig6_text(scale),
-        table5_text(scale),
-        nodelocal_text(),
-        orion_text(),
-        table6_text(),
-        table7_text(),
-        power_text(),
-        mtti_text(),
-        taper_text(),
-        placement_text(),
-        nps_text(),
-        nic_text(),
-        hpl_text(),
-        collectives_text(),
-        ugal_text(),
-        ue_text(),
-    ];
+    let sections: Vec<String> = PAPER_ORDER
+        .iter()
+        .map(|name| section_text(name, scale).expect("PAPER_ORDER names are known"))
+        .collect();
     sections.join("\n")
 }
 
@@ -626,6 +672,29 @@ mod tests {
         ] {
             assert!(all.contains(marker), "missing section {marker}");
         }
+    }
+
+    #[test]
+    fn section_dispatch_covers_paper_order() {
+        for name in PAPER_ORDER {
+            assert!(
+                section_text(name, Scale::Small).is_some(),
+                "unknown section {name}"
+            );
+        }
+        assert!(section_text("nonsense", Scale::Small).is_none());
+    }
+
+    #[test]
+    fn all_text_equals_joined_sections() {
+        // The byte-identity contract of `repro -- all`: printing each
+        // section in paper order reproduces all_text exactly.
+        let all = all_text(Scale::Small);
+        let joined: Vec<String> = PAPER_ORDER
+            .iter()
+            .map(|n| section_text(n, Scale::Small).unwrap())
+            .collect();
+        assert_eq!(all, joined.join("\n"));
     }
 
     #[test]

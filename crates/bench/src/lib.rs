@@ -5,6 +5,7 @@
 //! prints. The Criterion benches in `benches/` time the underlying solvers
 //! and models on the same code paths.
 
+pub mod cache;
 pub mod experiments;
 
 pub use experiments::Scale;

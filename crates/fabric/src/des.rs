@@ -86,7 +86,10 @@ struct Hop {
 pub fn simulate(topo: &Topology, cfg: &DesConfig, messages: &[Message]) -> Vec<Delivery> {
     let mut link_free = vec![SimTime::ZERO; topo.num_links() as usize];
     let mut arrivals = vec![SimTime::MAX; messages.len()];
-    let mut sim: Simulator<Hop> = Simulator::new();
+    // Every message is scheduled up front and each delivery schedules at
+    // most one follow-up hop, so the queue never holds more than
+    // `messages.len()` events: pre-size the heap once.
+    let mut sim: Simulator<Hop> = Simulator::with_capacity(messages.len());
 
     for (i, m) in messages.iter().enumerate() {
         assert!(!m.path.is_empty(), "message with empty path");

@@ -23,7 +23,7 @@ use frontier_sim_core::units::Bandwidth;
 use serde::{Deserialize, Serialize};
 
 /// Parameters of a dragonfly build.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DragonflyParams {
     /// Number of compute groups (74 on Frontier).
     pub groups: usize,

@@ -154,33 +154,44 @@ fn build_workload(df: &Dragonfly, cfg: &GpcnetConfig) -> Workload {
     let router = Router::new(df, RoutePolicy::adaptive_default());
 
     // Victim ranks → endpoints (PPN ranks spread over the node's NICs).
+    // Every sizing below is known up front from PPN × node counts, so the
+    // pair and rank vectors are allocated exactly once.
     let nics = df.params().nics_per_node;
-    let victim_rank_ep: Vec<EndpointId> = victims
-        .iter()
-        .flat_map(|&v| {
-            let eps = df.node_endpoints(v);
-            (0..cfg.ppn).map(move |r| eps[r % nics]).collect::<Vec<_>>()
-        })
-        .collect();
+    let mut victim_rank_ep: Vec<EndpointId> = Vec::with_capacity(victims.len() * cfg.ppn);
+    for &v in &victims {
+        let eps = df.node_endpoints(v);
+        victim_rank_ep.extend((0..cfg.ppn).map(|r| eps[r % nics]));
+    }
+
+    // Pair generation stays sequential (the pattern draws are cheap); the
+    // expensive part — routing — happens afterwards in one tagged batch
+    // where every flow carries its VNI and draws from its own
+    // `(seed, index)`-keyed stream. Victim pairs (vni 0) first, then the
+    // five congestor patterns (vni 1..=5), so the victim prefix of the
+    // routed vector is exactly the isolated workload.
+    let mut tagged: Vec<(EndpointId, EndpointId, u32)> =
+        Vec::with_capacity(victim_rank_ep.len() + 2 * congestors.len() * nics);
 
     // Random-ring pairing over victim ranks.
     let perm = rng.pairing(victim_rank_ep.len());
-    let mut flows = Vec::with_capacity(victim_rank_ep.len());
     for (i, &j) in perm.iter().enumerate() {
         let (s, d) = (victim_rank_ep[i], victim_rank_ep[j]);
         if s == d {
             continue; // two ranks of the same NIC drew each other
         }
-        flows.push(Flow::saturating(s, d, router.route(s, d, &mut rng), 0));
+        tagged.push((s, d, 0));
     }
-    let n_victims = flows.len();
+    let n_victims = tagged.len();
 
     // Congestor patterns: one VNI per pattern, nodes split five ways,
     // appended behind the victim prefix.
     let chunk = (congestors.len() / 5).max(1);
     for (p, part) in congestors.chunks(chunk).take(5).enumerate() {
         let vni = (p + 1) as u32;
-        let eps: Vec<EndpointId> = part.iter().flat_map(|&n| df.node_endpoints(n)).collect();
+        let mut eps: Vec<EndpointId> = Vec::with_capacity(part.len() * nics);
+        for &n in part {
+            eps.extend(df.node_endpoints(n));
+        }
         if eps.len() < 2 {
             continue;
         }
@@ -210,10 +221,11 @@ fn build_workload(df: &Dragonfly, cfg: &GpcnetConfig) -> Workload {
                     .collect()
             }
         };
-        for (s, d) in pairs {
-            flows.push(Flow::saturating(s, d, router.route(s, d, &mut rng), vni));
-        }
+        tagged.extend(pairs.into_iter().map(|(s, d)| (s, d, vni)));
     }
+
+    // One data-parallel routing pass over the whole mixed workload.
+    let flows = router.route_all_tagged(&tagged, cfg.seed);
 
     Workload {
         flows,
@@ -222,19 +234,37 @@ fn build_workload(df: &Dragonfly, cfg: &GpcnetConfig) -> Workload {
     }
 }
 
-/// Run GPCNeT and produce the Table 5 report.
+/// Run GPCNeT and produce the Table 5 report, building the dragonfly from
+/// `cfg.params`. Callers that already hold the (expensive, full-scale)
+/// dragonfly should use [`run_on`] instead.
 pub fn run(cfg: &GpcnetConfig) -> GpcnetReport {
-    let df = Dragonfly::build(cfg.params.clone());
+    run_on(&Dragonfly::build(cfg.params.clone()), cfg)
+}
+
+/// Run GPCNeT on an already-built dragonfly — `repro -- table5` runs the
+/// 8 PPN and 32 PPN configurations against one shared frontier-scale
+/// topology instead of paying graph construction twice.
+///
+/// # Panics
+/// Panics if `df` was not built from `cfg.params`.
+pub fn run_on(df: &Dragonfly, cfg: &GpcnetConfig) -> GpcnetReport {
+    assert_eq!(
+        df.params(),
+        &cfg.params,
+        "dragonfly does not match the GPCNeT config"
+    );
     let topo = df.topology();
-    let wl = build_workload(&df, cfg);
+    let wl = build_workload(df, cfg);
     let lat = LatencyModel::default();
 
-    // Isolated: victims alone on the fabric (the victim prefix of the
-    // one routed flow vector — no re-routing, no cloning).
-    let iso_alloc = solve_maxmin(topo, wl.victim_flows());
-
-    // Congested, unprotected: per-flow fairness with every congestor flow.
-    let mixed_alloc = solve_maxmin(topo, &wl.flows);
+    // The two solves share the routed victim set: isolated takes the
+    // victim prefix of the one routed flow vector, congested the whole
+    // slice — no re-routing, no cloning — and they run concurrently (each
+    // solve is itself deterministic under the rayon pool).
+    let (iso_alloc, mixed_alloc) = rayon::join(
+        || solve_maxmin(topo, wl.victim_flows()),
+        || solve_maxmin(topo, &wl.flows),
+    );
     let util = {
         let mut load = vec![0.0f64; topo.num_links() as usize];
         for (f, &r) in wl.flows.iter().zip(&mixed_alloc.rates) {
@@ -449,6 +479,16 @@ mod tests {
         let lat = &r.isolated[0];
         assert!((lat.average - 2.6).abs() < 0.2, "avg {}", lat.average);
         assert!((lat.p99 - 4.8).abs() < 0.8, "p99 {}", lat.p99);
+    }
+
+    #[test]
+    fn run_on_matches_run() {
+        let cfg = GpcnetConfig::scaled_for_tests();
+        let df = Dragonfly::build(cfg.params.clone());
+        let a = run_on(&df, &cfg);
+        let b = run(&cfg);
+        assert_eq!(a.isolated[1].average, b.isolated[1].average);
+        assert_eq!(a.congested[0].p99, b.congested[0].p99);
     }
 
     #[test]

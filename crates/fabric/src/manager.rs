@@ -17,6 +17,7 @@ use crate::dragonfly::Dragonfly;
 use crate::routing::{RoutePolicy, Router};
 use crate::topology::{EndpointId, Flow, LinkId};
 use frontier_sim_core::prelude::*;
+use rayon::prelude::*;
 use std::collections::HashSet;
 
 /// The fabric manager's view of the network.
@@ -119,13 +120,24 @@ impl<'a> FabricManager<'a> {
     /// repair it in place after each injected failure instead of
     /// re-routing the whole workload from scratch. Returns how many flows
     /// were re-routed.
-    pub fn reroute_failed(&self, flows: &mut [Flow], rng: &mut StreamRng) -> usize {
-        let mut rerouted = 0;
-        for f in flows.iter_mut() {
-            if !self.path_alive(&f.path) {
-                f.path = self.route(f.src, f.dst, rng);
-                rerouted += 1;
-            }
+    ///
+    /// Each affected flow retries Valiant detours from a stream keyed by
+    /// `(seed, "reroute-flow", flow index)`, so the repaired paths do not
+    /// depend on which flows happen to be dead or in what order they are
+    /// visited — which is also what lets the detour search fan out over
+    /// the rayon pool with a bitwise-identical result.
+    pub fn reroute_failed(&self, flows: &mut [Flow], seed: u64) -> usize {
+        let replacements: Vec<(usize, Vec<LinkId>)> = (0..flows.len())
+            .into_par_iter()
+            .filter(|&i| !self.path_alive(&flows[i].path))
+            .map(|i| {
+                let mut rng = StreamRng::for_component(seed, "reroute-flow", i as u64);
+                (i, self.route(flows[i].src, flows[i].dst, &mut rng))
+            })
+            .collect();
+        let rerouted = replacements.len();
+        for (i, path) in replacements {
+            flows[i].path = path;
         }
         rerouted
     }
@@ -203,7 +215,7 @@ mod tests {
         fm.fail_pipe(2, 1);
         fm.fail_pipe(3, 1);
         fm.sweep();
-        let rerouted = fm.reroute_failed(&mut flows, &mut rng);
+        let rerouted = fm.reroute_failed(&mut flows, 4);
         assert!(rerouted > 0, "the dead pipe carried traffic");
         let alloc = solve_maxmin(df.topology(), &flows);
         let degraded = alloc.total();
@@ -235,7 +247,7 @@ mod tests {
         // Kill the 0<->1 pipe: only the first half of the flows may move.
         fm.fail_pipe(0, 1);
         fm.sweep();
-        let rerouted = fm.reroute_failed(&mut flows, &mut rng);
+        let rerouted = fm.reroute_failed(&mut flows, 6);
         assert!(
             rerouted > 0 && rerouted <= epg as usize,
             "{rerouted} rerouted"

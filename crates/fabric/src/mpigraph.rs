@@ -67,14 +67,16 @@ pub fn run_with_flows(topo: &Topology, flows: &[Flow], seed: u64) -> MpiGraphRes
     MpiGraphResult::from_rates(rates, seed)
 }
 
-/// Run mpiGraph over a dragonfly with the given routing policy.
+/// Run mpiGraph over a dragonfly with the given routing policy. Routing
+/// goes through the batch API: each of the ~9k flows draws from its own
+/// `(seed, index)`-keyed stream, so the routing pass parallelizes without
+/// changing the result.
 pub fn run_dragonfly(df: &Dragonfly, policy: RoutePolicy, seed: u64) -> MpiGraphResult {
     let n = df.params().total_endpoints();
     let mut rng = StreamRng::for_component(seed, "mpigraph-pairs", 0);
     let pairs = mpigraph_pairs(n, &mut rng);
     let router = Router::new(df, policy);
-    let mut route_rng = StreamRng::for_component(seed, "mpigraph-routes", 0);
-    let flows = router.flows_for_pairs(&pairs, 0, &mut route_rng);
+    let flows = router.route_all(&pairs, 0, seed);
     run_with_flows(df.topology(), &flows, seed)
 }
 

@@ -13,11 +13,14 @@ use frontier_sim_core::prelude::*;
 /// measurement round: every NIC sends to exactly one partner and receives
 /// from exactly one).
 pub fn mpigraph_pairs(n: usize, rng: &mut StreamRng) -> Vec<(EndpointId, EndpointId)> {
-    rng.pairing(n)
-        .into_iter()
-        .enumerate()
-        .map(|(s, d)| (EndpointId(s as u32), EndpointId(d as u32)))
-        .collect()
+    let mut pairs = Vec::with_capacity(n);
+    pairs.extend(
+        rng.pairing(n)
+            .into_iter()
+            .enumerate()
+            .map(|(s, d)| (EndpointId(s as u32), EndpointId(d as u32))),
+    );
+    pairs
 }
 
 /// `fan` sources all sending to one destination (incast). Sources are drawn
@@ -29,9 +32,12 @@ pub fn incast_pairs(
     rng: &mut StreamRng,
 ) -> Vec<(EndpointId, EndpointId)> {
     assert!(fan <= pool.len());
-    let mut candidates: Vec<EndpointId> = pool.iter().copied().filter(|&e| e != dst).collect();
+    let mut candidates: Vec<EndpointId> = Vec::with_capacity(pool.len());
+    candidates.extend(pool.iter().copied().filter(|&e| e != dst));
     rng.shuffle(&mut candidates);
-    candidates.into_iter().take(fan).map(|s| (s, dst)).collect()
+    let mut pairs = Vec::with_capacity(fan);
+    pairs.extend(candidates.into_iter().take(fan).map(|s| (s, dst)));
+    pairs
 }
 
 /// One root sending to `fan` destinations (broadcast leaf traffic).
@@ -42,22 +48,21 @@ pub fn broadcast_pairs(
     rng: &mut StreamRng,
 ) -> Vec<(EndpointId, EndpointId)> {
     assert!(fan <= pool.len());
-    let mut candidates: Vec<EndpointId> = pool.iter().copied().filter(|&e| e != root).collect();
+    let mut candidates: Vec<EndpointId> = Vec::with_capacity(pool.len());
+    candidates.extend(pool.iter().copied().filter(|&e| e != root));
     rng.shuffle(&mut candidates);
-    candidates
-        .into_iter()
-        .take(fan)
-        .map(|d| (root, d))
-        .collect()
+    let mut pairs = Vec::with_capacity(fan);
+    pairs.extend(candidates.into_iter().take(fan).map(|d| (root, d)));
+    pairs
 }
 
 /// A ring of pairwise flows over `pool` (each endpoint sends to the next) —
 /// an all-to-all sub-round as GPCNeT's congestor uses.
 pub fn ring_pairs(pool: &[EndpointId]) -> Vec<(EndpointId, EndpointId)> {
     assert!(pool.len() >= 2);
-    (0..pool.len())
-        .map(|i| (pool[i], pool[(i + 1) % pool.len()]))
-        .collect()
+    let mut pairs = Vec::with_capacity(pool.len());
+    pairs.extend((0..pool.len()).map(|i| (pool[i], pool[(i + 1) % pool.len()])));
+    pairs
 }
 
 /// Result of the analytic uniform all-to-all analysis.

@@ -16,7 +16,22 @@
 use crate::dragonfly::Dragonfly;
 use crate::topology::{EndpointId, Flow, LinkId};
 use frontier_sim_core::rng::StreamRng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Minimum batch size before [`Router::route_all`] fans the per-flow
+/// routing work out over the rayon pool. Below this, thread fork/join
+/// overhead exceeds the routing cost of the whole batch (a route is a few
+/// table lookups plus at most two RNG draws), so small unit-test batches
+/// stay serial.
+pub const ROUTE_PAR_THRESHOLD: usize = 512;
+
+/// Derivation label of the per-flow route streams used by the batch
+/// routing API. Flow `i` of a batch seeded with `seed` always draws from
+/// `StreamRng::for_component(seed, ROUTE_STREAM_LABEL, i)`, which is what
+/// makes the parallel and serial batch results bitwise identical: no flow
+/// ever observes another flow's draws.
+pub const ROUTE_STREAM_LABEL: &str = "route-flow";
 
 /// Routing policy for the dragonfly.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -140,7 +155,11 @@ impl<'a> Router<'a> {
         }
     }
 
-    /// Route many pairs into saturating flows under one VNI.
+    /// Route many pairs into saturating flows under one VNI, threading one
+    /// sequential stream through the whole batch. Kept for callers that
+    /// interleave routing with other draws; new batch work should prefer
+    /// [`Router::route_all`], whose per-flow keyed streams make the result
+    /// independent of evaluation order (and therefore parallelizable).
     pub fn flows_for_pairs(
         &self,
         pairs: &[(EndpointId, EndpointId)],
@@ -153,40 +172,163 @@ impl<'a> Router<'a> {
             .collect()
     }
 
+    /// One flow of a batch: flow `i` draws from its own stream derived
+    /// from `(seed, label, i)`, never from a shared sequential stream.
+    fn route_one_keyed(
+        &self,
+        i: usize,
+        s: EndpointId,
+        d: EndpointId,
+        vni: u32,
+        seed: u64,
+        label: &str,
+    ) -> Flow {
+        let mut rng = StreamRng::for_component(seed, label, i as u64);
+        Flow::saturating(s, d, self.route(s, d, &mut rng), vni)
+    }
+
+    /// Shared batch core: routes flow `i` from `pair(i)` with its keyed
+    /// stream, serially or on the rayon pool. Both orders produce bitwise
+    /// identical flows because flow `i`'s draws depend only on
+    /// `(seed, label, i)`.
+    fn route_batch<F>(&self, n: usize, pair: F, seed: u64, label: &str, parallel: bool) -> Vec<Flow>
+    where
+        F: Fn(usize) -> (EndpointId, EndpointId, u32) + Sync + Send,
+    {
+        let route = |i: usize| {
+            let (s, d, vni) = pair(i);
+            self.route_one_keyed(i, s, d, vni, seed, label)
+        };
+        if parallel {
+            (0..n).into_par_iter().map(route).collect()
+        } else {
+            (0..n).map(route).collect()
+        }
+    }
+
+    /// Route a whole batch of pairs with a deterministic per-flow stream
+    /// keyed by `(seed, flow index)` instead of one sequential `StreamRng`.
+    ///
+    /// Above [`ROUTE_PAR_THRESHOLD`] pairs the batch routes on the rayon
+    /// pool; the result is bitwise identical to the serial evaluation
+    /// either way (pinned by the `route_all_parallel_matches_serial`
+    /// property test).
+    pub fn route_all(&self, pairs: &[(EndpointId, EndpointId)], vni: u32, seed: u64) -> Vec<Flow> {
+        let parallel = pairs.len() >= ROUTE_PAR_THRESHOLD;
+        self.route_batch(
+            pairs.len(),
+            |i| (pairs[i].0, pairs[i].1, vni),
+            seed,
+            ROUTE_STREAM_LABEL,
+            parallel,
+        )
+    }
+
+    /// [`Router::route_all`] forced serial (verification baseline).
+    pub fn route_all_serial(
+        &self,
+        pairs: &[(EndpointId, EndpointId)],
+        vni: u32,
+        seed: u64,
+    ) -> Vec<Flow> {
+        self.route_batch(
+            pairs.len(),
+            |i| (pairs[i].0, pairs[i].1, vni),
+            seed,
+            ROUTE_STREAM_LABEL,
+            false,
+        )
+    }
+
+    /// [`Router::route_all`] forced onto the rayon pool regardless of
+    /// batch size (verification twin of [`Router::route_all_serial`]).
+    pub fn route_all_parallel(
+        &self,
+        pairs: &[(EndpointId, EndpointId)],
+        vni: u32,
+        seed: u64,
+    ) -> Vec<Flow> {
+        self.route_batch(
+            pairs.len(),
+            |i| (pairs[i].0, pairs[i].1, vni),
+            seed,
+            ROUTE_STREAM_LABEL,
+            true,
+        )
+    }
+
+    /// Batch-route pairs that carry per-flow VNI tags (one mixed workload —
+    /// e.g. GPCNeT's victim prefix plus five congestor patterns — routed in
+    /// a single data-parallel pass over one flow-index keyspace).
+    pub fn route_all_tagged(
+        &self,
+        pairs: &[(EndpointId, EndpointId, u32)],
+        seed: u64,
+    ) -> Vec<Flow> {
+        let parallel = pairs.len() >= ROUTE_PAR_THRESHOLD;
+        self.route_batch(
+            pairs.len(),
+            |i| pairs[i],
+            seed,
+            ROUTE_STREAM_LABEL,
+            parallel,
+        )
+    }
+
     /// UGAL-style load-aware routing for a whole batch of pairs: each flow
     /// compares its minimal path against one random Valiant candidate and
     /// takes the one with the lower (hop-count × max-load) product, then
     /// commits its load. This is the mechanism (approximated per-flow
     /// rather than per-packet) by which Slingshot keeps benign traffic
     /// minimal while detouring around hot global pipes.
+    ///
+    /// Candidate generation is embarrassingly parallel and routes through
+    /// the batch API (the Valiant draws are keyed per flow); only the
+    /// inherently sequential cost/commit loop — each decision observes the
+    /// load committed by the previous ones — stays serial.
     pub fn route_all_ugal(
         &self,
         pairs: &[(EndpointId, EndpointId)],
         vni: u32,
-        rng: &mut StreamRng,
+        seed: u64,
     ) -> Vec<Flow> {
-        let nl = self.df.topology().num_links() as usize;
-        let mut load = vec![0u32; nl];
+        let parallel = pairs.len() >= ROUTE_PAR_THRESHOLD;
         let minimal = Router::new(self.df, RoutePolicy::Minimal);
         let valiant = Router::new(self.df, RoutePolicy::Valiant);
-        pairs
-            .iter()
-            .map(|&(s, d)| {
-                let p_min = minimal.route(s, d, rng);
-                let p_val = valiant.route(s, d, rng);
+        let p_mins = minimal.route_batch(
+            pairs.len(),
+            |i| (pairs[i].0, pairs[i].1, vni),
+            seed,
+            "ugal-minimal",
+            parallel,
+        );
+        let p_vals = valiant.route_batch(
+            pairs.len(),
+            |i| (pairs[i].0, pairs[i].1, vni),
+            seed,
+            "ugal-valiant",
+            parallel,
+        );
+
+        let nl = self.df.topology().num_links() as usize;
+        let mut load = vec![0u32; nl];
+        p_mins
+            .into_iter()
+            .zip(p_vals)
+            .map(|(f_min, f_val)| {
                 let cost = |p: &[LinkId]| {
                     let max_load = p.iter().map(|l| load[l.0 as usize]).max().unwrap_or(0);
                     (max_load as usize + 1) * p.len()
                 };
-                let chosen = if cost(&p_val) < cost(&p_min) {
-                    p_val
+                let chosen = if cost(&f_val.path) < cost(&f_min.path) {
+                    f_val
                 } else {
-                    p_min
+                    f_min
                 };
-                for l in &chosen {
+                for l in &chosen.path {
                     load[l.0 as usize] += 1;
                 }
-                Flow::saturating(s, d, chosen, vni)
+                chosen
             })
             .collect()
     }
@@ -339,7 +481,7 @@ mod tests {
             .enumerate()
             .map(|(s, d)| (EndpointId(s as u32), EndpointId(d as u32)))
             .collect();
-        let flows = r.route_all_ugal(&pairs, 0, &mut rg);
+        let flows = r.route_all_ugal(&pairs, 0, 42);
         let minimal_count = flows.iter().filter(|f| r.global_hops(&f.path) <= 1).count();
         assert!(
             minimal_count as f64 > 0.8 * flows.len() as f64,
@@ -364,7 +506,7 @@ mod tests {
         let r = Router::new(&df, RoutePolicy::Minimal);
         let mut rg = rng();
         let min_flows = r.flows_for_pairs(&pairs, 0, &mut rg);
-        let ugal_flows = r.route_all_ugal(&pairs, 0, &mut rg);
+        let ugal_flows = r.route_all_ugal(&pairs, 0, 42);
         let t_min = solve_maxmin(df.topology(), &min_flows).total();
         let t_ugal = solve_maxmin(df.topology(), &ugal_flows).total();
         // Per-flow UGAL with a single Valiant candidate recovers a solid
@@ -376,6 +518,51 @@ mod tests {
             t_ugal.as_gb_s(),
             t_min.as_gb_s()
         );
+    }
+
+    #[test]
+    fn route_all_is_order_independent() {
+        let df = Dragonfly::build(DragonflyParams::scaled(6, 4, 4));
+        let r = Router::new(&df, RoutePolicy::adaptive_default());
+        let n = df.params().total_endpoints();
+        let pairs: Vec<(EndpointId, EndpointId)> = rng()
+            .pairing(n)
+            .into_iter()
+            .enumerate()
+            .map(|(s, d)| (EndpointId(s as u32), EndpointId(d as u32)))
+            .collect();
+        let serial = r.route_all_serial(&pairs, 0, 7);
+        let par = r.route_all_parallel(&pairs, 0, 7);
+        let auto = r.route_all(&pairs, 0, 7);
+        assert_eq!(serial.len(), par.len());
+        for ((a, b), c) in serial.iter().zip(&par).zip(&auto) {
+            assert_eq!(a.path, b.path);
+            assert_eq!(a.path, c.path);
+        }
+    }
+
+    #[test]
+    fn route_all_tagged_carries_vnis_and_matches_untagged_draws() {
+        let df = small();
+        let r = Router::new(&df, RoutePolicy::Valiant);
+        let pairs = [
+            (EndpointId(0), EndpointId(9)),
+            (EndpointId(1), EndpointId(17)),
+        ];
+        let tagged: Vec<(EndpointId, EndpointId, u32)> = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, &(s, d))| (s, d, i as u32))
+            .collect();
+        let flows = r.route_all_tagged(&tagged, 9);
+        let plain = r.route_all(&pairs, 0, 9);
+        for (i, (t, p)) in flows.iter().zip(&plain).enumerate() {
+            assert_eq!(t.vni, i as u32);
+            assert_eq!(
+                t.path, p.path,
+                "flow {i} draws depend only on (seed, index)"
+            );
+        }
     }
 
     #[test]

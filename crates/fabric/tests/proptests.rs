@@ -185,6 +185,49 @@ proptest! {
         }
     }
 
+    /// The batch routing API is evaluation-order independent: the
+    /// rayon-parallel and serial renderings of the same batch are bitwise
+    /// identical (path-for-path equal), on random topologies, pair sets,
+    /// seeds, and policies — the determinism contract `repro`'s
+    /// concurrent runner and every batch caller rely on.
+    #[test]
+    fn route_all_parallel_matches_serial(
+        seed in 0u64..1000,
+        groups in 3usize..8,
+        spg in 1usize..5,
+        eps in 1usize..4,
+        npairs in 1usize..150,
+        policy in 0usize..3,
+    ) {
+        let df = Dragonfly::build(DragonflyParams::scaled(groups, spg, eps));
+        let n = df.params().total_endpoints();
+        prop_assume!(n >= 2);
+        let policy = match policy {
+            0 => RoutePolicy::Minimal,
+            1 => RoutePolicy::Valiant,
+            _ => RoutePolicy::adaptive_default(),
+        };
+        let r = Router::new(&df, policy);
+        let mut rng = StreamRng::from_seed(seed);
+        let pairs: Vec<(EndpointId, EndpointId)> = (0..npairs)
+            .map(|_| {
+                let s = rng.index(n);
+                let mut d = rng.index(n);
+                if d == s { d = (d + 1) % n; }
+                (EndpointId(s as u32), EndpointId(d as u32))
+            })
+            .collect();
+        let serial = r.route_all_serial(&pairs, 3, seed);
+        let parallel = r.route_all_parallel(&pairs, 3, seed);
+        prop_assert_eq!(serial.len(), parallel.len());
+        for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+            prop_assert_eq!(&a.path, &b.path, "flow {} diverges", i);
+            prop_assert_eq!(a.vni, b.vni);
+            prop_assert_eq!(a.src, b.src);
+            prop_assert_eq!(a.dst, b.dst);
+        }
+    }
+
     /// Dragonfly structural invariants hold for arbitrary (small) shapes.
     #[test]
     fn dragonfly_structure(groups in 2usize..8, spg in 1usize..6, eps in 1usize..5) {

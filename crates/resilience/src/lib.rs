@@ -22,7 +22,9 @@ pub mod ue;
 pub mod prelude {
     pub use crate::checkpoint::{daly_interval, machine_efficiency, CheckpointPlan};
     pub use crate::fit::{ComponentClass, FitModel, Inventory};
-    pub use crate::mtti::{analytic_mtti, monte_carlo_mtti, MttiBreakdown};
+    pub use crate::mtti::{
+        analytic_mtti, monte_carlo_mtti, monte_carlo_mtti_serial, MttiBreakdown,
+    };
     pub use crate::ue::{HbmInstallation, UeModel};
 }
 

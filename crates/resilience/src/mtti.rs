@@ -35,24 +35,66 @@ pub fn analytic_mtti(inv: &Inventory, fits: &FitModel) -> MttiBreakdown {
     }
 }
 
+/// Trials per reduction chunk of [`monte_carlo_mtti`]. The chunking fixes
+/// the f64 summation tree: each chunk is summed serially in trial order
+/// and the chunk partials are summed serially in chunk order, so the
+/// estimate is bitwise identical however the chunks are scheduled across
+/// threads. (A bare parallel `sum::<f64>()` is *not* reproducible — float
+/// addition is not associative, and rayon's reduction shape depends on
+/// work stealing.)
+const MTTI_CHUNK_TRIALS: u64 = 4096;
+
+fn mtti_trial(rates: &[f64], seed: u64, t: u64) -> f64 {
+    let mut rng = StreamRng::for_component(seed, "mtti-trial", t);
+    rates
+        .iter()
+        .filter(|&&r| r > 0.0)
+        .map(|&r| rng.exponential(r))
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn class_rates(inv: &Inventory, fits: &FitModel) -> Vec<f64> {
+    ComponentClass::ALL
+        .iter()
+        .map(|&c| inv.class_rate(fits, c))
+        .collect()
+}
+
 /// Monte-Carlo MTTI estimate: simulate `trials` intervals between
 /// interrupts by sampling the superposed Poisson process per class and
 /// taking the minimum arrival.
+///
+/// Every trial draws from its own `(seed, trial index)`-keyed stream and
+/// the sum is reduced over fixed-size chunks, so the result is bitwise
+/// identical to [`monte_carlo_mtti_serial`] regardless of thread count
+/// (pinned by a property test in `tests/proptests.rs`).
 pub fn monte_carlo_mtti(inv: &Inventory, fits: &FitModel, trials: u64, seed: u64) -> f64 {
     assert!(trials > 0);
-    let rates: Vec<f64> = ComponentClass::ALL
-        .iter()
-        .map(|&c| inv.class_rate(fits, c))
-        .collect();
-    let total: f64 = (0..trials)
+    let rates = class_rates(inv, fits);
+    let n_chunks = trials.div_ceil(MTTI_CHUNK_TRIALS);
+    let partials: Vec<f64> = (0..n_chunks)
         .into_par_iter()
-        .map(|t| {
-            let mut rng = StreamRng::for_component(seed, "mtti-trial", t);
-            rates
-                .iter()
-                .filter(|&&r| r > 0.0)
-                .map(|&r| rng.exponential(r))
-                .fold(f64::INFINITY, f64::min)
+        .map(|c| {
+            let lo = c * MTTI_CHUNK_TRIALS;
+            let hi = ((c + 1) * MTTI_CHUNK_TRIALS).min(trials);
+            (lo..hi).map(|t| mtti_trial(&rates, seed, t)).sum::<f64>()
+        })
+        .collect();
+    partials.iter().sum::<f64>() / trials as f64
+}
+
+/// [`monte_carlo_mtti`] with the trial loop forced serial — same chunked
+/// summation tree, no rayon. Exists so the parallel-equals-serial property
+/// can be asserted against a genuinely single-threaded baseline.
+pub fn monte_carlo_mtti_serial(inv: &Inventory, fits: &FitModel, trials: u64, seed: u64) -> f64 {
+    assert!(trials > 0);
+    let rates = class_rates(inv, fits);
+    let n_chunks = trials.div_ceil(MTTI_CHUNK_TRIALS);
+    let total: f64 = (0..n_chunks)
+        .map(|c| {
+            let lo = c * MTTI_CHUNK_TRIALS;
+            let hi = ((c + 1) * MTTI_CHUNK_TRIALS).min(trials);
+            (lo..hi).map(|t| mtti_trial(&rates, seed, t)).sum::<f64>()
         })
         .sum();
     total / trials as f64
@@ -159,6 +201,17 @@ mod tests {
         let mc = monte_carlo_mtti(&inv, &fits, 20_000, 42);
         let err = (mc - analytic).abs() / analytic;
         assert!(err < 0.03, "MC {mc} vs analytic {analytic}");
+    }
+
+    #[test]
+    fn monte_carlo_parallel_matches_serial_bitwise() {
+        let inv = Inventory::frontier();
+        let fits = FitModel::frontier();
+        // 10k trials spans multiple chunks; the estimates must agree to
+        // the last bit, not just approximately.
+        let a = monte_carlo_mtti(&inv, &fits, 10_000, 9);
+        let b = monte_carlo_mtti_serial(&inv, &fits, 10_000, 9);
+        assert_eq!(a.to_bits(), b.to_bits());
     }
 
     #[test]

@@ -1,0 +1,47 @@
+//! Property-based tests for the resilience models: the Monte-Carlo MTTI
+//! estimator's determinism-under-parallelism contract.
+
+use frontier_resilience::fit::{FitModel, Inventory};
+use frontier_resilience::mtti::{analytic_mtti, monte_carlo_mtti, monte_carlo_mtti_serial};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The rayon-parallel Monte-Carlo estimate is bitwise identical to the
+    /// serial one for any seed, trial count (straddling the chunk
+    /// boundary), and machine size: every trial draws from its own keyed
+    /// stream and the chunked summation tree is fixed, so thread
+    /// scheduling cannot leak into the estimate.
+    #[test]
+    fn monte_carlo_parallel_matches_serial(
+        seed in 0u64..10_000,
+        trials in 1u64..20_000,
+        scale_pct in 1u32..101,
+    ) {
+        let inv = Inventory::frontier().scaled(scale_pct as f64 / 100.0);
+        let fits = FitModel::frontier();
+        let par = monte_carlo_mtti(&inv, &fits, trials, seed);
+        let ser = monte_carlo_mtti_serial(&inv, &fits, trials, seed);
+        prop_assert_eq!(
+            par.to_bits(),
+            ser.to_bits(),
+            "parallel {} vs serial {} at {} trials",
+            par,
+            ser,
+            trials
+        );
+    }
+
+    /// With enough trials the estimator stays within a loose band of the
+    /// analytic MTTI whatever the seed — no seed-dependent bias.
+    #[test]
+    fn monte_carlo_tracks_analytic(seed in 0u64..50) {
+        let inv = Inventory::frontier();
+        let fits = FitModel::frontier();
+        let analytic = analytic_mtti(&inv, &fits).mtti_hours;
+        let mc = monte_carlo_mtti(&inv, &fits, 8_000, seed);
+        let err = (mc - analytic).abs() / analytic;
+        prop_assert!(err < 0.10, "MC {} vs analytic {} (err {})", mc, analytic, err);
+    }
+}

@@ -63,6 +63,22 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// A queue whose heap is pre-sized for `capacity` pending events.
+    /// Workloads that schedule their whole initial event population up
+    /// front (e.g. one event per message) avoid the log₂(n) heap
+    /// regrowths of an empty queue.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+        }
+    }
+
+    /// Pending events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -129,6 +145,16 @@ impl<E> Simulator<E> {
     pub fn new() -> Self {
         Simulator {
             queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// A simulator whose event queue is pre-sized for `capacity` pending
+    /// events (see [`EventQueue::with_capacity`]).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Simulator {
+            queue: EventQueue::with_capacity(capacity),
             now: SimTime::ZERO,
             processed: 0,
         }
@@ -310,6 +336,16 @@ mod tests {
         let n = sim.run(|_, _, v| v < 3);
         assert_eq!(n, 3); // stops after delivering v == 3
         assert_eq!(sim.pending(), 7);
+    }
+
+    #[test]
+    fn with_capacity_pre_sizes_the_heap() {
+        let q: EventQueue<u64> = EventQueue::with_capacity(1000);
+        assert!(q.is_empty());
+        assert!(q.capacity() >= 1000);
+        let mut sim: Simulator<u64> = Simulator::with_capacity(64);
+        sim.schedule_at(SimTime::from_nanos(1), 1);
+        assert_eq!(sim.pop(), Some((SimTime::from_nanos(1), 1)));
     }
 
     #[test]
