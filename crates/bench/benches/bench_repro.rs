@@ -7,42 +7,81 @@
 //! The serial and parallel runs must also produce byte-identical stdout —
 //! the determinism contract of the keyed-stream design — so this bench
 //! asserts it on every section it times.
+//!
+//! Each run also passes `--metrics` and extracts the section's in-process
+//! wall-clock from the snapshot's `repro.section.*` timer, so
+//! BENCH_repro.json separates the render itself from process startup.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use frontier_bench::experiments as exp;
 use frontier_bench::Scale;
 use std::hint::black_box;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::Command;
 use std::time::Instant;
 
-/// Run `repro <section>` once, returning (wall-clock ns, stdout).
-fn run_repro(section: &str, serial: bool) -> (f64, Vec<u8>) {
+/// Pull `"repro.section.<name>"` → `"median_ms"` out of a `--metrics`
+/// snapshot. The format is this workspace's own deterministic writer
+/// (`MetricsSnapshot::to_json`), so a substring scan is reliable and the
+/// bench needs no JSON dependency.
+fn section_median_ms(path: &Path, section: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let at = text.find(&format!("\"repro.section.{section}\""))?;
+    let rest = &text[at..];
+    let tail = &rest[rest.find("\"median_ms\":")? + "\"median_ms\":".len()..];
+    let tail = tail.trim_start();
+    let end = tail
+        .find(|c: char| !c.is_ascii_digit() && c != '.' && c != '-')
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+/// Run `repro <section>` once, returning (wall-clock ns, stdout,
+/// in-process section wall-clock ms from the metrics snapshot).
+fn run_repro(section: &str, serial: bool) -> (f64, Vec<u8>, f64) {
+    let metrics_path = std::env::temp_dir().join(format!(
+        "bench_repro_metrics_{}_{}_{}.json",
+        std::process::id(),
+        section,
+        serial
+    ));
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_repro"));
     if serial {
         // One rayon thread *and* serial section dispatch: a genuinely
         // single-threaded baseline.
         cmd.arg("--serial").env("RAYON_NUM_THREADS", "1");
     }
+    cmd.arg("--metrics").arg(&metrics_path);
     cmd.arg(section);
     let t0 = Instant::now();
     let out = cmd.output().expect("spawn repro");
     let ns = t0.elapsed().as_nanos() as f64;
     assert!(out.status.success(), "repro {section} failed: {out:?}");
-    (ns, out.stdout)
+    let section_ms = section_median_ms(&metrics_path, section)
+        .unwrap_or_else(|| panic!("no repro.section.{section} timing in snapshot"));
+    let _ = std::fs::remove_file(&metrics_path);
+    (ns, out.stdout, section_ms)
 }
 
-/// Median wall-clock ns of `reps` runs, plus the stdout of the last run.
-fn median_run(section: &str, serial: bool, reps: usize) -> (f64, Vec<u8>) {
+/// Median wall-clock (process ns, in-process section ms) of `reps` runs,
+/// plus the stdout of the last run.
+fn median_run(section: &str, serial: bool, reps: usize) -> (f64, Vec<u8>, f64) {
     let mut times = Vec::with_capacity(reps);
+    let mut section_ms = Vec::with_capacity(reps);
     let mut stdout = Vec::new();
     for _ in 0..reps {
-        let (ns, out) = run_repro(section, serial);
+        let (ns, out, ms) = run_repro(section, serial);
         times.push(ns);
+        section_ms.push(ms);
         stdout = out;
     }
     times.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    (times[times.len() / 2], stdout)
+    section_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (
+        times[times.len() / 2],
+        stdout,
+        section_ms[section_ms.len() / 2],
+    )
 }
 
 fn bench_repro(c: &mut Criterion) {
@@ -57,8 +96,8 @@ fn bench_repro(c: &mut Criterion) {
         .unwrap_or(1);
     let mut entries = String::new();
     for (i, section) in ["table5", "fig6", "mtti"].iter().enumerate() {
-        let (ser_ns, ser_out) = median_run(section, true, 3);
-        let (par_ns, par_out) = median_run(section, false, 3);
+        let (ser_ns, ser_out, ser_ms) = median_run(section, true, 3);
+        let (par_ns, par_out, par_ms) = median_run(section, false, 3);
         assert_eq!(
             ser_out, par_out,
             "serial and parallel `repro {section}` outputs diverge"
@@ -67,7 +106,7 @@ fn bench_repro(c: &mut Criterion) {
             entries.push_str(",\n");
         }
         entries.push_str(&format!(
-            "    \"{section}\": {{ \"serial_median_ns\": {ser_ns}, \"parallel_median_ns\": {par_ns}, \"speedup\": {:.2} }}",
+            "    \"{section}\": {{ \"serial_median_ns\": {ser_ns}, \"parallel_median_ns\": {par_ns}, \"speedup\": {:.2}, \"serial_section_ms\": {ser_ms}, \"parallel_section_ms\": {par_ms} }}",
             ser_ns / par_ns
         ));
     }

@@ -16,8 +16,12 @@
 //! rather than from shared sequential state.
 
 use frontier_bench::experiments as exp;
-use frontier_bench::Scale;
+use frontier_bench::{report, Scale};
+use frontier_core::sim_core::metrics;
+use frontier_core::sim_core::prelude::{SimTime, Trace};
 use rayon::prelude::*;
+use std::sync::Mutex;
+use std::time::Instant;
 
 const SECTIONS: &[(&str, &str)] = &[
     ("table1", "Frontier compute peak specifications"),
@@ -54,11 +58,14 @@ const SECTIONS: &[(&str, &str)] = &[
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--small] [--serial] [--jobs N] [SECTION ...]\n\n\
+        "usage: repro [--small] [--serial] [--jobs N] [--metrics FILE] [--trace FILE] [--report] [SECTION ...]\n\n\
          options:\n  \
-         --small     ratio-preserving reduced fabric (fast)\n  \
-         --serial    render sections one at a time on this thread\n  \
-         --jobs N    size of the rayon pool (default: all cores)\n\n\
+         --small         ratio-preserving reduced fabric (fast)\n  \
+         --serial        render sections one at a time on this thread\n  \
+         --jobs N        size of the rayon pool (default: all cores)\n  \
+         --metrics FILE  write the telemetry snapshot as sorted JSON\n  \
+         --trace FILE    write per-section wall-clock spans as chrome://tracing JSON\n  \
+         --report        print a human-readable telemetry summary after the sections\n\n\
          sections:"
     );
     for (name, desc) in SECTIONS {
@@ -67,9 +74,19 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
+fn write_file(path: &str, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("repro: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let mut scale = Scale::Full;
     let mut serial = false;
+    let mut metrics_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut want_report = false;
     let mut sections: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -77,6 +94,9 @@ fn main() {
             "--small" => scale = Scale::Small,
             "--full" => scale = Scale::Full,
             "--serial" => serial = true,
+            "--metrics" => metrics_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace" => trace_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--report" => want_report = true,
             "--jobs" => {
                 let n: usize = args
                     .next()
@@ -113,7 +133,38 @@ fn main() {
         }
     }
 
-    let render = |name: &&str| exp::section_text(name, scale).expect("validated above");
+    // Telemetry only collects when one of the reporting flags asks for
+    // it; otherwise every instrumentation site stays a single relaxed
+    // load, and (pinned by the metrics-parity test) the rendered sections
+    // are identical either way.
+    let telemetry = metrics_out.is_some() || trace_out.is_some() || want_report;
+    if telemetry {
+        metrics::set_enabled(true);
+    }
+
+    // Per-section wall-clock spans for `--trace`, stamped against one
+    // process-wide origin so concurrent sections nest correctly in the
+    // chrome://tracing view.
+    let t0 = Instant::now();
+    let spans: Mutex<Vec<(String, String, u64, u64)>> = Mutex::new(Vec::new());
+    let want_trace = trace_out.is_some();
+
+    let render = |name: &&str| {
+        let start = t0.elapsed();
+        let text = exp::section_text(name, scale).expect("validated above");
+        if want_trace {
+            let track = rayon::current_thread_index()
+                .map(|i| format!("worker-{i}"))
+                .unwrap_or_else(|| "main".to_string());
+            spans.lock().expect("span log poisoned").push((
+                track,
+                name.to_string(),
+                start.as_nanos() as u64,
+                t0.elapsed().as_nanos() as u64,
+            ));
+        }
+        text
+    };
     let texts: Vec<String> = if serial {
         expanded.iter().map(render).collect()
     } else {
@@ -121,5 +172,26 @@ fn main() {
     };
     for text in texts {
         println!("{text}");
+    }
+
+    if let Some(path) = &metrics_out {
+        write_file(path, &metrics::global().snapshot().to_json());
+    }
+    if let Some(path) = &trace_out {
+        let mut spans = spans.into_inner().expect("span log poisoned");
+        spans.sort_by_key(|&(_, _, start, _)| start);
+        let mut tr = Trace::new();
+        for (track, name, start, end) in spans {
+            tr.span(
+                track,
+                name,
+                SimTime::from_nanos(start),
+                SimTime::from_nanos(end),
+            );
+        }
+        write_file(path, &tr.to_chrome_json());
+    }
+    if want_report {
+        print!("{}", report::render_report(&metrics::global().snapshot()));
     }
 }

@@ -20,24 +20,42 @@ use std::sync::{Arc, Mutex, OnceLock};
 use frontier_core::apps::machine::MachineModel;
 use frontier_core::fabric::dragonfly::{Dragonfly, DragonflyParams};
 use frontier_core::fabric::fattree::{FatTree, FatTreeParams};
+use frontier_core::sim_core::metrics;
 
 /// One cache cell per key: waiters on the same key block behind the
 /// single build without holding the registry lock.
 type Registry<K, V> = Mutex<HashMap<K, Arc<OnceLock<Arc<V>>>>>;
 
 /// Get-or-build `key`'s value in `registry`, building at most once per
-/// key for the life of the process.
-fn cached<K, V>(registry: &Registry<K, V>, key: K, build: impl FnOnce() -> V) -> Arc<V>
+/// key for the life of the process. `family` names the telemetry
+/// counters: every call counts as a `requests`, each distinct key builds
+/// exactly once and counts as a `built` — so hits are `requests - built`.
+/// (Classifying the *calling* thread as hit or miss would be racy: under
+/// `OnceLock`, several concurrent first callers all observe "miss".)
+fn cached<K, V>(
+    registry: &Registry<K, V>,
+    family: &str,
+    key: K,
+    build: impl FnOnce() -> V,
+) -> Arc<V>
 where
     K: Eq + Hash,
 {
+    if let Some(m) = metrics::active() {
+        m.counter(&format!("bench.cache.{family}.requests")).inc();
+    }
     let cell = {
         let mut map = registry.lock().expect("cache poisoned");
         Arc::clone(map.entry(key).or_default())
     };
     // The registry lock is dropped before building: only waiters on this
     // exact key serialize behind the build.
-    Arc::clone(cell.get_or_init(|| Arc::new(build())))
+    Arc::clone(cell.get_or_init(|| {
+        if let Some(m) = metrics::active() {
+            m.counter(&format!("bench.cache.{family}.built")).inc();
+        }
+        Arc::new(build())
+    }))
 }
 
 /// A `DragonflyParams` fingerprint: every field, floats by bit pattern.
@@ -74,21 +92,33 @@ fn ft_key(p: &FatTreeParams) -> FtKey {
 pub fn dragonfly(params: DragonflyParams) -> Arc<Dragonfly> {
     static CACHE: OnceLock<Registry<DfKey, Dragonfly>> = OnceLock::new();
     let registry = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    cached(registry, df_key(&params), || Dragonfly::build(params))
+    cached(registry, "dragonfly", df_key(&params), || {
+        Dragonfly::build(params)
+    })
 }
 
 /// The shared fat-tree built from `params`.
 pub fn fattree(params: FatTreeParams) -> Arc<FatTree> {
     static CACHE: OnceLock<Registry<FtKey, FatTree>> = OnceLock::new();
     let registry = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    cached(registry, ft_key(&params), || FatTree::build(params))
+    cached(registry, "fattree", ft_key(&params), || {
+        FatTree::build(params)
+    })
 }
 
 /// The shared Frontier machine model (Tables 6 and 7 both score every
 /// application against it).
 pub fn frontier_machine() -> Arc<MachineModel> {
     static CACHE: OnceLock<Arc<MachineModel>> = OnceLock::new();
-    Arc::clone(CACHE.get_or_init(|| Arc::new(MachineModel::frontier())))
+    if let Some(m) = metrics::active() {
+        m.counter("bench.cache.machine.requests").inc();
+    }
+    Arc::clone(CACHE.get_or_init(|| {
+        if let Some(m) = metrics::active() {
+            m.counter("bench.cache.machine.built").inc();
+        }
+        Arc::new(MachineModel::frontier())
+    }))
 }
 
 #[cfg(test)]

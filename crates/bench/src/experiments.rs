@@ -603,6 +603,14 @@ pub const PAPER_ORDER: &[&str] = &[
 /// the `bench_repro` harness — every consumer renders identical text for
 /// a given `(name, scale)`.
 pub fn section_text(name: &str, scale: Scale) -> Option<String> {
+    // Per-section wall-clock (telemetry on only): the scope drops when the
+    // render returns. Guarded on the name being real so unknown-name
+    // probes do not mint junk series.
+    let _timer = if PAPER_ORDER.contains(&name) {
+        metrics::active().map(|m| m.timer(format!("repro.section.{name}")))
+    } else {
+        None
+    };
     Some(match name {
         "table1" => table1_text(),
         "table2" => table2_text(),

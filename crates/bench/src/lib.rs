@@ -7,5 +7,6 @@
 
 pub mod cache;
 pub mod experiments;
+pub mod report;
 
 pub use experiments::Scale;

@@ -1,0 +1,158 @@
+//! Human-readable rendering of a metrics snapshot: the `repro --report`
+//! summary.
+//!
+//! The report answers the three questions the raw snapshot buries in JSON:
+//! where did wall-clock go (section timings), how hard did the solver work
+//! (round histogram and freeze causes), and which links ran hot (the
+//! top-utilization table). Everything else — cache effectiveness, UGAL
+//! decisions, MTTI cause tallies — shows up in the closing counter table.
+
+use frontier_core::prelude::Table;
+use frontier_core::sim_core::metrics::MetricsSnapshot;
+
+/// Render `snap` as the `--report` text.
+pub fn render_report(snap: &MetricsSnapshot) -> String {
+    let mut out = String::from("== telemetry report ==\n");
+
+    // Section wall-clock, heaviest first.
+    let mut sections: Vec<(&String, &_)> = snap
+        .wallclock
+        .iter()
+        .filter(|(k, _)| k.starts_with("repro.section."))
+        .collect();
+    if !sections.is_empty() {
+        sections.sort_by(|a, b| {
+            b.1.total_ms
+                .partial_cmp(&a.1.total_ms)
+                .expect("timings are finite")
+                .then_with(|| a.0.cmp(b.0))
+        });
+        let mut t = Table::new(
+            "Section wall-clock",
+            &["section", "calls", "median ms", "total ms"],
+        );
+        for (name, w) in sections {
+            t.row(&[
+                name.trim_start_matches("repro.section.").to_string(),
+                w.calls.to_string(),
+                format!("{:.2}", w.median_ms),
+                format!("{:.2}", w.total_ms),
+            ]);
+        }
+        out.push_str(&t.to_string());
+        out.push('\n');
+    }
+
+    // Solver work summary and round histogram.
+    if let Some(&solves) = snap.counters.get("fabric.maxmin.solves") {
+        let c = |k: &str| snap.counters.get(k).copied().unwrap_or(0);
+        let rounds = c("fabric.maxmin.rounds");
+        out.push_str(&format!(
+            "max-min solver: {solves} solves, {} flows, {rounds} rounds ({:.1} rounds/solve), \
+             froze {} at demand / {} by saturation\n",
+            c("fabric.maxmin.flows"),
+            rounds as f64 / solves.max(1) as f64,
+            c("fabric.maxmin.frozen_demand"),
+            c("fabric.maxmin.frozen_saturation"),
+        ));
+        if let Some(h) = snap.histograms.get("fabric.maxmin.rounds_per_solve") {
+            out.push_str(&render_histogram("rounds per solve", h));
+        }
+        out.push('\n');
+    }
+
+    // Top-utilized links.
+    if let Some(top) = snap.top.get("fabric.link.top_util") {
+        if !top.is_empty() {
+            let mut t = Table::new(
+                format!(
+                    "Top-utilized links ({} observed, {} saturated)",
+                    snap.counters.get("fabric.link.observed").unwrap_or(&0),
+                    snap.counters.get("fabric.link.saturated").unwrap_or(&0)
+                ),
+                &["link", "peak util"],
+            );
+            for (label, util) in top {
+                t.row(&[label.clone(), format!("{:.3}", util)]);
+            }
+            out.push_str(&t.to_string());
+            out.push('\n');
+        }
+    }
+
+    // Everything countable, verbatim.
+    if !snap.counters.is_empty() {
+        let mut t = Table::new("Counters", &["name", "value"]);
+        for (name, v) in &snap.counters {
+            t.row(&[name.clone(), v.to_string()]);
+        }
+        out.push_str(&t.to_string());
+    }
+
+    out
+}
+
+/// One line per non-empty bucket: `[lo, hi)  count  bar`.
+fn render_histogram(title: &str, h: &frontier_core::sim_core::metrics::HistSnapshot) -> String {
+    let mut out = format!("{title} (n = {}):\n", h.count());
+    let peak = h
+        .buckets
+        .iter()
+        .copied()
+        .chain([h.underflow, h.overflow])
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    let mut line = |label: String, n: u64| {
+        if n > 0 {
+            let bar = "#".repeat(((n * 40).div_ceil(peak)) as usize);
+            out.push_str(&format!("  {label:>14}  {n:>8}  {bar}\n"));
+        }
+    };
+    line(format!("< {}", h.lo), h.underflow);
+    for (i, &n) in h.buckets.iter().enumerate() {
+        let (lo, hi) = h.bucket_range(i);
+        line(format!("[{lo}, {hi})"), n);
+    }
+    line(format!(">= {}", h.hi), h.overflow);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frontier_core::sim_core::metrics::MetricsRegistry;
+
+    #[test]
+    fn report_covers_all_families() {
+        let r = MetricsRegistry::new();
+        r.counter("fabric.maxmin.solves").add(2);
+        r.counter("fabric.maxmin.rounds").add(10);
+        r.counter("fabric.maxmin.flows").add(100);
+        r.counter("fabric.maxmin.frozen_demand").add(40);
+        r.counter("fabric.maxmin.frozen_saturation").add(60);
+        r.histogram("fabric.maxmin.rounds_per_solve", 0.0, 64.0, 16)
+            .record(5.0);
+        r.counter("fabric.link.observed").add(12);
+        r.counter("fabric.link.saturated").add(3);
+        r.top_k("fabric.link.top_util", 10)
+            .observe("t9.global.4", 0.97);
+        {
+            let _t = r.timer("repro.section.table5");
+        }
+        let text = render_report(&r.snapshot());
+        assert!(text.contains("Section wall-clock"));
+        assert!(text.contains("table5"));
+        assert!(text.contains("2 solves"));
+        assert!(text.contains("rounds per solve"));
+        assert!(text.contains("t9.global.4"));
+        assert!(text.contains("fabric.maxmin.frozen_demand"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_header_only() {
+        let text = render_report(&MetricsRegistry::new().snapshot());
+        assert!(text.starts_with("== telemetry report =="));
+        assert!(!text.contains("Section wall-clock"));
+    }
+}

@@ -15,6 +15,7 @@
 //! difference is a constant factor absorbed in the calibrated hop latency.)
 
 use crate::topology::{Flow, LinkId, Topology};
+use frontier_sim_core::metrics;
 use frontier_sim_core::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -96,7 +97,9 @@ pub fn simulate(topo: &Topology, cfg: &DesConfig, messages: &[Message]) -> Vec<D
         sim.schedule_at(m.inject_at + cfg.send_overhead, Hop { msg: i, hop: 0 });
     }
 
+    let mut hop_events = 0u64;
     sim.run(|sim, t, Hop { msg, hop }| {
+        hop_events += 1;
         let m = &messages[msg];
         let link = m.path[hop];
         let cap = topo.link(link).capacity;
@@ -110,6 +113,14 @@ pub fn simulate(topo: &Topology, cfg: &DesConfig, messages: &[Message]) -> Vec<D
         }
         true
     });
+
+    if let Some(m) = metrics::active() {
+        m.counter("fabric.des.messages").add(messages.len() as u64);
+        m.counter("fabric.des.events").add(hop_events);
+        let makespan = arrivals.iter().fold(SimTime::ZERO, |a, &t| a.max(t));
+        m.max_gauge("fabric.des.makespan_ns_max")
+            .observe(makespan.as_nanos_f64());
+    }
 
     messages
         .iter()

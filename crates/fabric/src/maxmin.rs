@@ -32,7 +32,8 @@
 //! is kept as [`solve_maxmin_reference`] and a property test pins the two
 //! to 1e-9 relative agreement.
 
-use crate::topology::{Flow, Topology};
+use crate::topology::{Flow, LinkLevel, Topology};
+use frontier_sim_core::metrics;
 use frontier_sim_core::units::Bandwidth;
 use rayon::prelude::*;
 use std::collections::HashMap;
@@ -240,6 +241,9 @@ fn solve_incremental(topo: &Topology, flows: &[Flow], weights: &[f64]) -> Alloca
     // The water level: every still-active flow's rate is weight × level.
     let mut level = 0.0f64;
     let mut rounds = 0usize;
+    // Freeze-cause tallies for telemetry (cheap to keep even when off).
+    let mut frozen_demand = 0u64;
+    let mut frozen_saturation = 0u64;
 
     while n_active > 0 {
         rounds += 1;
@@ -277,12 +281,17 @@ fn solve_incremental(topo: &Topology, flows: &[Flow], weights: &[f64]) -> Alloca
             avail[li] - level * link_weight[li] <= caps[li] * REL_EPS
         });
 
-        let mut freeze = |fi: usize| {
+        let mut freeze = |fi: usize, by_saturation: bool| {
             if !active[fi] {
                 return;
             }
             active[fi] = false;
             n_active -= 1;
+            if by_saturation {
+                frozen_saturation += 1;
+            } else {
+                frozen_demand += 1;
+            }
             let r = weights[fi] * level;
             rates[fi] = r;
             for l in &flows[fi].path {
@@ -292,16 +301,93 @@ fn solve_incremental(topo: &Topology, flows: &[Flow], weights: &[f64]) -> Alloca
             }
         };
         for &f in &at_demand {
-            freeze(f as usize);
+            freeze(f as usize, false);
         }
         for &l in &saturated {
             for idx in off[l as usize]..off[l as usize + 1] {
-                freeze(link_flows[idx as usize] as usize);
+                freeze(link_flows[idx as usize] as usize, true);
             }
         }
     }
 
+    if let Some(m) = metrics::active() {
+        publish_solve_metrics(
+            m,
+            topo,
+            rounds,
+            nf,
+            frozen_demand,
+            frozen_saturation,
+            &deg,
+            &caps,
+            &avail,
+        );
+    }
+
     Allocation { rates, rounds }
+}
+
+/// Stable per-link telemetry label: topology size disambiguates links of
+/// differently scaled builds, then level and id, e.g. `t4608.global.1234`.
+fn link_label(nl: usize, l: usize, level: LinkLevel) -> String {
+    let lvl = match level {
+        LinkLevel::Injection => "inj",
+        LinkLevel::Ejection => "ej",
+        LinkLevel::Local => "local",
+        LinkLevel::Global => "global",
+    };
+    format!("t{nl}.{lvl}.{l}")
+}
+
+/// Publish one solve's telemetry: solver progress counters, the
+/// rounds-per-solve histogram, and per-link utilization (histogram,
+/// saturation count, and the top-utilized-links table). Every update is
+/// order-independent — counter adds, bucket increments, and per-label
+/// maxima — so snapshots cannot depend on how concurrent solves
+/// interleave (see the determinism contract in `frontier_sim_core::metrics`).
+#[allow(clippy::too_many_arguments)]
+fn publish_solve_metrics(
+    m: &metrics::MetricsRegistry,
+    topo: &Topology,
+    rounds: usize,
+    nf: usize,
+    frozen_demand: u64,
+    frozen_saturation: u64,
+    deg: &[u32],
+    caps: &[f64],
+    avail: &[f64],
+) {
+    m.counter("fabric.maxmin.solves").inc();
+    m.counter("fabric.maxmin.rounds").add(rounds as u64);
+    m.counter("fabric.maxmin.flows").add(nf as u64);
+    m.counter("fabric.maxmin.frozen_demand").add(frozen_demand);
+    m.counter("fabric.maxmin.frozen_saturation")
+        .add(frozen_saturation);
+    m.histogram("fabric.maxmin.rounds_per_solve", 0.0, 64.0, 16)
+        .record(rounds as f64);
+
+    let util_hist = m.histogram("fabric.link.utilization", 0.0, 1.0, 20);
+    let saturated = m.counter("fabric.link.saturated");
+    let observed = m.counter("fabric.link.observed");
+    let top = m.top_k("fabric.link.top_util", 10);
+    let nl = caps.len();
+    for l in 0..nl {
+        // Only links some flow actually crossed: idle links would swamp
+        // the distribution with zeros.
+        if deg[l] == 0 || caps[l] <= 0.0 {
+            continue;
+        }
+        let util = ((caps[l] - avail[l]) / caps[l]).clamp(0.0, 1.0);
+        observed.inc();
+        util_hist.record(util);
+        if util >= 1.0 - 1e-6 {
+            saturated.inc();
+        }
+        top.observe(
+            &link_label(nl, l, topo.link(crate::topology::LinkId(l as u32)).level),
+            util,
+        );
+    }
 }
 
 /// The straightforward progressive-filling loop the incremental solver

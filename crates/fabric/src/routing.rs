@@ -15,6 +15,7 @@
 
 use crate::dragonfly::Dragonfly;
 use crate::topology::{EndpointId, Flow, LinkId};
+use frontier_sim_core::metrics;
 use frontier_sim_core::rng::StreamRng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -199,11 +200,15 @@ impl<'a> Router<'a> {
             let (s, d, vni) = pair(i);
             self.route_one_keyed(i, s, d, vni, seed, label)
         };
-        if parallel {
+        let flows: Vec<Flow> = if parallel {
             (0..n).into_par_iter().map(route).collect()
         } else {
             (0..n).map(route).collect()
+        };
+        if let Some(m) = metrics::active() {
+            m.counter("fabric.route.flows").add(n as u64);
         }
+        flows
     }
 
     /// Route a whole batch of pairs with a deterministic per-flow stream
@@ -312,7 +317,9 @@ impl<'a> Router<'a> {
 
         let nl = self.df.topology().num_links() as usize;
         let mut load = vec![0u32; nl];
-        p_mins
+        let mut went_minimal = 0u64;
+        let mut went_nonminimal = 0u64;
+        let flows: Vec<Flow> = p_mins
             .into_iter()
             .zip(p_vals)
             .map(|(f_min, f_val)| {
@@ -321,8 +328,10 @@ impl<'a> Router<'a> {
                     (max_load as usize + 1) * p.len()
                 };
                 let chosen = if cost(&f_val.path) < cost(&f_min.path) {
+                    went_nonminimal += 1;
                     f_val
                 } else {
+                    went_minimal += 1;
                     f_min
                 };
                 for l in &chosen.path {
@@ -330,7 +339,12 @@ impl<'a> Router<'a> {
                 }
                 chosen
             })
-            .collect()
+            .collect();
+        if let Some(m) = metrics::active() {
+            m.counter("fabric.ugal.minimal").add(went_minimal);
+            m.counter("fabric.ugal.nonminimal").add(went_nonminimal);
+        }
+        flows
     }
 
     /// Number of global pipes on a path (0 intra-group, 1 minimal, 2

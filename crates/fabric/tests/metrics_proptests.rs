@@ -1,0 +1,179 @@
+//! Telemetry determinism for the fabric: a parallel route/solve batch and
+//! its serial twin must produce byte-identical metrics snapshots (the
+//! wall-clock section excepted), and the counters must add up to the work
+//! actually done.
+//!
+//! These tests share the *process-global* registry, so they live in their
+//! own integration-test binary and serialize on a file-local mutex; the
+//! unit tests inside `sim-core` use private registries and stay parallel.
+
+use frontier_fabric::des::{simulate, DesConfig, Message};
+use frontier_fabric::dragonfly::{Dragonfly, DragonflyParams};
+use frontier_fabric::maxmin::solve_maxmin;
+use frontier_fabric::routing::{RoutePolicy, Router};
+use frontier_fabric::topology::EndpointId;
+use frontier_sim_core::metrics;
+use frontier_sim_core::prelude::*;
+use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard};
+
+static GLOBAL_METRICS: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    // A failed sibling test only poisons the guard, not the registry
+    // state this test is about to reset anyway.
+    GLOBAL_METRICS.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn random_pairs(n: usize, seed: u64, count: usize) -> Vec<(EndpointId, EndpointId)> {
+    let mut rng = StreamRng::from_seed(seed);
+    (0..count)
+        .map(|_| {
+            let s = rng.index(n);
+            let mut d = rng.index(n);
+            if d == s {
+                d = (d + 1) % n;
+            }
+            (EndpointId(s as u32), EndpointId(d as u32))
+        })
+        .collect()
+}
+
+/// Route the batch (serial or on the rayon pool), solve, and return the
+/// allocation plus the deterministic snapshot JSON.
+fn route_and_solve(
+    df: &Dragonfly,
+    pairs: &[(EndpointId, EndpointId)],
+    seed: u64,
+    parallel: bool,
+) -> (Vec<f64>, String) {
+    metrics::set_enabled(true);
+    metrics::global().reset();
+    let r = Router::new(df, RoutePolicy::adaptive_default());
+    let flows = if parallel {
+        r.route_all_parallel(pairs, 0, seed)
+    } else {
+        r.route_all_serial(pairs, 0, seed)
+    };
+    let alloc = solve_maxmin(df.topology(), &flows);
+    let snap = metrics::global().snapshot().deterministic_json();
+    metrics::set_enabled(false);
+    (alloc.rates, snap)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The determinism contract of the whole subsystem: thread scheduling
+    /// must leak into neither the simulated result nor the telemetry.
+    #[test]
+    fn parallel_and_serial_snapshots_are_byte_identical(seed in 0u64..500, nflows in 10usize..200) {
+        let _g = lock();
+        let df = Dragonfly::build(DragonflyParams::scaled(6, 4, 4));
+        let n = df.params().total_endpoints();
+        let pairs = random_pairs(n, seed, nflows);
+        let (rates_ser, snap_ser) = route_and_solve(&df, &pairs, seed, false);
+        let (rates_par, snap_par) = route_and_solve(&df, &pairs, seed, true);
+        prop_assert_eq!(rates_ser, rates_par);
+        prop_assert_eq!(snap_ser, snap_par);
+    }
+}
+
+#[test]
+fn solver_metrics_add_up() {
+    let _g = lock();
+    metrics::set_enabled(true);
+    metrics::global().reset();
+    let df = Dragonfly::build(DragonflyParams::scaled(6, 4, 4));
+    let n = df.params().total_endpoints();
+    let pairs = random_pairs(n, 7, 50);
+    let r = Router::new(&df, RoutePolicy::adaptive_default());
+    let flows = r.route_all(&pairs, 0, 7);
+    let alloc = solve_maxmin(df.topology(), &flows);
+    let snap = metrics::global().snapshot();
+    metrics::set_enabled(false);
+
+    assert_eq!(snap.counters["fabric.maxmin.solves"], 1);
+    assert_eq!(snap.counters["fabric.maxmin.rounds"], alloc.rounds as u64);
+    assert_eq!(snap.counters["fabric.maxmin.flows"], 50);
+    assert_eq!(snap.counters["fabric.route.flows"], 50);
+    // Every routed flow (src != dst, so no empty paths) freezes exactly
+    // once, for one of the two reasons.
+    assert_eq!(
+        snap.counters["fabric.maxmin.frozen_demand"]
+            + snap.counters["fabric.maxmin.frozen_saturation"],
+        50
+    );
+    assert!(snap.counters["fabric.link.observed"] > 0);
+    let hist = &snap.histograms["fabric.maxmin.rounds_per_solve"];
+    assert_eq!(hist.count(), 1);
+    let top = &snap.top["fabric.link.top_util"];
+    assert!(!top.is_empty() && top.len() <= 10);
+    // Saturating flows guarantee at least one fully-utilized link.
+    assert!(top[0].1 >= 0.99, "top utilization {}", top[0].1);
+}
+
+#[test]
+fn ugal_decisions_partition_the_batch() {
+    let _g = lock();
+    metrics::set_enabled(true);
+    metrics::global().reset();
+    let df = Dragonfly::build(DragonflyParams::scaled(8, 4, 4));
+    let n = df.params().total_endpoints();
+    let pairs = random_pairs(n, 11, 80);
+    let r = Router::new(&df, RoutePolicy::Minimal);
+    let flows = r.route_all_ugal(&pairs, 0, 11);
+    let snap = metrics::global().snapshot();
+    metrics::set_enabled(false);
+
+    assert_eq!(flows.len(), 80);
+    assert_eq!(
+        snap.counters["fabric.ugal.minimal"] + snap.counters["fabric.ugal.nonminimal"],
+        80
+    );
+    // The UGAL candidate generation routes two batches through the batch
+    // API (minimal + Valiant).
+    assert_eq!(snap.counters["fabric.route.flows"], 160);
+}
+
+#[test]
+fn des_counts_messages_and_hop_events() {
+    let _g = lock();
+    metrics::set_enabled(true);
+    metrics::global().reset();
+    let df = Dragonfly::build(DragonflyParams::scaled(4, 4, 2));
+    let n = df.params().total_endpoints();
+    let pairs = random_pairs(n, 3, 12);
+    let r = Router::new(&df, RoutePolicy::Minimal);
+    let flows = r.route_all(&pairs, 0, 3);
+    let msgs: Vec<Message> = flows
+        .iter()
+        .enumerate()
+        .map(|(i, f)| Message::over(f, Bytes::kib(64), SimTime::ZERO, i as u64))
+        .collect();
+    let total_hops: u64 = flows.iter().map(|f| f.path.len() as u64).sum();
+    simulate(df.topology(), &DesConfig::default(), &msgs);
+    let snap = metrics::global().snapshot();
+    metrics::set_enabled(false);
+
+    assert_eq!(snap.counters["fabric.des.messages"], 12);
+    // Store-and-forward: one event per (message, hop).
+    assert_eq!(snap.counters["fabric.des.events"], total_hops);
+    assert!(snap.gauges["fabric.des.makespan_ns_max"] > 0.0);
+}
+
+#[test]
+fn disabled_telemetry_records_nothing() {
+    let _g = lock();
+    metrics::set_enabled(false);
+    metrics::global().reset();
+    let df = Dragonfly::build(DragonflyParams::scaled(4, 4, 2));
+    let n = df.params().total_endpoints();
+    let pairs = random_pairs(n, 5, 20);
+    let r = Router::new(&df, RoutePolicy::adaptive_default());
+    let flows = r.route_all(&pairs, 0, 5);
+    solve_maxmin(df.topology(), &flows);
+    let snap = metrics::global().snapshot();
+    assert!(snap.counters.is_empty(), "{:?}", snap.counters);
+    assert!(snap.histograms.is_empty());
+}

@@ -7,6 +7,7 @@
 //! failure-injection example uses to interrupt simulated jobs).
 
 use crate::fit::{ComponentClass, FitModel, Inventory};
+use frontier_sim_core::metrics;
 use frontier_sim_core::prelude::*;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -44,13 +45,54 @@ pub fn analytic_mtti(inv: &Inventory, fits: &FitModel) -> MttiBreakdown {
 /// work stealing.)
 const MTTI_CHUNK_TRIALS: u64 = 4096;
 
-fn mtti_trial(rates: &[f64], seed: u64, t: u64) -> f64 {
+/// One trial: the minimum arrival over the per-class exponential draws,
+/// plus the index (into `rates`) of the class that failed first. The draw
+/// order over `rates` is fixed, so restructuring callers cannot change
+/// the stream. Returns `usize::MAX` as the cause when no class has a
+/// positive rate.
+fn mtti_trial(rates: &[f64], seed: u64, t: u64) -> (f64, usize) {
     let mut rng = StreamRng::for_component(seed, "mtti-trial", t);
-    rates
-        .iter()
-        .filter(|&&r| r > 0.0)
-        .map(|&r| rng.exponential(r))
-        .fold(f64::INFINITY, f64::min)
+    let mut min = f64::INFINITY;
+    let mut cause = usize::MAX;
+    for (i, &r) in rates.iter().enumerate() {
+        if r > 0.0 {
+            let x = rng.exponential(r);
+            if x < min {
+                min = x;
+                cause = i;
+            }
+        }
+    }
+    (min, cause)
+}
+
+/// Sum of trial minima over `[lo, hi)`, in trial order, publishing the
+/// per-class failure-cause tallies to telemetry. The tallies are plain
+/// counter additions, so chunk scheduling across threads cannot change
+/// the snapshot (each chunk's counts depend only on `[lo, hi)` and the
+/// seed).
+fn mtti_chunk(rates: &[f64], seed: u64, lo: u64, hi: u64) -> f64 {
+    let mut causes = vec![0u64; rates.len()];
+    let mut sum = 0.0;
+    for t in lo..hi {
+        let (x, cause) = mtti_trial(rates, seed, t);
+        sum += x;
+        if cause != usize::MAX {
+            causes[cause] += 1;
+        }
+    }
+    if let Some(m) = metrics::active() {
+        for (i, &n) in causes.iter().enumerate() {
+            if n > 0 {
+                let class = ComponentClass::ALL[i]
+                    .name()
+                    .to_lowercase()
+                    .replace(' ', "-");
+                m.counter(&format!("resilience.mtti.cause.{class}")).add(n);
+            }
+        }
+    }
+    sum
 }
 
 fn class_rates(inv: &Inventory, fits: &FitModel) -> Vec<f64> {
@@ -70,6 +112,7 @@ fn class_rates(inv: &Inventory, fits: &FitModel) -> Vec<f64> {
 /// (pinned by a property test in `tests/proptests.rs`).
 pub fn monte_carlo_mtti(inv: &Inventory, fits: &FitModel, trials: u64, seed: u64) -> f64 {
     assert!(trials > 0);
+    record_mc_start(trials);
     let rates = class_rates(inv, fits);
     let n_chunks = trials.div_ceil(MTTI_CHUNK_TRIALS);
     let partials: Vec<f64> = (0..n_chunks)
@@ -77,7 +120,7 @@ pub fn monte_carlo_mtti(inv: &Inventory, fits: &FitModel, trials: u64, seed: u64
         .map(|c| {
             let lo = c * MTTI_CHUNK_TRIALS;
             let hi = ((c + 1) * MTTI_CHUNK_TRIALS).min(trials);
-            (lo..hi).map(|t| mtti_trial(&rates, seed, t)).sum::<f64>()
+            mtti_chunk(&rates, seed, lo, hi)
         })
         .collect();
     partials.iter().sum::<f64>() / trials as f64
@@ -88,16 +131,24 @@ pub fn monte_carlo_mtti(inv: &Inventory, fits: &FitModel, trials: u64, seed: u64
 /// can be asserted against a genuinely single-threaded baseline.
 pub fn monte_carlo_mtti_serial(inv: &Inventory, fits: &FitModel, trials: u64, seed: u64) -> f64 {
     assert!(trials > 0);
+    record_mc_start(trials);
     let rates = class_rates(inv, fits);
     let n_chunks = trials.div_ceil(MTTI_CHUNK_TRIALS);
     let total: f64 = (0..n_chunks)
         .map(|c| {
             let lo = c * MTTI_CHUNK_TRIALS;
             let hi = ((c + 1) * MTTI_CHUNK_TRIALS).min(trials);
-            (lo..hi).map(|t| mtti_trial(&rates, seed, t)).sum::<f64>()
+            mtti_chunk(&rates, seed, lo, hi)
         })
         .sum();
     total / trials as f64
+}
+
+fn record_mc_start(trials: u64) {
+    if let Some(m) = metrics::active() {
+        m.counter("resilience.mtti.runs").inc();
+        m.counter("resilience.mtti.trials").add(trials);
+    }
 }
 
 /// Probability that a job on `job_nodes` of the machine's nodes runs

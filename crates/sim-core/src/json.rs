@@ -1,0 +1,80 @@
+//! Minimal JSON emission helpers.
+//!
+//! The metrics snapshot ([`crate::metrics`]) and the chrome://tracing
+//! export ([`crate::trace`]) both emit JSON by hand so the writers can
+//! guarantee key order (determinism across thread schedules) and so the
+//! substrate crate does not need a serialization dependency at runtime.
+//! These helpers centralize the two things hand-written JSON gets wrong:
+//! string escaping and non-finite numbers.
+
+/// Escape `s` as a JSON string literal, surrounding quotes included.
+///
+/// Follows RFC 8259 (and serde_json's writer): `"` and `\` are
+/// backslash-escaped, the control characters with short forms use them
+/// (`\b`, `\f`, `\n`, `\r`, `\t`), and the remaining C0 controls are
+/// emitted as `\u00XX`. Everything else — including non-ASCII — passes
+/// through unescaped, which is valid in UTF-8 JSON.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render `v` as a JSON number. JSON has no `NaN`/`Infinity` tokens, so
+/// non-finite values become `null` instead of corrupting the document.
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_strings_pass_through() {
+        assert_eq!(escape("fabric.maxmin.rounds"), "\"fabric.maxmin.rounds\"");
+        assert_eq!(escape(""), "\"\"");
+        assert_eq!(escape("µs — naïve"), "\"µs — naïve\"");
+    }
+
+    #[test]
+    fn quotes_and_backslashes_escape() {
+        assert_eq!(escape(r#"a"b"#), r#""a\"b""#);
+        assert_eq!(escape(r"a\b"), r#""a\\b""#);
+        assert_eq!(escape("\\\""), r#""\\\"""#);
+    }
+
+    #[test]
+    fn control_characters_escape() {
+        assert_eq!(escape("a\nb\tc"), r#""a\nb\tc""#);
+        assert_eq!(escape("\r\u{0008}\u{000C}"), r#""\r\b\f""#);
+        assert_eq!(escape("\u{0001}\u{001f}"), "\"\\u0001\\u001f\"");
+    }
+
+    #[test]
+    fn numbers_render_finite_and_null_otherwise() {
+        assert_eq!(number(0.5), "0.5");
+        assert_eq!(number(3.0), "3");
+        assert_eq!(number(-1.25), "-1.25");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+}

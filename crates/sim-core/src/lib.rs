@@ -32,6 +32,8 @@
 
 pub mod engine;
 pub mod hist;
+pub mod json;
+pub mod metrics;
 pub mod rng;
 pub mod stats;
 pub mod table;
@@ -43,6 +45,7 @@ pub mod units;
 pub mod prelude {
     pub use crate::engine::{EventQueue, Simulator};
     pub use crate::hist::{Histogram, LogHistogram};
+    pub use crate::metrics::{self, MetricsRegistry, MetricsSnapshot, TimerScope};
     pub use crate::rng::StreamRng;
     pub use crate::stats::{percentile, OnlineStats, Summary};
     pub use crate::table::Table;

@@ -1,0 +1,690 @@
+//! Simulator-wide telemetry: a [`MetricsRegistry`] of hierarchically named
+//! counters, max-gauges, histograms, top-k tables, and wall-clock timers.
+//!
+//! Instrumented code publishes through the process-global registry behind
+//! an `enabled` flag, so the cost when telemetry is off is a single relaxed
+//! atomic load per instrumentation site:
+//!
+//! ```
+//! use frontier_sim_core::metrics;
+//!
+//! if let Some(m) = metrics::active() {
+//!     m.counter("fabric.maxmin.solves").inc();
+//! }
+//! ```
+//!
+//! Names are dot-separated hierarchies (`fabric.maxmin.rounds`,
+//! `bench.cache.dragonfly.requests`); the snapshot sorts them, so related
+//! metrics group together in the emitted JSON.
+//!
+//! # Determinism contract
+//!
+//! Everything except wall-clock timers must be **order-independent**, so a
+//! parallel run and a serial run of the same deterministic workload produce
+//! byte-identical snapshots (pinned by property tests in
+//! `frontier-fabric`). That is why the metric vocabulary is restricted to
+//! commutative updates:
+//!
+//! * counters — `u64` additions commute exactly;
+//! * max-gauges — `max` is commutative and associative, even over `f64`;
+//! * histograms — integer bucket increments commute;
+//! * top-k — the full `label → max(value)` map is kept and the k winners
+//!   are selected at snapshot time, so the result cannot depend on
+//!   observation order (a bounded heap would).
+//!
+//! There is deliberately **no f64 sum metric**: float addition is not
+//! associative, so a parallel sum would leak the thread schedule into the
+//! snapshot. Wall-clock timers are the one legitimately nondeterministic
+//! family; they live in their own `wallclock` snapshot section, which
+//! determinism comparisons exclude (see [`MetricsSnapshot::deterministic_json`]).
+
+use crate::json;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Registry shards. Metric handles are resolved by name once per
+/// instrumentation site invocation; sharding the name→metric map keeps
+/// concurrent sections from serializing on one lock.
+const SHARDS: usize = 16;
+
+/// Sentinel bit pattern for a never-observed max-gauge.
+const GAUGE_UNSET: f64 = f64::NEG_INFINITY;
+
+enum Metric {
+    Counter(AtomicU64),
+    /// Running maximum, stored as f64 bits. Initialized to
+    /// [`GAUGE_UNSET`]; never-observed gauges are omitted from snapshots.
+    MaxGauge(AtomicU64),
+    Hist(HistMetric),
+    TopK(TopKMetric),
+    /// Wall-clock samples in nanoseconds, recording order preserved.
+    Wall(Mutex<Vec<u64>>),
+}
+
+struct HistMetric {
+    lo: f64,
+    hi: f64,
+    buckets: Box<[AtomicU64]>,
+    underflow: AtomicU64,
+    overflow: AtomicU64,
+}
+
+struct TopKMetric {
+    k: usize,
+    /// Full label → running-max map; the k winners are chosen at snapshot
+    /// time so the table is independent of observation order.
+    entries: Mutex<HashMap<String, f64>>,
+}
+
+fn kind_name(m: &Metric) -> &'static str {
+    match m {
+        Metric::Counter(_) => "counter",
+        Metric::MaxGauge(_) => "max_gauge",
+        Metric::Hist(_) => "histogram",
+        Metric::TopK(_) => "top_k",
+        Metric::Wall(_) => "wallclock",
+    }
+}
+
+/// Handle to a monotonically increasing `u64` counter.
+#[derive(Clone)]
+pub struct Counter(Arc<Metric>);
+
+impl Counter {
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Metric::Counter(c) = &*self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+}
+
+/// Handle to a running-maximum gauge over finite `f64` observations.
+#[derive(Clone)]
+pub struct MaxGauge(Arc<Metric>);
+
+impl MaxGauge {
+    pub fn observe(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        if let Metric::MaxGauge(a) = &*self.0 {
+            let mut cur = a.load(Ordering::Relaxed);
+            while v > f64::from_bits(cur) {
+                match a.compare_exchange_weak(
+                    cur,
+                    v.to_bits(),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(seen) => cur = seen,
+                }
+            }
+        }
+    }
+}
+
+/// Handle to a fixed-range linear histogram with under/overflow buckets.
+#[derive(Clone)]
+pub struct Hist(Arc<Metric>);
+
+impl Hist {
+    pub fn record(&self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        if let Metric::Hist(h) = &*self.0 {
+            if x < h.lo {
+                h.underflow.fetch_add(1, Ordering::Relaxed);
+            } else if x >= h.hi {
+                h.overflow.fetch_add(1, Ordering::Relaxed);
+            } else {
+                let frac = (x - h.lo) / (h.hi - h.lo);
+                let i = ((frac * h.buckets.len() as f64) as usize).min(h.buckets.len() - 1);
+                h.buckets[i].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Handle to a top-k table of labeled maxima.
+#[derive(Clone)]
+pub struct TopK(Arc<Metric>);
+
+impl TopK {
+    pub fn observe(&self, label: &str, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        if let Metric::TopK(t) = &*self.0 {
+            let mut map = t.entries.lock().expect("top-k poisoned");
+            let slot = map.entry(label.to_string()).or_insert(v);
+            if v > *slot {
+                *slot = v;
+            }
+        }
+    }
+}
+
+/// Handle to a wall-clock sample series (nanoseconds).
+#[derive(Clone)]
+pub struct Wallclock(Arc<Metric>);
+
+impl Wallclock {
+    pub fn record(&self, d: Duration) {
+        if let Metric::Wall(samples) = &*self.0 {
+            samples
+                .lock()
+                .expect("wallclock poisoned")
+                .push(d.as_nanos().min(u64::MAX as u128) as u64);
+        }
+    }
+}
+
+/// RAII wall-clock scope: records the elapsed time into its metric when
+/// dropped. Obtained from [`MetricsRegistry::timer`].
+pub struct TimerScope {
+    wall: Wallclock,
+    start: Instant,
+}
+
+impl Drop for TimerScope {
+    fn drop(&mut self) {
+        self.wall.record(self.start.elapsed());
+    }
+}
+
+/// A sharded registry of named metrics. One process-global instance lives
+/// behind [`global`]/[`active`]; tests construct private instances.
+pub struct MetricsRegistry {
+    shards: [Mutex<HashMap<String, Arc<Metric>>>; SHARDS],
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        MetricsRegistry {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        }
+    }
+
+    fn shard(&self, name: &str) -> &Mutex<HashMap<String, Arc<Metric>>> {
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    fn get_or_insert(&self, name: &str, make: impl FnOnce() -> Metric) -> Arc<Metric> {
+        let mut map = self.shard(name).lock().expect("metrics shard poisoned");
+        if let Some(m) = map.get(name) {
+            return Arc::clone(m);
+        }
+        let m = Arc::new(make());
+        map.insert(name.to_string(), Arc::clone(&m));
+        m
+    }
+
+    fn typed(&self, name: &str, want: &'static str, make: impl FnOnce() -> Metric) -> Arc<Metric> {
+        let m = self.get_or_insert(name, make);
+        assert!(
+            kind_name(&m) == want,
+            "metric `{name}` already registered as a {}, requested as a {want}",
+            kind_name(&m)
+        );
+        m
+    }
+
+    /// Monotonic counter handle for `name`, registering it on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter(self.typed(name, "counter", || Metric::Counter(AtomicU64::new(0))))
+    }
+
+    /// Running-maximum gauge handle for `name`.
+    pub fn max_gauge(&self, name: &str) -> MaxGauge {
+        MaxGauge(self.typed(name, "max_gauge", || {
+            Metric::MaxGauge(AtomicU64::new(GAUGE_UNSET.to_bits()))
+        }))
+    }
+
+    /// Linear histogram over `[lo, hi)` with `buckets` equal-width bins
+    /// (out-of-range samples land in under/overflow). The shape is fixed
+    /// by the first registration; later calls must agree.
+    pub fn histogram(&self, name: &str, lo: f64, hi: f64, buckets: usize) -> Hist {
+        assert!(buckets > 0 && hi > lo, "degenerate histogram shape");
+        let m = self.typed(name, "histogram", || {
+            Metric::Hist(HistMetric {
+                lo,
+                hi,
+                buckets: (0..buckets).map(|_| AtomicU64::new(0)).collect(),
+                underflow: AtomicU64::new(0),
+                overflow: AtomicU64::new(0),
+            })
+        });
+        if let Metric::Hist(h) = &*m {
+            assert!(
+                h.lo == lo && h.hi == hi && h.buckets.len() == buckets,
+                "histogram `{name}` re-registered with a different shape"
+            );
+        }
+        Hist(m)
+    }
+
+    /// Top-`k` table handle for `name`: tracks the maximum value seen per
+    /// label and snapshots the k largest.
+    pub fn top_k(&self, name: &str, k: usize) -> TopK {
+        assert!(k > 0, "top-0 table");
+        let m = self.typed(name, "top_k", || {
+            Metric::TopK(TopKMetric {
+                k,
+                entries: Mutex::new(HashMap::new()),
+            })
+        });
+        if let Metric::TopK(t) = &*m {
+            assert!(t.k == k, "top-k `{name}` re-registered with a different k");
+        }
+        TopK(m)
+    }
+
+    /// Wall-clock series handle for `name`.
+    pub fn wallclock(&self, name: &str) -> Wallclock {
+        Wallclock(self.typed(name, "wallclock", || Metric::Wall(Mutex::new(Vec::new()))))
+    }
+
+    /// RAII timer: records into the `name` wall-clock series on drop.
+    pub fn timer(&self, name: impl Into<String>) -> TimerScope {
+        TimerScope {
+            wall: self.wallclock(&name.into()),
+            start: Instant::now(),
+        }
+    }
+
+    /// Drop every registered metric. Handles resolved before the reset
+    /// keep updating their detached metrics, which later snapshots will
+    /// not see — re-resolve handles after a reset.
+    pub fn reset(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("metrics shard poisoned").clear();
+        }
+    }
+
+    /// A point-in-time, name-sorted copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        for shard in &self.shards {
+            let map = shard.lock().expect("metrics shard poisoned");
+            for (name, m) in map.iter() {
+                match &**m {
+                    Metric::Counter(c) => {
+                        snap.counters
+                            .insert(name.clone(), c.load(Ordering::Relaxed));
+                    }
+                    Metric::MaxGauge(a) => {
+                        let v = f64::from_bits(a.load(Ordering::Relaxed));
+                        if v > GAUGE_UNSET {
+                            snap.gauges.insert(name.clone(), v);
+                        }
+                    }
+                    Metric::Hist(h) => {
+                        snap.histograms.insert(
+                            name.clone(),
+                            HistSnapshot {
+                                lo: h.lo,
+                                hi: h.hi,
+                                buckets: h
+                                    .buckets
+                                    .iter()
+                                    .map(|b| b.load(Ordering::Relaxed))
+                                    .collect(),
+                                underflow: h.underflow.load(Ordering::Relaxed),
+                                overflow: h.overflow.load(Ordering::Relaxed),
+                            },
+                        );
+                    }
+                    Metric::TopK(t) => {
+                        let map = t.entries.lock().expect("top-k poisoned");
+                        let mut entries: Vec<(String, f64)> =
+                            map.iter().map(|(l, &v)| (l.clone(), v)).collect();
+                        // Value descending, then label ascending: a total
+                        // order, so ties cannot reorder across runs.
+                        entries.sort_by(|a, b| {
+                            b.1.partial_cmp(&a.1)
+                                .expect("top-k values are finite")
+                                .then_with(|| a.0.cmp(&b.0))
+                        });
+                        entries.truncate(t.k);
+                        snap.top.insert(name.clone(), entries);
+                    }
+                    Metric::Wall(samples) => {
+                        let samples = samples.lock().expect("wallclock poisoned");
+                        let mut sorted = samples.clone();
+                        sorted.sort_unstable();
+                        let calls = sorted.len() as u64;
+                        let total_ns: u64 = sorted.iter().sum();
+                        let median_ns = sorted.get(sorted.len() / 2).copied().unwrap_or(0);
+                        snap.wallclock.insert(
+                            name.clone(),
+                            WallSnapshot {
+                                calls,
+                                total_ms: total_ns as f64 / 1e6,
+                                median_ms: median_ns as f64 / 1e6,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        snap
+    }
+}
+
+/// Histogram state at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistSnapshot {
+    pub lo: f64,
+    pub hi: f64,
+    pub buckets: Vec<u64>,
+    pub underflow: u64,
+    pub overflow: u64,
+}
+
+impl HistSnapshot {
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// `[lo, hi)` bounds of bucket `i`.
+    pub fn bucket_range(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.buckets.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+}
+
+/// Wall-clock series summary at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WallSnapshot {
+    pub calls: u64,
+    pub total_ms: f64,
+    pub median_ms: f64,
+}
+
+/// A sorted, point-in-time copy of a registry. `BTreeMap` keys give the
+/// JSON a canonical key order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub histograms: BTreeMap<String, HistSnapshot>,
+    /// Top-k winners per table, value-descending.
+    pub top: BTreeMap<String, Vec<(String, f64)>>,
+    /// The only order-dependent section; excluded from
+    /// [`MetricsSnapshot::deterministic_json`].
+    pub wallclock: BTreeMap<String, WallSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The full snapshot as deterministic, name-sorted JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"counters\": {");
+        push_entries(
+            &mut out,
+            self.counters.iter().map(|(k, v)| (k, v.to_string())),
+        );
+        out.push_str("},\n  \"gauges\": {");
+        push_entries(
+            &mut out,
+            self.gauges.iter().map(|(k, &v)| (k, json::number(v))),
+        );
+        out.push_str("},\n  \"histograms\": {");
+        push_entries(
+            &mut out,
+            self.histograms.iter().map(|(k, h)| {
+                let buckets: Vec<String> = h.buckets.iter().map(|b| b.to_string()).collect();
+                (
+                    k,
+                    format!(
+                        "{{\"lo\": {}, \"hi\": {}, \"buckets\": [{}], \"underflow\": {}, \"overflow\": {}}}",
+                        json::number(h.lo),
+                        json::number(h.hi),
+                        buckets.join(", "),
+                        h.underflow,
+                        h.overflow
+                    ),
+                )
+            }),
+        );
+        out.push_str("},\n  \"top\": {");
+        push_entries(
+            &mut out,
+            self.top.iter().map(|(k, entries)| {
+                let items: Vec<String> = entries
+                    .iter()
+                    .map(|(label, v)| {
+                        format!(
+                            "{{\"label\": {}, \"value\": {}}}",
+                            json::escape(label),
+                            json::number(*v)
+                        )
+                    })
+                    .collect();
+                (k, format!("[{}]", items.join(", ")))
+            }),
+        );
+        out.push_str("},\n  \"wallclock\": {");
+        push_entries(
+            &mut out,
+            self.wallclock.iter().map(|(k, w)| {
+                (
+                    k,
+                    format!(
+                        "{{\"calls\": {}, \"total_ms\": {}, \"median_ms\": {}}}",
+                        w.calls,
+                        json::number(w.total_ms),
+                        json::number(w.median_ms)
+                    ),
+                )
+            }),
+        );
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// JSON of the order-independent sections only: the wall-clock section
+    /// is emptied before rendering. Two runs of the same deterministic
+    /// workload — any thread counts — must agree on this string exactly.
+    pub fn deterministic_json(&self) -> String {
+        let mut clone = self.clone();
+        clone.wallclock.clear();
+        clone.to_json()
+    }
+}
+
+/// Append `"key": value` entries (4-space indent, one per line) and leave
+/// the cursor before the closing brace the caller prints.
+fn push_entries<'a>(out: &mut String, entries: impl Iterator<Item = (&'a String, String)>) {
+    let mut any = false;
+    for (i, (k, v)) in entries.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        out.push_str(&json::escape(k));
+        out.push_str(": ");
+        out.push_str(&v);
+        any = true;
+    }
+    if any {
+        out.push_str("\n  ");
+    }
+}
+
+static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The process-global registry. Always reachable (e.g. to snapshot after
+/// a run); instrumentation sites should go through [`active`] instead so
+/// disabled telemetry stays off the hot path.
+pub fn global() -> &'static MetricsRegistry {
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+/// Turn global telemetry collection on or off. Off by default.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// Is global telemetry collection enabled?
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The global registry if telemetry is enabled, else `None`. The cost
+/// when disabled is one relaxed load and a branch — no allocation, no
+/// locking — which is what makes instrumenting hot loops acceptable.
+#[inline]
+pub fn active() -> Option<&'static MetricsRegistry> {
+    if enabled() {
+        Some(global())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let r = MetricsRegistry::new();
+        r.counter("a.b").add(3);
+        r.counter("a.b").inc();
+        r.counter("a.c").inc();
+        let s = r.snapshot();
+        assert_eq!(s.counters["a.b"], 4);
+        assert_eq!(s.counters["a.c"], 1);
+    }
+
+    #[test]
+    fn max_gauge_keeps_maximum_and_skips_unset() {
+        let r = MetricsRegistry::new();
+        let g = r.max_gauge("g");
+        g.observe(1.5);
+        g.observe(0.25);
+        g.observe(f64::NAN); // ignored
+        r.max_gauge("never");
+        let s = r.snapshot();
+        assert_eq!(s.gauges["g"], 1.5);
+        assert!(!s.gauges.contains_key("never"));
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("h", 0.0, 1.0, 4);
+        for x in [0.1, 0.1, 0.6, 0.99, 1.0, 2.0, -0.5] {
+            h.record(x);
+        }
+        let s = &r.snapshot().histograms["h"];
+        assert_eq!(s.buckets, vec![2, 0, 1, 1]);
+        assert_eq!(s.overflow, 2);
+        assert_eq!(s.underflow, 1);
+        assert_eq!(s.count(), 7);
+        assert_eq!(s.bucket_range(1), (0.25, 0.5));
+    }
+
+    #[test]
+    fn top_k_selects_winners_with_stable_ties() {
+        let r = MetricsRegistry::new();
+        let t = r.top_k("t", 2);
+        t.observe("b", 0.5);
+        t.observe("a", 0.5);
+        t.observe("c", 0.9);
+        t.observe("b", 0.2); // below b's max; ignored
+        let s = r.snapshot();
+        assert_eq!(
+            s.top["t"],
+            vec![("c".to_string(), 0.9), ("a".to_string(), 0.5)]
+        );
+    }
+
+    #[test]
+    fn timer_scope_records_on_drop() {
+        let r = MetricsRegistry::new();
+        {
+            let _t = r.timer("w");
+        }
+        {
+            let _t = r.timer("w");
+        }
+        let s = r.snapshot();
+        assert_eq!(s.wallclock["w"].calls, 2);
+        assert!(s.wallclock["w"].total_ms >= 0.0);
+    }
+
+    #[test]
+    fn snapshot_json_is_sorted_and_reset_clears() {
+        let r = MetricsRegistry::new();
+        r.counter("z.last").inc();
+        r.counter("a.first").inc();
+        let j = r.snapshot().to_json();
+        assert!(j.find("a.first").unwrap() < j.find("z.last").unwrap());
+        r.reset();
+        assert!(r.snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn deterministic_json_excludes_wallclock() {
+        let r = MetricsRegistry::new();
+        r.counter("c").inc();
+        {
+            let _t = r.timer("w");
+        }
+        let s = r.snapshot();
+        assert!(s.to_json().contains("\"w\""));
+        assert!(!s.deterministic_json().contains("\"w\""));
+        assert!(s.deterministic_json().contains("\"c\""));
+    }
+
+    #[test]
+    fn json_escapes_hostile_names() {
+        let r = MetricsRegistry::new();
+        r.counter("we\"ird\\name").inc();
+        let j = r.snapshot().to_json();
+        assert!(j.contains(r#""we\"ird\\name": 1"#));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = MetricsRegistry::new();
+        r.counter("x");
+        r.max_gauge("x");
+    }
+
+    #[test]
+    fn global_toggle_gates_active() {
+        // The only unit test touching the global flag, so it cannot race
+        // sibling tests (which all use private registries).
+        assert!(active().is_none(), "telemetry must default to off");
+        set_enabled(true);
+        assert!(active().is_some());
+        set_enabled(false);
+        assert!(active().is_none());
+    }
+}

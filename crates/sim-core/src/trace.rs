@@ -6,6 +6,7 @@
 //! chrome://tracing-style JSON array for visual inspection. Used by the
 //! examples to explain *where* simulated time went.
 
+use crate::json;
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
 
@@ -110,15 +111,18 @@ impl Trace {
             .fold(SimTime::ZERO, SimTime::max)
     }
 
-    /// Distinct track names, sorted.
+    /// Distinct track names, sorted. Dedups over borrowed `&str` first so
+    /// only the surviving names are cloned, not every event's track.
     pub fn tracks(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.events.iter().map(|e| e.track.clone()).collect();
-        v.sort();
+        let mut v: Vec<&str> = self.events.iter().map(|e| e.track.as_str()).collect();
+        v.sort_unstable();
         v.dedup();
-        v
+        v.into_iter().map(str::to_owned).collect()
     }
 
     /// chrome://tracing "traceEvents" JSON (complete events, µs units).
+    /// Labels and track names are escaped, so a `"` or `\` in either
+    /// cannot break out of its string and corrupt the document.
     pub fn to_chrome_json(&self) -> String {
         let mut out = String::from("[");
         for (i, e) in self.events.iter().enumerate() {
@@ -126,11 +130,11 @@ impl Trace {
                 out.push(',');
             }
             out.push_str(&format!(
-                r#"{{"name":"{}","cat":"sim","ph":"X","ts":{:.3},"dur":{:.3},"pid":0,"tid":"{}"}}"#,
-                e.label,
+                r#"{{"name":{},"cat":"sim","ph":"X","ts":{:.3},"dur":{:.3},"pid":0,"tid":{}}}"#,
+                json::escape(&e.label),
                 e.start.as_micros_f64(),
                 e.duration().as_micros_f64(),
-                e.track
+                json::escape(&e.track)
             ));
         }
         out.push(']');
@@ -189,6 +193,35 @@ mod tests {
         assert!(j.contains(r#""ph":"X""#));
         assert!(j.contains(r#""tid":"nic""#));
         assert!(j.contains(r#""dur":3.000"#));
+    }
+
+    #[test]
+    fn chrome_json_escapes_hostile_labels_and_tracks() {
+        // Regression: labels/tracks containing `"` or `\` used to be
+        // spliced in raw, producing invalid JSON.
+        let mut tr = Trace::new();
+        tr.point(
+            r#"tr"ack\"#,
+            "line1\nline2\"quoted\"",
+            SimTime::from_nanos(1),
+        );
+        let j = tr.to_chrome_json();
+        assert!(j.contains(r#""name":"line1\nline2\"quoted\"""#), "{j}");
+        assert!(j.contains(r#""tid":"tr\"ack\\""#), "{j}");
+        // Structural sanity: every quote in the document is either a
+        // delimiter or escaped, so the quote count outside escapes is even.
+        let mut quotes = 0usize;
+        let mut chars = j.chars();
+        while let Some(c) = chars.next() {
+            match c {
+                '\\' => {
+                    chars.next();
+                }
+                '"' => quotes += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(quotes % 2, 0, "unbalanced quotes in {j}");
     }
 
     #[test]
