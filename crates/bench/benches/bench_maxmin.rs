@@ -1,17 +1,20 @@
-//! Max-min solver bench: the incremental, indexed, parallel solver vs the
-//! straightforward progressive-filling reference, on an mpiGraph-scale
-//! flow set (a ratio-preserving 40×16×16 dragonfly, 10,240 saturating
-//! flows — the same shape as the Fig. 6 workload at ~27 % of full
-//! Frontier).
+//! Max-min solver bench: the event-driven v3 solver vs the incremental
+//! round-based solver (v2) vs the straightforward progressive-filling
+//! reference (v1), on an mpiGraph-scale flow set (a ratio-preserving
+//! 40×16×16 dragonfly, 10,240 saturating flows — the same shape as the
+//! Fig. 6 workload at ~27 % of full Frontier).
 //!
 //! Besides the Criterion timings, the bench records a machine-readable
 //! perf trajectory point in `BENCH_maxmin.json` at the workspace root
-//! (median ns per solve for both solvers, the speedup, and the round
-//! count) so future PRs can track the solver's trend.
+//! (median ns per solve for all three solvers, the speedups, the v3
+//! freeze-event and component counts) so future PRs can track the
+//! solver's trend.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use frontier_core::fabric::dragonfly::{Dragonfly, DragonflyParams};
-use frontier_core::fabric::maxmin::{solve_maxmin, solve_maxmin_reference};
+use frontier_core::fabric::maxmin::{
+    solve_maxmin, solve_maxmin_incremental, solve_maxmin_reference,
+};
 use frontier_core::fabric::patterns::mpigraph_pairs;
 use frontier_core::fabric::routing::{RoutePolicy, Router};
 use frontier_core::fabric::topology::Flow;
@@ -51,8 +54,11 @@ fn bench_maxmin(c: &mut Criterion) {
     let (df, flows) = mpigraph_scale_flows();
     let topo = df.topology();
 
-    c.bench_function("maxmin_incremental_10k_flows", |b| {
+    c.bench_function("maxmin_v3_10k_flows", |b| {
         b.iter(|| black_box(solve_maxmin(topo, &flows).rounds))
+    });
+    c.bench_function("maxmin_incremental_10k_flows", |b| {
+        b.iter(|| black_box(solve_maxmin_incremental(topo, &flows, |_| 1.0).rounds))
     });
     c.bench_function("maxmin_reference_10k_flows", |b| {
         b.iter(|| black_box(solve_maxmin_reference(topo, &flows, |_| 1.0).rounds))
@@ -61,16 +67,23 @@ fn bench_maxmin(c: &mut Criterion) {
     // Standalone medians for the JSON perf record (Criterion keeps its
     // estimates in its own target directory; this file is the stable,
     // single-point summary future PRs diff against).
-    let (inc_ns, rounds) = median_ns(5, || solve_maxmin(topo, &flows).rounds);
+    let alloc = solve_maxmin(topo, &flows);
+    let (freeze_events, components) = (alloc.rounds, alloc.components);
+    let (v3_ns, _) = median_ns(5, || solve_maxmin(topo, &flows).rounds);
+    let (inc_ns, rounds) = median_ns(5, || solve_maxmin_incremental(topo, &flows, |_| 1.0).rounds);
     let (ref_ns, _) = median_ns(3, || solve_maxmin_reference(topo, &flows, |_| 1.0).rounds);
     let json = format!(
-        "{{\n  \"experiment\": \"maxmin_mpigraph_scale\",\n  \"flows\": {},\n  \"links\": {},\n  \"rounds\": {},\n  \"median_ns_incremental\": {},\n  \"median_ns_reference\": {},\n  \"speedup\": {:.2}\n}}\n",
+        "{{\n  \"experiment\": \"maxmin_mpigraph_scale\",\n  \"flows\": {},\n  \"links\": {},\n  \"rounds\": {},\n  \"freeze_events\": {},\n  \"components\": {},\n  \"median_ns_v3\": {},\n  \"median_ns_incremental\": {},\n  \"median_ns_reference\": {},\n  \"speedup_v3_over_incremental\": {:.2},\n  \"speedup\": {:.2}\n}}\n",
         flows.len(),
         topo.num_links(),
         rounds,
+        freeze_events,
+        components,
+        v3_ns,
         inc_ns,
         ref_ns,
-        ref_ns / inc_ns
+        inc_ns / v3_ns,
+        ref_ns / v3_ns
     );
     // crates/bench -> workspace root.
     let out = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_maxmin.json");

@@ -1,0 +1,143 @@
+//! Quick-mode solver regression gate for CI.
+//!
+//! Two checks, both fast enough for every pull request:
+//!
+//! 1. **Parity**: the event-driven v3 solver and the incremental round
+//!    solver must match the progressive-filling reference to 1e-9
+//!    (relative) on a sweep of seeded random workloads, including the
+//!    degenerate shapes (empty flow set, flows with empty paths).
+//! 2. **Performance**: on the mpiGraph-scale 10k-flow workload, v3 must
+//!    not be more than 10 % slower than the incremental solver (it is
+//!    expected to be several times faster; the gate only guards against
+//!    regressions re-introducing a round scan).
+//!
+//! Exits non-zero with a diagnostic on any violation.
+
+use frontier_core::fabric::dragonfly::{Dragonfly, DragonflyParams};
+use frontier_core::fabric::maxmin::{
+    solve_maxmin, solve_maxmin_incremental, solve_maxmin_reference,
+};
+use frontier_core::fabric::patterns::mpigraph_pairs;
+use frontier_core::fabric::routing::{RoutePolicy, Router};
+use frontier_core::fabric::topology::{EndpointId, Flow};
+use frontier_core::sim_core::rng::StreamRng;
+use frontier_core::sim_core::units::Bandwidth;
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Maximum tolerated slowdown of v3 relative to the incremental solver.
+const MAX_SLOWDOWN: f64 = 1.10;
+const TOL: f64 = 1e-9;
+
+fn random_flows(df: &Dragonfly, n: usize, seed: u64) -> Vec<Flow> {
+    let ne = df.params().total_endpoints();
+    let router = Router::new(df, RoutePolicy::adaptive_default());
+    let mut rng = StreamRng::for_component(seed, "solver-regression", 0);
+    let pairs: Vec<(EndpointId, EndpointId)> = (0..n)
+        .map(|_| {
+            let s = rng.index(ne);
+            let mut d = rng.index(ne);
+            if d == s {
+                d = (d + 1) % ne;
+            }
+            (EndpointId(s as u32), EndpointId(d as u32))
+        })
+        .collect();
+    let mut flows = router.flows_for_pairs(&pairs, 0, &mut rng);
+    // Mix in finite demands and a couple of degenerate empty-path flows.
+    for (i, f) in flows.iter_mut().enumerate() {
+        if i % 3 == 0 {
+            f.demand = Bandwidth::gb_s(0.25 * (1 + i % 40) as f64);
+        }
+        if i % 17 == 0 {
+            f.path.clear();
+        }
+    }
+    flows
+}
+
+fn parity_sweep() -> Result<(), String> {
+    let df = Dragonfly::build(DragonflyParams::scaled(6, 8, 8));
+    let topo = df.topology();
+    for seed in 0..8u64 {
+        let n = 40 + (seed as usize) * 60;
+        let flows = random_flows(&df, n, seed);
+        let reference = solve_maxmin_reference(topo, &flows, |_| 1.0);
+        for (name, alloc) in [
+            ("v3", solve_maxmin(topo, &flows)),
+            (
+                "incremental",
+                solve_maxmin_incremental(topo, &flows, |_| 1.0),
+            ),
+        ] {
+            for (i, (a, b)) in alloc.rates.iter().zip(&reference.rates).enumerate() {
+                let scale = b.abs().max(1.0);
+                if (a - b).abs() > TOL * scale {
+                    return Err(format!(
+                        "{name} diverges from reference: seed {seed}, flow {i}: {a} vs {b}"
+                    ));
+                }
+            }
+        }
+    }
+    // Degenerate shapes.
+    let empty: Vec<Flow> = Vec::new();
+    let a = solve_maxmin(topo, &empty);
+    if !a.rates.is_empty() || a.components != 0 {
+        return Err("empty flow set should yield an empty allocation".into());
+    }
+    Ok(())
+}
+
+fn median_ns<F: FnMut() -> usize>(reps: usize, mut f: F) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(f());
+            t0.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+fn perf_gate() -> Result<(), String> {
+    let df = Dragonfly::build(DragonflyParams::scaled(40, 16, 16));
+    let topo = df.topology();
+    let n = df.params().total_endpoints();
+    let mut rng = StreamRng::for_component(7, "bench-maxmin-pairs", 0);
+    let pairs = mpigraph_pairs(n, &mut rng);
+    let router = Router::new(&df, RoutePolicy::adaptive_default());
+    let mut route_rng = StreamRng::for_component(7, "bench-maxmin-routes", 0);
+    let flows = router.flows_for_pairs(&pairs, 0, &mut route_rng);
+
+    let v3 = median_ns(5, || solve_maxmin(topo, &flows).rounds);
+    let inc = median_ns(5, || solve_maxmin_incremental(topo, &flows, |_| 1.0).rounds);
+    let ratio = v3 / inc;
+    println!(
+        "solver-regression: {} flows, v3 {:.2} ms vs incremental {:.2} ms (ratio {ratio:.2})",
+        flows.len(),
+        v3 / 1e6,
+        inc / 1e6,
+    );
+    if ratio > MAX_SLOWDOWN {
+        return Err(format!(
+            "v3 is {ratio:.2}x the incremental solver's time (gate: {MAX_SLOWDOWN:.2}x)"
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    for (what, res) in [("parity", parity_sweep()), ("perf", perf_gate())] {
+        match res {
+            Ok(()) => println!("solver-regression: {what} OK"),
+            Err(e) => {
+                eprintln!("solver-regression: {what} FAILED: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

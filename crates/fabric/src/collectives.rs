@@ -11,9 +11,15 @@
 use crate::des::{makespan, DesConfig, Message};
 use crate::dragonfly::Dragonfly;
 use crate::routing::{RoutePolicy, Router};
-use crate::topology::EndpointId;
+use crate::topology::{EndpointId, LinkId};
 use frontier_sim_core::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Shared routed paths, keyed by (src, dst) endpoint pair.
+type PathCache = HashMap<(EndpointId, EndpointId), Arc<[LinkId]>>;
 
 /// Allreduce algorithm choice.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -34,6 +40,12 @@ pub struct Collectives<'a> {
     cfg: DesConfig,
     ranks: Vec<EndpointId>,
     seed: u64,
+    /// Routed-path cache: collectives re-send over the same (src, dst)
+    /// pairs round after round (a ring allreduce revisits each neighbor
+    /// pair 2(p-1) times), so each pair routes once and every message
+    /// over it shares the same `Arc<[LinkId]>` instead of cloning the
+    /// path per injected message.
+    paths: RefCell<PathCache>,
 }
 
 impl<'a> Collectives<'a> {
@@ -45,6 +57,7 @@ impl<'a> Collectives<'a> {
             cfg: DesConfig::default(),
             ranks,
             seed,
+            paths: RefCell::new(PathCache::new()),
         }
     }
 
@@ -55,14 +68,17 @@ impl<'a> Collectives<'a> {
     /// Run one synchronized round of (src_rank, dst_rank, size) exchanges
     /// and return the round's completion time.
     fn round(&self, pairs: &[(usize, usize, Bytes)], rng: &mut StreamRng) -> SimTime {
+        let mut paths = self.paths.borrow_mut();
         let msgs: Vec<Message> = pairs
             .iter()
             .filter(|&&(s, d, _)| self.ranks[s] != self.ranks[d])
-            .map(|&(s, d, size)| Message {
-                path: self.router.route(self.ranks[s], self.ranks[d], rng),
-                size,
-                inject_at: SimTime::ZERO,
-                tag: s as u64,
+            .map(|&(s, d, size)| {
+                let (src, dst) = (self.ranks[s], self.ranks[d]);
+                let path = paths
+                    .entry((src, dst))
+                    .or_insert_with(|| self.router.route(src, dst, rng).into())
+                    .clone();
+                Message::on(path, size, SimTime::ZERO, s as u64)
             })
             .collect();
         if msgs.is_empty() {

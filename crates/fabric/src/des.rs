@@ -18,6 +18,7 @@ use crate::topology::{Flow, LinkId, Topology};
 use frontier_sim_core::metrics;
 use frontier_sim_core::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Timing parameters of the message simulation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -42,11 +43,17 @@ impl Default for DesConfig {
     }
 }
 
-/// A message to inject: a routed flow plus a size and an injection time.
+/// A message to inject: a routed path plus a size and an injection time.
+///
+/// The path is shared (`Arc<[LinkId]>`) rather than owned: collective
+/// rounds inject many messages over the same handful of routed paths, and
+/// cloning a `Vec<LinkId>` per message was the dominant allocation of the
+/// DES call sites. Cloning a `Message` is now two pointer-sized copies
+/// plus a refcount bump.
 #[derive(Debug, Clone)]
 pub struct Message {
-    /// Routed path (directed links, in order).
-    pub path: Vec<LinkId>,
+    /// Routed path (directed links, in order), shared between messages.
+    pub path: Arc<[LinkId]>,
     pub size: Bytes,
     pub inject_at: SimTime,
     /// Caller-defined tag returned with the delivery.
@@ -54,10 +61,22 @@ pub struct Message {
 }
 
 impl Message {
-    /// Build a message over an already-routed flow.
+    /// Build a message over an already-routed flow (copies the path once;
+    /// reuse the returned message's `path` — or [`Message::on`] — to share
+    /// it across a batch).
     pub fn over(flow: &Flow, size: Bytes, inject_at: SimTime, tag: u64) -> Self {
         Message {
-            path: flow.path.clone(),
+            path: Arc::from(&flow.path[..]),
+            size,
+            inject_at,
+            tag,
+        }
+    }
+
+    /// Build a message over an already-shared path without copying it.
+    pub fn on(path: Arc<[LinkId]>, size: Bytes, inject_at: SimTime, tag: u64) -> Self {
+        Message {
+            path,
             size,
             inject_at,
             tag,
@@ -146,12 +165,12 @@ mod tests {
     use crate::topology::SwitchId;
 
     /// Two endpoints on one switch, 10 GB/s links.
-    fn pair() -> (Topology, Vec<LinkId>) {
+    fn pair() -> (Topology, Arc<[LinkId]>) {
         let mut t = Topology::new();
         t.add_switches(1);
         let a = t.add_endpoint(SwitchId(0), Bandwidth::gb_s(10.0));
         let b = t.add_endpoint(SwitchId(0), Bandwidth::gb_s(10.0));
-        let path = vec![t.injection_link(a), t.ejection_link(b)];
+        let path = vec![t.injection_link(a), t.ejection_link(b)].into();
         (t, path)
     }
 
@@ -198,11 +217,11 @@ mod tests {
     fn disjoint_paths_run_in_parallel() {
         let mut t = Topology::new();
         t.add_switches(1);
-        let mut paths = vec![];
+        let mut paths: Vec<Arc<[LinkId]>> = vec![];
         for _ in 0..4 {
             let a = t.add_endpoint(SwitchId(0), Bandwidth::gb_s(10.0));
             let b = t.add_endpoint(SwitchId(0), Bandwidth::gb_s(10.0));
-            paths.push(vec![t.injection_link(a), t.ejection_link(b)]);
+            paths.push(vec![t.injection_link(a), t.ejection_link(b)].into());
         }
         let cfg = DesConfig::default();
         let msgs: Vec<Message> = paths
@@ -258,7 +277,7 @@ mod tests {
             &t,
             &DesConfig::default(),
             &[Message {
-                path: vec![],
+                path: Vec::new().into(),
                 size: Bytes::kib(1),
                 inject_at: SimTime::ZERO,
                 tag: 0,

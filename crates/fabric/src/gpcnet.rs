@@ -18,9 +18,9 @@
 
 use crate::dragonfly::{Dragonfly, DragonflyParams};
 use crate::latency::LatencyModel;
-use crate::maxmin::solve_maxmin;
 use crate::patterns::{broadcast_pairs, incast_pairs, ring_pairs};
 use crate::routing::{RoutePolicy, Router};
+use crate::solver::{ResolveDelta, Solver};
 use crate::topology::{EndpointId, Flow};
 use frontier_sim_core::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -125,12 +125,6 @@ struct Workload {
     n_victims: usize,
     /// Victim rank count (for the allreduce size).
     victim_ranks: u64,
-}
-
-impl Workload {
-    fn victim_flows(&self) -> &[Flow] {
-        &self.flows[..self.n_victims]
-    }
 }
 
 fn build_workload(df: &Dragonfly, cfg: &GpcnetConfig) -> Workload {
@@ -257,17 +251,24 @@ pub fn run_on(df: &Dragonfly, cfg: &GpcnetConfig) -> GpcnetReport {
     let wl = build_workload(df, cfg);
     let lat = LatencyModel::default();
 
-    // The two solves share the routed victim set: isolated takes the
-    // victim prefix of the one routed flow vector, congested the whole
-    // slice — no re-routing, no cloning — and they run concurrently (each
-    // solve is itself deterministic under the rayon pool).
-    let (iso_alloc, mixed_alloc) = rayon::join(
-        || solve_maxmin(topo, wl.victim_flows()),
-        || solve_maxmin(topo, &wl.flows),
-    );
+    // The two solves share one routed flow vector *and* one solver: the
+    // congested solve covers the whole mixed workload, and the isolated
+    // solve is a warm-start re-solve that withdraws the congestor suffix —
+    // only the interference components the congestors actually touched are
+    // re-solved, while victim-only components keep their rates from the
+    // congested solve (in those components the two allocations are
+    // identical by construction). The victim prefix of the warm result is
+    // exactly the cold isolated allocation.
+    let nv = wl.n_victims;
+    let n_flows = wl.flows.len();
+    let mut solver = Solver::new(topo, wl.flows);
+    let mixed_alloc = solver.solve();
+    let iso_alloc = solver.resolve_with(&ResolveDelta::removed_flows((nv..n_flows).collect()));
+    let flows = solver.flows();
+    let victim_flows = &flows[..nv];
     let util = {
         let mut load = vec![0.0f64; topo.num_links() as usize];
-        for (f, &r) in wl.flows.iter().zip(&mixed_alloc.rates) {
+        for (f, &r) in flows.iter().zip(&mixed_alloc.rates) {
             if f.vni != 0 {
                 for l in &f.path {
                     load[l.0 as usize] += r;
@@ -294,7 +295,6 @@ pub fn run_on(df: &Dragonfly, cfg: &GpcnetConfig) -> GpcnetReport {
         0.0
     };
 
-    let nv = wl.n_victims;
     let mut rng = StreamRng::for_component(cfg.seed, "gpcnet-measure", 1);
 
     // --- Bandwidth+Sync test -------------------------------------------
@@ -321,7 +321,7 @@ pub fn run_on(df: &Dragonfly, cfg: &GpcnetConfig) -> GpcnetReport {
 
     // --- Latency test ---------------------------------------------------
     let lat_samples = |protected: bool, rng: &mut StreamRng| -> Vec<f64> {
-        wl.victim_flows()
+        victim_flows
             .iter()
             .map(|f| {
                 let path_util = f
@@ -344,7 +344,7 @@ pub fn run_on(df: &Dragonfly, cfg: &GpcnetConfig) -> GpcnetReport {
         let mean_util = if nv == 0 {
             0.0
         } else {
-            wl.victim_flows()
+            victim_flows
                 .iter()
                 .map(|f| {
                     f.path

@@ -11,9 +11,12 @@
 //! * [`routing`] — minimal, Valiant (non-minimal), and UGAL-like adaptive
 //!   dragonfly routing;
 //! * [`maxmin`] — progressive-filling max-min-fair bandwidth allocation, the
-//!   flow-level equivalent of per-flow fair queueing, implemented as an
-//!   incremental water-level solver with per-link flow indexing and
-//!   rayon-parallel rounds above a size threshold;
+//!   flow-level equivalent of per-flow fair queueing (entry points plus the
+//!   round-based baseline and reference oracles);
+//! * [`solver`] — the event-driven engine behind [`maxmin`]: a bottleneck
+//!   event heap, interference-component decomposition (independent
+//!   components solve concurrently), and the warm-start [`solver::Solver`]
+//!   that re-solves only the components a delta touches;
 //! * [`patterns`] — traffic generators (mpiGraph pairings, all-to-all,
 //!   incast, broadcast);
 //! * [`mpigraph`] — the Fig. 6 experiment;
@@ -41,15 +44,18 @@ pub mod maxmin;
 pub mod mpigraph;
 pub mod patterns;
 pub mod routing;
+pub mod solver;
 pub mod topology;
 
 pub mod prelude {
     pub use crate::dragonfly::{Dragonfly, DragonflyParams};
     pub use crate::fattree::{FatTree, FatTreeParams};
     pub use crate::maxmin::{
-        solve_maxmin, solve_maxmin_per_vni, solve_maxmin_weighted, Allocation, VniWeights,
+        solve_maxmin, solve_maxmin_incremental, solve_maxmin_per_vni, solve_maxmin_weighted,
+        Allocation, VniWeights,
     };
     pub use crate::routing::{RoutePolicy, Router};
+    pub use crate::solver::{ResolveDelta, Solver};
     pub use crate::topology::{EndpointId, Flow, LinkId, SwitchId, Topology};
 }
 

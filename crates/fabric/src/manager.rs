@@ -14,7 +14,9 @@
 //! and the bandwidth cost of running degraded.
 
 use crate::dragonfly::Dragonfly;
+use crate::maxmin::Allocation;
 use crate::routing::{RoutePolicy, Router};
+use crate::solver::{ResolveDelta, Solver};
 use crate::topology::{EndpointId, Flow, LinkId};
 use frontier_sim_core::prelude::*;
 use rayon::prelude::*;
@@ -127,19 +129,52 @@ impl<'a> FabricManager<'a> {
     /// visited — which is also what lets the detour search fan out over
     /// the rayon pool with a bitwise-identical result.
     pub fn reroute_failed(&self, flows: &mut [Flow], seed: u64) -> usize {
-        let replacements: Vec<(usize, Vec<LinkId>)> = (0..flows.len())
+        let replacements = self.plan_reroutes(flows, seed);
+        let rerouted = replacements.len();
+        for (i, path) in replacements {
+            flows[i].path = path;
+        }
+        rerouted
+    }
+
+    /// The re-routes `reroute_failed` would apply, without applying them:
+    /// `(flow index, live replacement path)` for every flow whose current
+    /// path crosses a dead link. Detour draws use the same keyed streams
+    /// as `reroute_failed`, so planning and applying are interchangeable.
+    pub fn plan_reroutes(&self, flows: &[Flow], seed: u64) -> Vec<(usize, Vec<LinkId>)> {
+        (0..flows.len())
             .into_par_iter()
             .filter(|&i| !self.path_alive(&flows[i].path))
             .map(|i| {
                 let mut rng = StreamRng::for_component(seed, "reroute-flow", i as u64);
                 (i, self.route(flows[i].src, flows[i].dst, &mut rng))
             })
-            .collect();
-        let rerouted = replacements.len();
-        for (i, path) in replacements {
-            flows[i].path = path;
-        }
-        rerouted
+            .collect()
+    }
+
+    /// The failure sweep against a warm [`Solver`]: re-route the affected
+    /// flows *and* re-solve the allocation in one step, telling the solver
+    /// exactly which links died and which paths moved so it only re-solves
+    /// the interference components the failure touched. Returns the number
+    /// of re-routed flows and the repaired allocation.
+    ///
+    /// The solver's flow set must be the workload previously solved (the
+    /// degradation sweep's routed pair set); dead links are marked
+    /// zero-capacity inside the solver, so subsequent warm re-solves keep
+    /// honoring the failure without mutating the shared topology.
+    pub fn reroute_failed_solver(&self, solver: &mut Solver, seed: u64) -> (usize, Allocation) {
+        let changed = self.plan_reroutes(solver.flows(), seed);
+        let rerouted = changed.len();
+        let delta = ResolveDelta {
+            removed_links: {
+                let mut dead: Vec<LinkId> = self.dead_links.iter().copied().collect();
+                dead.sort_unstable();
+                dead
+            },
+            changed_flows: changed,
+            removed_flows: Vec::new(),
+        };
+        (rerouted, solver.resolve_with(&delta))
     }
 }
 
@@ -257,6 +292,47 @@ mod tests {
             if i >= epg as usize {
                 assert_eq!(&f.path, old, "unaffected flow {i} was re-routed");
             }
+        }
+    }
+
+    #[test]
+    fn solver_failure_sweep_matches_cold_resolve() {
+        let df = df();
+        let mut fm = FabricManager::new(&df);
+        let epg = df.params().endpoints_per_group() as u32;
+        // Two disjoint group-pair workloads, so the 0<->1 failure leaves
+        // the 2->3 interference components untouched (and reused).
+        let pairs: Vec<(EndpointId, EndpointId)> = (0..epg)
+            .map(|e| (EndpointId(e), EndpointId(e + epg)))
+            .chain((0..epg).map(|e| (EndpointId(e + 2 * epg), EndpointId(e + 3 * epg))))
+            .collect();
+        let mut rng = StreamRng::from_seed(7);
+        let mut flows = fm.flows_for_pairs(&pairs, 0, &mut rng);
+
+        let mut solver = Solver::new(df.topology(), flows.clone());
+        solver.solve();
+
+        fm.fail_pipe(0, 1);
+        fm.sweep();
+        let (rerouted, warm) = fm.reroute_failed_solver(&mut solver, 7);
+
+        // Cold path: the same re-route applied to a copy, dead links
+        // zeroed on a cloned topology, full solve from scratch.
+        let cold_rerouted = fm.reroute_failed(&mut flows, 7);
+        assert_eq!(rerouted, cold_rerouted);
+        assert!(rerouted > 0, "the dead pipe carried traffic");
+        let mut topo = df.topology().clone();
+        topo.set_capacity(df.global_pipe(0, 1), Bandwidth::bytes_per_sec(0.0));
+        topo.set_capacity(df.global_pipe(1, 0), Bandwidth::bytes_per_sec(0.0));
+        let cold = solve_maxmin(&topo, &flows);
+
+        for (i, (a, b)) in warm.rates.iter().zip(&cold.rates).enumerate() {
+            let scale = 1.0f64.max(a.abs()).max(b.abs());
+            assert!((a - b).abs() <= 1e-9 * scale, "flow {i}: {a} vs {b}");
+        }
+        // The solver applied exactly the re-routes the plain sweep did.
+        for (a, b) in solver.flows().iter().zip(&flows) {
+            assert_eq!(a.path, b.path);
         }
     }
 

@@ -16,21 +16,23 @@
 //!
 //! # Algorithm
 //!
-//! The solver is *incremental*: instead of tracking per-flow rates round by
-//! round, it tracks one scalar — the fair-share *water level* — and the
-//! rate of every still-active flow is `weight × level` by construction.
-//! A link `l` therefore saturates exactly at `level = avail(l) /
-//! link_weight(l)` and a flow hits its demand at `level = demand / weight`,
-//! so each round reduces to a minimum over the *contended* links and the
-//! *demand-limited* active flows, both of which shrink as the fill
-//! progresses. A per-link index of crossing flows (built once, CSR layout)
-//! turns a link saturation into an event that visits only the flows on that
-//! link, replacing the full per-round rescan of every flow. Above
-//! [`PAR_THRESHOLD`] work items per round the reductions run as `rayon`
-//! parallel reductions; below it they stay serial so small unit-test
-//! topologies pay no thread overhead. The superseded straightforward loop
-//! is kept as [`solve_maxmin_reference`] and a property test pins the two
-//! to 1e-9 relative agreement.
+//! The public entry points now delegate to the event-driven engine in
+//! [`crate::solver`]: a min-heap of per-link saturation events jumps the
+//! water level freeze to freeze (lazily re-keying only touched links),
+//! and a union-find decomposition solves independent interference
+//! components concurrently. Two older generations stay in this module as
+//! oracles and baselines:
+//!
+//! * [`solve_maxmin_incremental`] — the round-based *incremental* solver
+//!   (v2). It tracks one scalar, the fair-share *water level*; the rate
+//!   of every still-active flow is `weight × level` by construction, so
+//!   each round reduces to a minimum over the *contended* links and the
+//!   *demand-limited* active flows (shrinking work lists, rayon
+//!   reductions above [`PAR_THRESHOLD`] items). The CI solver-regression
+//!   gate benches v3 against it.
+//! * [`solve_maxmin_reference`] — the straightforward per-round rescan
+//!   (v1), the parity oracle: property tests pin all three generations
+//!   to 1e-9 relative agreement.
 
 use crate::topology::{Flow, LinkLevel, Topology};
 use frontier_sim_core::metrics;
@@ -38,8 +40,9 @@ use frontier_sim_core::units::Bandwidth;
 use rayon::prelude::*;
 use std::collections::HashMap;
 
-/// Relative tolerance for saturation/demand checks.
-const REL_EPS: f64 = 1e-9;
+/// Relative tolerance for saturation/demand checks (shared with the
+/// event-driven engine so all solver generations batch ties identically).
+pub(crate) const REL_EPS: f64 = 1e-9;
 
 /// Minimum per-round work (contended links + demand-limited active flows)
 /// before the solver's reductions move onto the rayon thread pool. Below
@@ -55,8 +58,14 @@ pub struct Allocation {
     /// input flow slice*: `rates[i]` is the rate of `flows[i]` as passed
     /// to the solver.
     pub rates: Vec<f64>,
-    /// Progressive-filling rounds used.
+    /// Progressive-filling rounds used (freeze-event batches for the
+    /// event-driven engine; each batch freezes at least one flow, so the
+    /// classic `rounds ≤ links + flows + 1` bound holds either way).
     pub rounds: usize,
+    /// Interference components the solve decomposed into (flows sharing
+    /// no link, directly or transitively, land in different components).
+    /// The round-based solvers do not decompose and report 1.
+    pub components: usize,
 }
 
 impl Allocation {
@@ -130,20 +139,39 @@ pub fn solve_maxmin_per_vni(topo: &Topology, flows: &[Flow]) -> Allocation {
 }
 
 /// Weighted progressive filling. `weight` must be strictly positive for
-/// every flow.
+/// every flow. Runs on the event-driven engine ([`crate::solver`]).
 pub fn solve_maxmin_weighted<W>(topo: &Topology, flows: &[Flow], weight: W) -> Allocation
 where
     W: Fn(&Flow) -> f64,
 {
-    let weights: Vec<f64> = flows
+    let weights = collect_weights(flows, weight);
+    crate::solver::solve_event_driven(topo, flows, &weights)
+}
+
+/// The round-based incremental solver (v2), kept as the baseline the
+/// event-driven engine is benched and regression-gated against
+/// (`bench_maxmin`, the CI `solver_regression` step) and as a second
+/// oracle in the parity property tests.
+pub fn solve_maxmin_incremental<W>(topo: &Topology, flows: &[Flow], weight: W) -> Allocation
+where
+    W: Fn(&Flow) -> f64,
+{
+    let weights = collect_weights(flows, weight);
+    solve_incremental(topo, flows, &weights)
+}
+
+fn collect_weights<W>(flows: &[Flow], weight: W) -> Vec<f64>
+where
+    W: Fn(&Flow) -> f64,
+{
+    flows
         .iter()
         .map(|f| {
             let w = weight(f);
             assert!(w > 0.0 && w.is_finite(), "flow weight must be positive");
             w
         })
-        .collect();
-    solve_incremental(topo, flows, &weights)
+        .collect()
 }
 
 /// Minimum of `f` over a work list, parallel above the caller's threshold
@@ -324,7 +352,11 @@ fn solve_incremental(topo: &Topology, flows: &[Flow], weights: &[f64]) -> Alloca
         );
     }
 
-    Allocation { rates, rounds }
+    Allocation {
+        rates,
+        rounds,
+        components: 1,
+    }
 }
 
 /// Stable per-link telemetry label: topology size disambiguates links of
@@ -346,7 +378,7 @@ fn link_label(nl: usize, l: usize, level: LinkLevel) -> String {
 /// maxima — so snapshots cannot depend on how concurrent solves
 /// interleave (see the determinism contract in `frontier_sim_core::metrics`).
 #[allow(clippy::too_many_arguments)]
-fn publish_solve_metrics(
+pub(crate) fn publish_solve_metrics(
     m: &metrics::MetricsRegistry,
     topo: &Topology,
     rounds: usize,
@@ -489,7 +521,11 @@ where
         }
     }
 
-    Allocation { rates, rounds }
+    Allocation {
+        rates,
+        rounds,
+        components: 1,
+    }
 }
 
 #[cfg(test)]
@@ -717,14 +753,18 @@ mod tests {
                 flows.push(f);
             }
             let weight = |f: &Flow| 0.5 + f.vni as f64;
-            let opt = solve_maxmin_weighted(topo, &flows, weight);
+            let v3 = solve_maxmin_weighted(topo, &flows, weight);
+            let incremental = solve_maxmin_incremental(topo, &flows, weight);
             let reference = solve_maxmin_reference(topo, &flows, weight);
-            for (i, (a, b)) in opt.rates.iter().zip(&reference.rates).enumerate() {
-                let scale = 1.0f64.max(a.abs()).max(b.abs());
-                assert!(
-                    (a - b).abs() <= 1e-9 * scale,
-                    "seed {seed} flow {i}: {a} vs {b}"
-                );
+            for i in 0..flows.len() {
+                for (gen, opt) in [("v3", &v3), ("incremental", &incremental)] {
+                    let (a, b) = (opt.rates[i], reference.rates[i]);
+                    let scale = 1.0f64.max(a.abs()).max(b.abs());
+                    assert!(
+                        (a - b).abs() <= 1e-9 * scale,
+                        "seed {seed} flow {i} ({gen}): {a} vs {b}"
+                    );
+                }
             }
         }
     }
@@ -787,11 +827,18 @@ mod tests {
             }
             flows.push(f);
         }
-        let opt = solve_maxmin(&t, &flows);
+        let v3 = solve_maxmin(&t, &flows);
+        let incremental = solve_maxmin_incremental(&t, &flows, |_| 1.0);
         let reference = solve_maxmin_reference(&t, &flows, |_| 1.0);
-        for (i, (a, b)) in opt.rates.iter().zip(&reference.rates).enumerate() {
-            let scale = 1.0f64.max(a.abs()).max(b.abs());
-            assert!((a - b).abs() <= 1e-9 * scale, "flow {i}: {a} vs {b}");
+        for i in 0..flows.len() {
+            for (gen, opt) in [("v3", &v3), ("incremental", &incremental)] {
+                let (a, b) = (opt.rates[i], reference.rates[i]);
+                let scale = 1.0f64.max(a.abs()).max(b.abs());
+                assert!(
+                    (a - b).abs() <= 1e-9 * scale,
+                    "flow {i} ({gen}): {a} vs {b}"
+                );
+            }
         }
     }
 }

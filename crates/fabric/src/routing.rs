@@ -357,6 +357,30 @@ impl<'a> Router<'a> {
     }
 }
 
+/// The `(flow index, new path)` differences between two routings of the
+/// same pair set — the change set a warm
+/// [`Solver::resolve_with`](crate::solver::Solver::resolve_with) needs to
+/// move from the allocation of `base` to the allocation of `updated`
+/// without re-solving flows whose route both policies agree on (e.g. the
+/// UGAL sweep, where most flows stay minimal).
+///
+/// # Panics
+/// Panics if the slices have different lengths (they must route the same
+/// pairs in the same order).
+pub fn path_deltas(base: &[Flow], updated: &[Flow]) -> Vec<(usize, Vec<LinkId>)> {
+    assert_eq!(
+        base.len(),
+        updated.len(),
+        "routings cover different pair sets"
+    );
+    base.iter()
+        .zip(updated)
+        .enumerate()
+        .filter(|(_, (a, b))| a.path != b.path)
+        .map(|(i, (_, b))| (i, b.path.clone()))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -586,5 +610,37 @@ mod tests {
         let p = r.route(EndpointId(0), EndpointId(5), &mut rng());
         // Falls back to minimal: only one other group exists.
         assert_eq!(r.global_hops(&p), 1);
+    }
+
+    #[test]
+    fn path_deltas_lists_exactly_the_changed_routes() {
+        let df = small();
+        let r = Router::new(&df, RoutePolicy::Minimal);
+        let pairs: Vec<(EndpointId, EndpointId)> = (0..8)
+            .map(|i| (EndpointId(i), EndpointId(i + 16)))
+            .collect();
+        let base = r.route_all(&pairs, 0, 11);
+        let mut updated = base.clone();
+        // No changes: empty delta.
+        assert!(path_deltas(&base, &updated).is_empty());
+        // Reverse two paths: exactly those indices, with the new paths.
+        updated[2].path.reverse();
+        updated[5].path.reverse();
+        let deltas = path_deltas(&base, &updated);
+        assert_eq!(
+            deltas.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+            vec![2, 5]
+        );
+        assert_eq!(deltas[0].1, updated[2].path);
+        assert_eq!(deltas[1].1, updated[5].path);
+    }
+
+    #[test]
+    #[should_panic(expected = "different pair sets")]
+    fn path_deltas_rejects_mismatched_lengths() {
+        let df = small();
+        let r = Router::new(&df, RoutePolicy::Minimal);
+        let base = r.route_all(&[(EndpointId(0), EndpointId(9))], 0, 1);
+        path_deltas(&base, &[]);
     }
 }

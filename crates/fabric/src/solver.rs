@@ -1,0 +1,952 @@
+//! Event-driven max-min solver (v3): bottleneck-event heap, interference
+//! components, and warm-start re-solves.
+//!
+//! The incremental solver ([`crate::maxmin`]) still walks the water level
+//! round by round, and every round scans the whole contended-link work
+//! list: O(rounds × links) for the Fig. 6 mega-solve (979 rounds over
+//! 32 k links). This module replaces the scan with *bottleneck events*:
+//!
+//! * Every link has a known water level at which it saturates,
+//!   `avail / link_weight`; every demand-limited flow has a static level
+//!   `demand / weight` at which it caps out. Both are *events*.
+//! * Link events live in a min-heap keyed by saturation level; demand
+//!   events are a sorted array walked by a cursor (demands never change
+//!   mid-solve). The solver jumps the global water level from event to
+//!   event instead of re-deriving the minimum each round.
+//! * Freezing a flow changes the saturation level of only the links on
+//!   its path. Those links are *lazily* re-keyed: a per-link stamp is
+//!   bumped on every update, and a popped heap entry whose stamp is stale
+//!   is re-keyed and re-pushed. This is sound because freezing a flow can
+//!   only **raise** the saturation level of the remaining links — for a
+//!   link with `avail ≥ link_weight × level` (not yet saturated),
+//!   `(avail − w·level) / (link_weight − w) ≥ avail / link_weight` — so a
+//!   stale entry only ever under-estimates, and the heap minimum, once
+//!   fresh, is the true next event. Cost: O(freezes · log links +
+//!   touched links) instead of O(rounds × links).
+//!
+//! In front of the engine sits an **interference-component decomposition**:
+//! union-find over flows that share a link ([`UnionFind`]). Flows in
+//! different components cannot influence each other's rates (no shared
+//! capacity), so each component solves independently — concurrently on the
+//! rayon pool when the workload is large — which is what finally gives the
+//! Fig. 6 mega-solve a real `--jobs` speedup when the workload splits.
+//!
+//! [`Solver`] adds **warm-start re-solves** on top: it caches the per-flow
+//! rates of the last solve, and [`Solver::resolve_with`] re-solves only
+//! the components touched by a delta (removed links, re-routed flows,
+//! removed flows), copying every untouched component's rates straight
+//! from the cache. The fabric manager's failure sweep and GPCNeT's
+//! isolated/congested pair both re-solve workloads that differ from the
+//! previous solve in a handful of paths, which is exactly this shape.
+//!
+//! Tolerance semantics are inherited from the round solvers: all events
+//! within `REL_EPS` (relative) of the batch level freeze at the *same*
+//! level, so the allocation matches [`crate::maxmin::solve_maxmin_reference`]
+//! to 1e-9 (pinned by the parity proptests, cold and warm).
+
+use crate::maxmin::{publish_solve_metrics, Allocation, REL_EPS};
+use crate::topology::{Flow, LinkId, Topology, UnionFind};
+use frontier_sim_core::metrics;
+use rayon::prelude::*;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Minimum total flow count before a multi-component solve fans the
+/// per-component solves out over the rayon pool (same rationale as
+/// [`crate::maxmin::PAR_THRESHOLD`]: below this, fork/join overhead wins).
+pub const COMPONENT_PAR_THRESHOLD: usize = crate::maxmin::PAR_THRESHOLD;
+
+/// One-time CSR index of the flows crossing each link.
+pub(crate) struct FlowIndex {
+    /// Flows crossing each link.
+    pub deg: Vec<u32>,
+    /// CSR offsets, `deg.len() + 1` entries.
+    pub off: Vec<u32>,
+    /// Flow ids, grouped by link.
+    pub link_flows: Vec<u32>,
+}
+
+pub(crate) fn build_index(nl: usize, paths: &[&[LinkId]]) -> FlowIndex {
+    let mut deg = vec![0u32; nl];
+    for p in paths {
+        for l in *p {
+            deg[l.0 as usize] += 1;
+        }
+    }
+    let mut off = vec![0u32; nl + 1];
+    for l in 0..nl {
+        off[l + 1] = off[l] + deg[l];
+    }
+    let mut cursor: Vec<u32> = off[..nl].to_vec();
+    let mut link_flows = vec![0u32; off[nl] as usize];
+    for (fi, p) in paths.iter().enumerate() {
+        for l in *p {
+            let li = l.0 as usize;
+            link_flows[cursor[li] as usize] = fi as u32;
+            cursor[li] += 1;
+        }
+    }
+    FlowIndex {
+        deg,
+        off,
+        link_flows,
+    }
+}
+
+/// Interference components: flows sharing any link are unioned; each
+/// returned group lists its member flow ids in ascending order, and the
+/// groups themselves are ordered by their smallest member — a
+/// deterministic decomposition regardless of how the solve later
+/// parallelizes. Flows with an empty path belong to no component.
+pub(crate) fn find_components(paths: &[&[LinkId]], idx: &FlowIndex) -> Vec<Vec<u32>> {
+    let nf = paths.len();
+    let mut uf = UnionFind::new(nf);
+    let nl = idx.deg.len();
+    for l in 0..nl {
+        let s = idx.off[l] as usize;
+        let e = idx.off[l + 1] as usize;
+        for k in s + 1..e {
+            uf.union(idx.link_flows[s], idx.link_flows[k]);
+        }
+    }
+    let mut comp_of_root: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    let mut comps: Vec<Vec<u32>> = Vec::new();
+    for fi in 0..nf as u32 {
+        if paths[fi as usize].is_empty() {
+            continue;
+        }
+        let root = uf.find(fi);
+        let id = *comp_of_root.entry(root).or_insert_with(|| {
+            comps.push(Vec::new());
+            comps.len() - 1
+        });
+        comps[id].push(fi);
+    }
+    comps
+}
+
+/// A link saturation event: "link `link` saturates when the water level
+/// reaches `level`" — valid only while the link's stamp still equals
+/// `stamp` (lazy invalidation).
+#[derive(Clone, Copy)]
+struct LinkEvent {
+    level: f64,
+    link: u32,
+    stamp: u32,
+}
+
+impl Ord for LinkEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // total_cmp: levels are finite non-negative here, and the
+        // link-id tie-break keeps pop order deterministic.
+        self.level
+            .total_cmp(&other.level)
+            .then_with(|| self.link.cmp(&other.link))
+            .then_with(|| self.stamp.cmp(&other.stamp))
+    }
+}
+impl PartialOrd for LinkEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl PartialEq for LinkEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for LinkEvent {}
+
+/// Result of one component's solve.
+struct CompResult {
+    /// Rates parallel to the component's member list.
+    rates: Vec<f64>,
+    /// Freeze-event batches (the v3 analogue of "rounds").
+    freezes: usize,
+    frozen_demand: u64,
+    frozen_saturation: u64,
+}
+
+/// Freeze flow `ci` (component-local index) at `weight × level`,
+/// withdrawing its weight and rate from every link it crosses and
+/// invalidating their heap keys.
+#[allow(clippy::too_many_arguments)]
+fn freeze_flow(
+    ci: usize,
+    level: f64,
+    comp: &[u32],
+    paths: &[&[LinkId]],
+    weights: &[f64],
+    links: &[u32],
+    active: &mut [bool],
+    rates: &mut [f64],
+    avail: &mut [f64],
+    lweight: &mut [f64],
+    stamps: &mut [u32],
+) {
+    let gfi = comp[ci] as usize;
+    let w = weights[gfi];
+    let r = w * level;
+    rates[ci] = r;
+    active[ci] = false;
+    for l in paths[gfi] {
+        let li = links
+            .binary_search(&l.0)
+            .expect("path link outside its component");
+        lweight[li] -= w;
+        avail[li] -= r;
+        stamps[li] = stamps[li].wrapping_add(1);
+    }
+}
+
+/// Solve one interference component with the bottleneck-event engine.
+///
+/// `comp` lists the member flow ids (ascending); all state is local to
+/// the component's link set, so disjoint components can run concurrently.
+fn solve_component(
+    caps: &[f64],
+    paths: &[&[LinkId]],
+    demands: &[f64],
+    weights: &[f64],
+    idx: &FlowIndex,
+    comp: &[u32],
+) -> CompResult {
+    // Local link universe: every link any member crosses, sorted so the
+    // global→local mapping is a binary search.
+    let mut links: Vec<u32> = comp
+        .iter()
+        .flat_map(|&fi| paths[fi as usize].iter().map(|l| l.0))
+        .collect();
+    links.sort_unstable();
+    links.dedup();
+    let nll = links.len();
+    let ncf = comp.len();
+
+    let ccaps: Vec<f64> = links.iter().map(|&l| caps[l as usize]).collect();
+    let mut avail = ccaps.clone();
+    let mut lweight = vec![0.0f64; nll];
+    for &fi in comp {
+        let w = weights[fi as usize];
+        for l in paths[fi as usize] {
+            let li = links.binary_search(&l.0).expect("link in local universe");
+            lweight[li] += w;
+        }
+    }
+    let mut stamps = vec![0u32; nll];
+    let mut done = vec![false; nll];
+
+    let mut active = vec![true; ncf];
+    let mut n_active = ncf;
+    let mut rates = vec![0.0f64; ncf];
+
+    // Demand events are static: `demand / weight` never changes mid-solve,
+    // so one sort up front and a cursor replace any per-round minimum.
+    let mut devents: Vec<(f64, u32)> = comp
+        .iter()
+        .enumerate()
+        .filter_map(|(ci, &fi)| {
+            let dw = demands[fi as usize] / weights[fi as usize];
+            dw.is_finite().then_some((dw, ci as u32))
+        })
+        .collect();
+    devents.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    let mut dcursor = 0usize;
+
+    let mut heap: BinaryHeap<std::cmp::Reverse<LinkEvent>> = BinaryHeap::with_capacity(nll);
+    for li in 0..nll {
+        if lweight[li] > REL_EPS {
+            heap.push(std::cmp::Reverse(LinkEvent {
+                level: avail[li] / lweight[li],
+                link: li as u32,
+                stamp: 0,
+            }));
+        }
+    }
+
+    let mut level = 0.0f64;
+    let mut freezes = 0usize;
+    let mut frozen_demand = 0u64;
+    let mut frozen_saturation = 0u64;
+
+    while n_active > 0 {
+        freezes += 1;
+        assert!(
+            freezes <= nll + ncf + 1,
+            "event-driven filling failed to converge"
+        );
+
+        // Next demand event (skip members frozen by earlier saturations).
+        while dcursor < devents.len() && !active[devents[dcursor].1 as usize] {
+            dcursor += 1;
+        }
+        let demand_level = devents.get(dcursor).map(|e| e.0).unwrap_or(f64::INFINITY);
+
+        // Next link event: surface a fresh heap minimum, re-keying stale
+        // entries as they come up (their true level is always ≥ the stale
+        // key, so a fresh top is the true minimum).
+        let link_level = loop {
+            match heap.peek() {
+                None => break f64::INFINITY,
+                Some(&std::cmp::Reverse(ev)) => {
+                    let li = ev.link as usize;
+                    if done[li] {
+                        heap.pop();
+                        continue;
+                    }
+                    if ev.stamp != stamps[li] {
+                        heap.pop();
+                        if lweight[li] <= REL_EPS {
+                            done[li] = true; // all its flows already froze
+                            continue;
+                        }
+                        heap.push(std::cmp::Reverse(LinkEvent {
+                            level: avail[li] / lweight[li],
+                            link: li as u32,
+                            stamp: stamps[li],
+                        }));
+                        continue;
+                    }
+                    break ev.level;
+                }
+            }
+        };
+
+        let next = demand_level.min(link_level);
+        assert!(
+            next.is_finite(),
+            "no binding constraint: flows without links must have finite demand"
+        );
+        level = next.max(level);
+
+        // Freeze every event within REL_EPS of this level in one batch
+        // (mirroring the round solvers' tie handling, which is what keeps
+        // the 1e-9 parity with the reference). Demand events first, then
+        // link saturations — the same order as the incremental solver.
+        // Freezing preserves `avail − level × link_weight` on every other
+        // link, so the saturation set at this level is stable under the
+        // freeze order.
+        while dcursor < devents.len() && devents[dcursor].0 <= level * (1.0 + REL_EPS) {
+            let ci = devents[dcursor].1 as usize;
+            dcursor += 1;
+            if active[ci] {
+                n_active -= 1;
+                frozen_demand += 1;
+                freeze_flow(
+                    ci,
+                    level,
+                    comp,
+                    paths,
+                    weights,
+                    &links,
+                    &mut active,
+                    &mut rates,
+                    &mut avail,
+                    &mut lweight,
+                    &mut stamps,
+                );
+            }
+        }
+        while let Some(&std::cmp::Reverse(ev)) = heap.peek() {
+            let li = ev.link as usize;
+            let stale = ev.stamp != stamps[li];
+            if done[li] {
+                heap.pop();
+                continue;
+            }
+            if lweight[li] <= REL_EPS {
+                heap.pop();
+                done[li] = true;
+                continue;
+            }
+            let saturated = avail[li] - level * lweight[li] <= ccaps[li] * REL_EPS;
+            if !saturated {
+                if stale {
+                    heap.pop();
+                    heap.push(std::cmp::Reverse(LinkEvent {
+                        level: avail[li] / lweight[li],
+                        link: li as u32,
+                        stamp: stamps[li],
+                    }));
+                    continue;
+                }
+                break; // fresh minimum above the level: batch complete
+            }
+            heap.pop();
+            done[li] = true;
+            // Freeze every active flow crossing the saturated link.
+            let gl = links[li] as usize;
+            for k in idx.off[gl]..idx.off[gl + 1] {
+                let gfi = idx.link_flows[k as usize];
+                let ci = comp
+                    .binary_search(&gfi)
+                    .expect("link's flow outside its component");
+                if active[ci] {
+                    n_active -= 1;
+                    frozen_saturation += 1;
+                    freeze_flow(
+                        ci,
+                        level,
+                        comp,
+                        paths,
+                        weights,
+                        &links,
+                        &mut active,
+                        &mut rates,
+                        &mut avail,
+                        &mut lweight,
+                        &mut stamps,
+                    );
+                }
+            }
+        }
+    }
+
+    CompResult {
+        rates,
+        freezes,
+        frozen_demand,
+        frozen_saturation,
+    }
+}
+
+/// Solve a set of components, scattering per-flow rates into `rates`
+/// (indexed by global flow id). Components solve concurrently on the
+/// rayon pool when the workload is large enough; results are identical
+/// either way because components share no state. Returns
+/// `(freeze events, frozen by demand, frozen by saturation)`.
+fn solve_components(
+    caps: &[f64],
+    paths: &[&[LinkId]],
+    demands: &[f64],
+    weights: &[f64],
+    idx: &FlowIndex,
+    comps: &[Vec<u32>],
+    rates: &mut [f64],
+) -> (usize, u64, u64) {
+    let work: usize = comps.iter().map(|c| c.len()).sum();
+    let parallel = comps.len() > 1 && work >= COMPONENT_PAR_THRESHOLD;
+    let results: Vec<CompResult> = if parallel {
+        comps
+            .par_iter()
+            .map(|comp| solve_component(caps, paths, demands, weights, idx, comp))
+            .collect()
+    } else {
+        comps
+            .iter()
+            .map(|comp| solve_component(caps, paths, demands, weights, idx, comp))
+            .collect()
+    };
+    let mut freezes = 0usize;
+    let mut fd = 0u64;
+    let mut fs = 0u64;
+    for (comp, res) in comps.iter().zip(&results) {
+        for (&fi, &r) in comp.iter().zip(&res.rates) {
+            rates[fi as usize] = r;
+        }
+        freezes += res.freezes;
+        fd += res.frozen_demand;
+        fs += res.frozen_saturation;
+    }
+    (freezes, fd, fs)
+}
+
+/// Publish one v3 solve's telemetry: the standard solver families (so
+/// dashboards see one stream regardless of engine) plus the v3-specific
+/// component and freeze-event counters. Per-link utilization is
+/// recomputed from the final rates, which also covers warm re-solves
+/// where per-component `avail` state was never materialized globally.
+#[allow(clippy::too_many_arguments)]
+fn publish_v3_metrics(
+    m: &metrics::MetricsRegistry,
+    topo: &Topology,
+    paths: &[&[LinkId]],
+    rates: &[f64],
+    caps: &[f64],
+    deg: &[u32],
+    solved_flows: usize,
+    freezes: usize,
+    components: usize,
+    frozen_demand: u64,
+    frozen_saturation: u64,
+) {
+    let mut avail = caps.to_vec();
+    for (p, &r) in paths.iter().zip(rates) {
+        for l in *p {
+            avail[l.0 as usize] -= r;
+        }
+    }
+    publish_solve_metrics(
+        m,
+        topo,
+        freezes,
+        solved_flows,
+        frozen_demand,
+        frozen_saturation,
+        deg,
+        caps,
+        &avail,
+    );
+    m.counter("fabric.maxmin.components").add(components as u64);
+    m.counter("fabric.maxmin.freeze_events").add(freezes as u64);
+}
+
+/// Cold event-driven solve over a routed flow set — the engine behind
+/// every [`crate::maxmin`] entry point.
+pub(crate) fn solve_event_driven(topo: &Topology, flows: &[Flow], weights: &[f64]) -> Allocation {
+    let nl = topo.num_links() as usize;
+    let nf = flows.len();
+    let caps: Vec<f64> = topo
+        .links()
+        .iter()
+        .map(|l| l.capacity.as_bytes_per_sec())
+        .collect();
+    let paths: Vec<&[LinkId]> = flows.iter().map(|f| f.path.as_slice()).collect();
+    let demands: Vec<f64> = flows.iter().map(|f| f.demand.as_bytes_per_sec()).collect();
+    let idx = build_index(nl, &paths);
+    let comps = find_components(&paths, &idx);
+    let mut rates = vec![0.0f64; nf];
+    let (freezes, fd, fs) =
+        solve_components(&caps, &paths, &demands, weights, &idx, &comps, &mut rates);
+    if let Some(m) = metrics::active() {
+        publish_v3_metrics(
+            m,
+            topo,
+            &paths,
+            &rates,
+            &caps,
+            &idx.deg,
+            nf,
+            freezes,
+            comps.len(),
+            fd,
+            fs,
+        );
+    }
+    Allocation {
+        rates,
+        rounds: freezes,
+        components: comps.len(),
+    }
+}
+
+/// A change set for [`Solver::resolve_with`]. Every link named here —
+/// removed links, the old and new paths of changed flows, the paths of
+/// removed flows — is *dirty*: components of the updated workload that
+/// contain a dirty link are re-solved, everything else reuses the cached
+/// rates (provably unchanged: any membership or capacity change would
+/// have dirtied one of the component's links).
+#[derive(Debug, Clone, Default)]
+pub struct ResolveDelta {
+    /// Links whose capacity drops to zero (failed pipes).
+    pub removed_links: Vec<LinkId>,
+    /// `(flow index, new path)` re-routes.
+    pub changed_flows: Vec<(usize, Vec<LinkId>)>,
+    /// Flows withdrawn from the workload (their rate becomes 0).
+    pub removed_flows: Vec<usize>,
+}
+
+impl ResolveDelta {
+    /// Delta that only removes links.
+    pub fn removed_links(links: Vec<LinkId>) -> Self {
+        ResolveDelta {
+            removed_links: links,
+            ..Default::default()
+        }
+    }
+
+    /// Delta that only re-routes flows.
+    pub fn changed_flows(changes: Vec<(usize, Vec<LinkId>)>) -> Self {
+        ResolveDelta {
+            changed_flows: changes,
+            ..Default::default()
+        }
+    }
+
+    /// Delta that only withdraws flows.
+    pub fn removed_flows(flows: Vec<usize>) -> Self {
+        ResolveDelta {
+            removed_flows: flows,
+            ..Default::default()
+        }
+    }
+}
+
+/// A max-min solve that owns its flow set and caches frozen state so
+/// subsequent deltas — link failures, re-routes, withdrawn flows — re-solve
+/// only the interference components they touch.
+pub struct Solver<'a> {
+    topo: &'a Topology,
+    flows: Vec<Flow>,
+    weights: Vec<f64>,
+    /// Effective capacities (removed links are zeroed here; the borrowed
+    /// topology is never mutated).
+    caps: Vec<f64>,
+    excluded: Vec<bool>,
+    rates: Vec<f64>,
+    solved: bool,
+}
+
+impl<'a> Solver<'a> {
+    /// Unweighted solver over `flows`.
+    pub fn new(topo: &'a Topology, flows: Vec<Flow>) -> Self {
+        Self::with_weights(topo, flows, |_| 1.0)
+    }
+
+    /// Weighted solver; `weight` must be strictly positive per flow.
+    pub fn with_weights<W>(topo: &'a Topology, flows: Vec<Flow>, weight: W) -> Self
+    where
+        W: Fn(&Flow) -> f64,
+    {
+        let weights: Vec<f64> = flows
+            .iter()
+            .map(|f| {
+                let w = weight(f);
+                assert!(w > 0.0 && w.is_finite(), "flow weight must be positive");
+                w
+            })
+            .collect();
+        let caps: Vec<f64> = topo
+            .links()
+            .iter()
+            .map(|l| l.capacity.as_bytes_per_sec())
+            .collect();
+        let nf = flows.len();
+        Solver {
+            topo,
+            flows,
+            weights,
+            caps,
+            excluded: vec![false; nf],
+            rates: vec![0.0; nf],
+            solved: false,
+        }
+    }
+
+    /// The solver's current flow set (paths reflect applied deltas).
+    /// Rates of withdrawn flows are zero in every returned allocation.
+    pub fn flows(&self) -> &[Flow] {
+        &self.flows
+    }
+
+    /// Effective paths: withdrawn flows look empty (inactive, rate 0).
+    fn paths_view(&self) -> Vec<&[LinkId]> {
+        self.flows
+            .iter()
+            .zip(&self.excluded)
+            .map(|(f, &ex)| if ex { &[][..] } else { f.path.as_slice() })
+            .collect()
+    }
+
+    fn demands(&self) -> Vec<f64> {
+        self.flows
+            .iter()
+            .map(|f| f.demand.as_bytes_per_sec())
+            .collect()
+    }
+
+    /// Cold solve of the current workload, (re)priming the rate cache.
+    pub fn solve(&mut self) -> Allocation {
+        let paths = self.paths_view();
+        let demands = self.demands();
+        let idx = build_index(self.caps.len(), &paths);
+        let comps = find_components(&paths, &idx);
+        let mut rates = vec![0.0f64; self.flows.len()];
+        let (freezes, fd, fs) = solve_components(
+            &self.caps,
+            &paths,
+            &demands,
+            &self.weights,
+            &idx,
+            &comps,
+            &mut rates,
+        );
+        if let Some(m) = metrics::active() {
+            publish_v3_metrics(
+                m,
+                self.topo,
+                &paths,
+                &rates,
+                &self.caps,
+                &idx.deg,
+                self.flows.len(),
+                freezes,
+                comps.len(),
+                fd,
+                fs,
+            );
+        }
+        self.rates = rates;
+        self.solved = true;
+        Allocation {
+            rates: self.rates.clone(),
+            rounds: freezes,
+            components: comps.len(),
+        }
+    }
+
+    /// Apply `delta` and re-solve, reusing the cached rates of every
+    /// interference component the delta does not touch.
+    ///
+    /// Correctness: a component of the *updated* workload that contains no
+    /// dirty link has exactly the membership, paths, and link capacities
+    /// it had in the previous solve — any flow that joined or left it, or
+    /// any capacity change, would have marked one of its links dirty — so
+    /// its cached rates are still the max-min fixed point.
+    pub fn resolve_with(&mut self, delta: &ResolveDelta) -> Allocation {
+        let nl = self.caps.len();
+        let mut dirty = vec![false; nl];
+        for l in &delta.removed_links {
+            dirty[l.0 as usize] = true;
+            self.caps[l.0 as usize] = 0.0;
+        }
+        for &fi in &delta.removed_flows {
+            for l in &self.flows[fi].path {
+                dirty[l.0 as usize] = true;
+            }
+            self.excluded[fi] = true;
+        }
+        for (fi, new_path) in &delta.changed_flows {
+            assert!(!self.excluded[*fi], "re-routed a withdrawn flow");
+            for l in &self.flows[*fi].path {
+                dirty[l.0 as usize] = true;
+            }
+            for l in new_path {
+                dirty[l.0 as usize] = true;
+            }
+            self.flows[*fi].path = new_path.clone();
+        }
+        if !self.solved {
+            return self.solve();
+        }
+
+        let paths = self.paths_view();
+        let demands = self.demands();
+        let idx = build_index(nl, &paths);
+        let comps = find_components(&paths, &idx);
+
+        let mut rates = vec![0.0f64; self.flows.len()];
+        let mut reused = 0usize;
+        let mut to_solve: Vec<Vec<u32>> = Vec::new();
+        for comp in &comps {
+            let comp_dirty = comp
+                .iter()
+                .any(|&fi| paths[fi as usize].iter().any(|l| dirty[l.0 as usize]));
+            if comp_dirty {
+                to_solve.push(comp.clone());
+            } else {
+                for &fi in comp {
+                    rates[fi as usize] = self.rates[fi as usize];
+                }
+                reused += 1;
+            }
+        }
+        let resolved_flows: usize = to_solve.iter().map(|c| c.len()).sum();
+        let (freezes, fd, fs) = solve_components(
+            &self.caps,
+            &paths,
+            &demands,
+            &self.weights,
+            &idx,
+            &to_solve,
+            &mut rates,
+        );
+        if let Some(m) = metrics::active() {
+            publish_v3_metrics(
+                m,
+                self.topo,
+                &paths,
+                &rates,
+                &self.caps,
+                &idx.deg,
+                resolved_flows,
+                freezes,
+                to_solve.len(),
+                fd,
+                fs,
+            );
+            m.counter("fabric.maxmin.warm.resolves").inc();
+            m.counter("fabric.maxmin.warm.components_reused")
+                .add(reused as u64);
+            m.counter("fabric.maxmin.warm.components_resolved")
+                .add(to_solve.len() as u64);
+            m.counter("fabric.maxmin.warm.flows_reused")
+                .add((self.flows.len() - resolved_flows) as u64);
+        }
+        self.rates = rates;
+        Allocation {
+            rates: self.rates.clone(),
+            rounds: freezes,
+            components: comps.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maxmin::{solve_maxmin, solve_maxmin_reference};
+    use crate::topology::{EndpointId, LinkLevel, SwitchId};
+    use frontier_sim_core::prelude::*;
+
+    fn assert_close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            let scale = 1.0f64.max(x.abs()).max(y.abs());
+            assert!((x - y).abs() <= 1e-9 * scale, "flow {i}: {x} vs {y}");
+        }
+    }
+
+    /// `n` disjoint shared-link cells, each with `flows_per` flows through
+    /// its own bottleneck: exactly `n` interference components.
+    fn disjoint_cells(n: usize, flows_per: usize) -> (Topology, Vec<Flow>) {
+        let mut t = Topology::new();
+        t.add_switches(2 * n as u32);
+        let mut flows = Vec::new();
+        for c in 0..n {
+            let shared = t.add_link(Bandwidth::gb_s(10.0 + c as f64), LinkLevel::Local);
+            for i in 0..flows_per {
+                let s = t.add_endpoint(SwitchId(2 * c as u32), Bandwidth::gb_s(100.0));
+                let d = t.add_endpoint(SwitchId(2 * c as u32 + 1), Bandwidth::gb_s(100.0));
+                let path = vec![t.injection_link(s), shared, t.ejection_link(d)];
+                let mut f = Flow::saturating(s, d, path, (c * flows_per + i) as u32);
+                if i % 2 == 1 {
+                    f.demand = Bandwidth::gb_s(1.0 + i as f64);
+                }
+                flows.push(f);
+            }
+        }
+        (t, flows)
+    }
+
+    #[test]
+    fn decomposes_disjoint_cells_into_components() {
+        let (t, flows) = disjoint_cells(5, 4);
+        let a = solve_maxmin(&t, &flows);
+        assert_eq!(a.components, 5);
+        let reference = solve_maxmin_reference(&t, &flows, |_| 1.0);
+        assert_close(&a.rates, &reference.rates);
+    }
+
+    #[test]
+    fn single_shared_link_is_one_component() {
+        let (t, flows) = disjoint_cells(1, 6);
+        let a = solve_maxmin(&t, &flows);
+        assert_eq!(a.components, 1);
+        // Freeze events, not per-level rescans: at most one batch per flow.
+        assert!(a.rounds <= flows.len());
+    }
+
+    #[test]
+    fn empty_flow_set_has_zero_components() {
+        let (t, _) = disjoint_cells(1, 2);
+        let a = solve_maxmin(&t, &[]);
+        assert_eq!(a.components, 0);
+        assert_eq!(a.rounds, 0);
+    }
+
+    #[test]
+    fn empty_path_flows_are_inactive() {
+        let (t, mut flows) = disjoint_cells(2, 3);
+        flows.push(Flow {
+            src: EndpointId(0),
+            dst: EndpointId(1),
+            path: vec![],
+            demand: Bandwidth::gb_s(5.0),
+            vni: 9,
+        });
+        let a = solve_maxmin(&t, &flows);
+        assert_eq!(a.components, 2);
+        assert_eq!(*a.rates.last().unwrap(), 0.0);
+        let reference = solve_maxmin_reference(&t, &flows, |_| 1.0);
+        assert_close(&a.rates, &reference.rates);
+    }
+
+    #[test]
+    fn solver_cold_matches_free_function() {
+        let (t, flows) = disjoint_cells(3, 5);
+        let direct = solve_maxmin(&t, &flows);
+        let mut solver = Solver::new(&t, flows);
+        let a = solver.solve();
+        assert_eq!(a.rates, direct.rates);
+        assert_eq!(a.components, direct.components);
+    }
+
+    #[test]
+    fn warm_resolve_with_no_delta_reuses_everything() {
+        let (t, flows) = disjoint_cells(4, 3);
+        let mut solver = Solver::new(&t, flows);
+        let cold = solver.solve();
+        let warm = solver.resolve_with(&ResolveDelta::default());
+        assert_eq!(warm.rates, cold.rates);
+        // No dirty links: zero freeze events, every component reused.
+        assert_eq!(warm.rounds, 0);
+        assert_eq!(warm.components, cold.components);
+    }
+
+    #[test]
+    fn warm_removed_flows_matches_cold_subset() {
+        // GPCNeT shape: solve the full set, then withdraw a suffix and
+        // compare the warm re-solve against a cold solve of the prefix.
+        let (t, flows) = disjoint_cells(3, 6);
+        let keep = 9; // first 1.5 cells
+        let prefix: Vec<Flow> = flows[..keep].to_vec();
+        let mut solver = Solver::new(&t, flows.clone());
+        let _full = solver.solve();
+        let warm = solver.resolve_with(&ResolveDelta::removed_flows((keep..flows.len()).collect()));
+        let cold = solve_maxmin(&t, &prefix);
+        assert_close(&warm.rates[..keep], &cold.rates);
+        for &r in &warm.rates[keep..] {
+            assert_eq!(r, 0.0, "withdrawn flow kept a rate");
+        }
+    }
+
+    #[test]
+    fn warm_removed_link_matches_cold_on_zeroed_topology() {
+        let (t, flows) = disjoint_cells(3, 4);
+        // Kill the second cell's bottleneck: its flows collapse onto their
+        // injection/ejection capacity.
+        let dead = flows[4].path[1];
+        let mut solver = Solver::new(&t, flows.clone());
+        solver.solve();
+        let warm = solver.resolve_with(&ResolveDelta::removed_links(vec![dead]));
+        let mut t2 = t.clone();
+        t2.set_capacity(dead, Bandwidth::bytes_per_sec(0.0));
+        let cold = solve_maxmin(&t2, &flows);
+        assert_close(&warm.rates, &cold.rates);
+    }
+
+    #[test]
+    fn warm_changed_paths_match_cold() {
+        let (t, mut flows) = disjoint_cells(3, 4);
+        let mut solver = Solver::new(&t, flows.clone());
+        solver.solve();
+        // Move flow 0 onto cell 1's bottleneck (merging two components).
+        let new_path = vec![flows[0].path[0], flows[4].path[1], flows[0].path[2]];
+        let warm = solver.resolve_with(&ResolveDelta::changed_flows(vec![(0, new_path.clone())]));
+        flows[0].path = new_path;
+        let cold = solve_maxmin(&t, &flows);
+        assert_close(&warm.rates, &cold.rates);
+    }
+
+    #[test]
+    fn resolve_before_solve_is_a_cold_solve() {
+        let (t, flows) = disjoint_cells(2, 3);
+        let mut solver = Solver::new(&t, flows.clone());
+        let dead = flows[0].path[1];
+        let a = solver.resolve_with(&ResolveDelta::removed_links(vec![dead]));
+        let mut t2 = t.clone();
+        t2.set_capacity(dead, Bandwidth::bytes_per_sec(0.0));
+        let cold = solve_maxmin(&t2, &flows);
+        assert_close(&a.rates, &cold.rates);
+    }
+
+    #[test]
+    fn weighted_solver_matches_weighted_reference() {
+        let (t, flows) = disjoint_cells(2, 5);
+        let weight = |f: &Flow| 0.5 + (f.vni % 3) as f64;
+        let mut solver = Solver::with_weights(&t, flows.clone(), weight);
+        let a = solver.solve();
+        let reference = solve_maxmin_reference(&t, &flows, weight);
+        assert_close(&a.rates, &reference.rates);
+    }
+}

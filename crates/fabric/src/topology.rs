@@ -169,6 +169,62 @@ impl Topology {
             .map(|l| l.capacity)
             .sum()
     }
+
+    /// Override a link's capacity (failure studies zero a dead link on a
+    /// cloned topology to model it for solvers that read capacities from
+    /// the graph, e.g. the reference oracle in warm-start parity tests).
+    pub fn set_capacity(&mut self, id: LinkId, capacity: Bandwidth) {
+        self.links[id.0 as usize].capacity = capacity;
+    }
+}
+
+/// Disjoint-set forest (union by rank, path halving) over dense `u32`
+/// ids. The solver unions flows that share a link to find independent
+/// interference components; each component's max-min solve touches a
+/// disjoint link set, so components can solve concurrently.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets `0..n`.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            // Path halving: point every other node at its grandparent.
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Merge the sets of `a` and `b`; returns true if they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        true
+    }
 }
 
 #[cfg(test)]
@@ -223,5 +279,41 @@ mod tests {
     fn saturating_flow_demand_is_infinite() {
         let f = Flow::saturating(EndpointId(0), EndpointId(1), vec![], 0);
         assert!(f.demand.as_bytes_per_sec().is_infinite());
+    }
+
+    #[test]
+    fn set_capacity_overrides_link() {
+        let mut t = Topology::new();
+        let l = t.add_link(Bandwidth::gb_s(25.0), LinkLevel::Global);
+        t.set_capacity(l, Bandwidth::bytes_per_sec(0.0));
+        assert_eq!(t.link(l).capacity.as_bytes_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn union_find_merges_and_finds() {
+        let mut uf = UnionFind::new(6);
+        assert_ne!(uf.find(0), uf.find(1));
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0), "already merged");
+        assert!(uf.union(2, 3));
+        assert!(uf.union(1, 3));
+        assert_eq!(uf.find(0), uf.find(2));
+        // 4 and 5 remain singletons, disjoint from the merged set.
+        assert_ne!(uf.find(4), uf.find(5));
+        assert_ne!(uf.find(4), uf.find(0));
+    }
+
+    #[test]
+    fn union_find_component_count() {
+        let mut uf = UnionFind::new(8);
+        for i in 0..3 {
+            uf.union(i, i + 1); // {0,1,2,3}
+        }
+        uf.union(5, 6); // {5,6}
+        let mut roots = std::collections::HashSet::new();
+        for i in 0..8 {
+            roots.insert(uf.find(i));
+        }
+        assert_eq!(roots.len(), 4); // {0-3}, {4}, {5,6}, {7}
     }
 }

@@ -40,7 +40,7 @@ proptest! {
                         EndpointId(s as u32),
                         EndpointId(d as u32),
                         &mut rng,
-                    ),
+                    ).into(),
                     size: Bytes::kib(size_kib),
                     inject_at: SimTime::ZERO,
                     tag: i as u64,
@@ -50,7 +50,7 @@ proptest! {
         let deliveries = simulate(df.topology(), &cfg, &msgs);
         for (m, d) in msgs.iter().zip(&deliveries) {
             let mut bound = cfg.send_overhead + cfg.recv_overhead;
-            for l in &m.path {
+            for l in m.path.iter() {
                 bound += df.topology().link(*l).capacity.time_for(m.size);
             }
             bound += SimTime::from_picos(
@@ -75,7 +75,7 @@ proptest! {
         let router = Router::new(&df, RoutePolicy::Minimal);
         let mut rng = StreamRng::from_seed(seed);
         let mk = |s: u32, d: u32, rng: &mut StreamRng| Message {
-            path: router.route(EndpointId(s), EndpointId(d), rng),
+            path: router.route(EndpointId(s), EndpointId(d), rng).into(),
             size: Bytes::kib(size_kib),
             inject_at: SimTime::ZERO,
             tag: 0,

@@ -11,6 +11,7 @@ use frontier_fabric::des::{simulate, DesConfig, Message};
 use frontier_fabric::dragonfly::{Dragonfly, DragonflyParams};
 use frontier_fabric::maxmin::solve_maxmin;
 use frontier_fabric::routing::{RoutePolicy, Router};
+use frontier_fabric::solver::{ResolveDelta, Solver};
 use frontier_fabric::topology::EndpointId;
 use frontier_sim_core::metrics;
 use frontier_sim_core::prelude::*;
@@ -111,6 +112,46 @@ fn solver_metrics_add_up() {
     assert!(!top.is_empty() && top.len() <= 10);
     // Saturating flows guarantee at least one fully-utilized link.
     assert!(top[0].1 >= 0.99, "top utilization {}", top[0].1);
+}
+
+#[test]
+fn warm_resolve_metrics_add_up() {
+    let _g = lock();
+    metrics::set_enabled(true);
+    metrics::global().reset();
+    let df = Dragonfly::build(DragonflyParams::scaled(6, 4, 4));
+    let n = df.params().total_endpoints();
+    let pairs = random_pairs(n, 13, 40);
+    let r = Router::new(&df, RoutePolicy::adaptive_default());
+    let flows = r.route_all(&pairs, 0, 13);
+    let mut solver = Solver::new(df.topology(), flows);
+    let cold = solver.solve();
+    let warm = solver.resolve_with(&ResolveDelta::default());
+    let snap = metrics::global().snapshot();
+    metrics::set_enabled(false);
+
+    // One cold solve + one warm re-solve.
+    assert_eq!(snap.counters["fabric.maxmin.solves"], 2);
+    assert_eq!(snap.counters["fabric.maxmin.warm.resolves"], 1);
+    // An empty delta dirties nothing: every component and flow is reused,
+    // none re-solved, and the warm pass contributes zero freeze events.
+    assert_eq!(
+        snap.counters["fabric.maxmin.warm.components_reused"],
+        cold.components as u64
+    );
+    assert_eq!(snap.counters["fabric.maxmin.warm.components_resolved"], 0);
+    assert_eq!(snap.counters["fabric.maxmin.warm.flows_reused"], 40);
+    assert_eq!(warm.rounds, 0);
+    assert_eq!(
+        snap.counters["fabric.maxmin.freeze_events"],
+        cold.rounds as u64
+    );
+    // The components counter tallies *solved* components: all of them in
+    // the cold pass, none in the all-reused warm pass.
+    assert_eq!(
+        snap.counters["fabric.maxmin.components"],
+        cold.components as u64
+    );
 }
 
 #[test]

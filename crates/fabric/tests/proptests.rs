@@ -2,8 +2,11 @@
 //! fairness invariants.
 
 use frontier_fabric::dragonfly::{Dragonfly, DragonflyParams};
-use frontier_fabric::maxmin::{solve_maxmin, solve_maxmin_reference, solve_maxmin_weighted};
+use frontier_fabric::maxmin::{
+    solve_maxmin, solve_maxmin_incremental, solve_maxmin_reference, solve_maxmin_weighted,
+};
 use frontier_fabric::routing::{RoutePolicy, Router};
+use frontier_fabric::solver::{ResolveDelta, Solver};
 use frontier_fabric::topology::{EndpointId, Flow, LinkLevel};
 use frontier_sim_core::prelude::*;
 use proptest::prelude::*;
@@ -101,11 +104,13 @@ proptest! {
         }
     }
 
-    /// The incremental, indexed, parallel solver is allocation-preserving:
-    /// on random dragonfly shapes, random pair sets, random finite and
-    /// infinite demands, and random weights it matches the straightforward
-    /// progressive-filling reference to 1e-9 relative — and it keeps the
-    /// `rounds <= links + flows + 1` convergence bound.
+    /// Both optimized solvers — the event-driven v3 engine behind
+    /// [`solve_maxmin_weighted`] and the incremental round solver — are
+    /// allocation-preserving: on random dragonfly shapes, random pair
+    /// sets, random finite and infinite demands, and random weights they
+    /// match the straightforward progressive-filling reference to 1e-9
+    /// relative — and both keep the `rounds <= links + flows + 1`
+    /// convergence bound.
     #[test]
     fn optimized_matches_reference(
         seed in 0u64..1000,
@@ -139,23 +144,107 @@ proptest! {
             flows.push(f);
         }
         let weight = |f: &Flow| wmul * (0.5 + f.vni as f64);
-        let opt = solve_maxmin_weighted(topo, &flows, weight);
         let reference = solve_maxmin_reference(topo, &flows, weight);
-        prop_assert_eq!(opt.rates.len(), reference.rates.len());
-        for (i, (a, b)) in opt.rates.iter().zip(&reference.rates).enumerate() {
+        let nl = topo.num_links() as usize;
+        for (name, alloc) in [
+            ("v3", solve_maxmin_weighted(topo, &flows, weight)),
+            ("incremental", solve_maxmin_incremental(topo, &flows, weight)),
+        ] {
+            prop_assert_eq!(alloc.rates.len(), reference.rates.len());
+            for (i, (a, b)) in alloc.rates.iter().zip(&reference.rates).enumerate() {
+                let scale = 1.0f64.max(a.abs()).max(b.abs());
+                prop_assert!(
+                    (a - b).abs() <= 1e-9 * scale,
+                    "flow {}: {} {} vs reference {}", i, name, a, b
+                );
+            }
+            // Regression: both engines freeze at least one flow per
+            // round/event batch, so the classic convergence bound holds.
+            prop_assert!(
+                alloc.rounds <= nl + flows.len() + 1,
+                "{}: {} rounds for {} links + {} flows", name, alloc.rounds, nl, flows.len()
+            );
+        }
+    }
+
+    /// Warm-start re-solves are exact: removing a random link (and
+    /// re-routing the flows that crossed it onto fresh paths) then calling
+    /// [`Solver::resolve_with`] matches a cold reference solve of the
+    /// updated workload on a topology with the removed link zeroed —
+    /// to 1e-9, for random shapes, flow sets, and deltas.
+    #[test]
+    fn warm_resolve_matches_cold_reference(
+        seed in 0u64..500,
+        groups in 2usize..6,
+        spg in 2usize..5,
+        eps in 1usize..4,
+        nflows in 2usize..50,
+    ) {
+        let df = Dragonfly::build(DragonflyParams::scaled(groups, spg, eps));
+        let n = df.params().total_endpoints();
+        prop_assume!(n >= 2);
+        let topo = df.topology();
+        let mut rng = StreamRng::from_seed(seed);
+        let router = Router::new(&df, RoutePolicy::adaptive_default());
+        let mut flows = Vec::with_capacity(nflows);
+        for i in 0..nflows {
+            let s = rng.index(n);
+            let mut d = rng.index(n);
+            if d == s { d = (d + 1) % n; }
+            let mut f = Flow::saturating(
+                EndpointId(s as u32),
+                EndpointId(d as u32),
+                router.route(EndpointId(s as u32), EndpointId(d as u32), &mut rng),
+                (i % 4) as u32,
+            );
+            if i % 3 == 0 {
+                f.demand = Bandwidth::gb_s(0.3 + 40.0 * rng.uniform());
+            }
+            flows.push(f);
+        }
+        // Fail the middle link of a random flow's path, and re-route every
+        // flow that crossed it onto the failed flow's injection/ejection
+        // detour-free replacement (a fresh minimal route may still cross
+        // the dead link; the solver treats it as zero capacity, exactly
+        // like the cold oracle below, so parity holds either way).
+        let victim = rng.index(nflows);
+        prop_assume!(!flows[victim].path.is_empty());
+        let dead = flows[victim].path[flows[victim].path.len() / 2];
+        let mut changed = Vec::new();
+        for (i, f) in flows.iter().enumerate() {
+            if f.path.contains(&dead) {
+                let mut p = router.route(f.src, f.dst, &mut rng);
+                if i % 2 == 0 {
+                    // Exercise the withdrawn-path shape too.
+                    p = Vec::new();
+                }
+                changed.push((i, p));
+            }
+        }
+
+        let mut solver = Solver::new(topo, flows.clone());
+        solver.solve();
+        let warm = solver.resolve_with(&ResolveDelta {
+            removed_links: vec![dead],
+            changed_flows: changed.clone(),
+            removed_flows: vec![],
+        });
+
+        // Cold oracle: same updated flows on a topology with the link dead.
+        let mut cold_topo = topo.clone();
+        cold_topo.set_capacity(dead, Bandwidth::bytes_per_sec(0.0));
+        for (i, p) in &changed {
+            flows[*i].path = p.clone();
+        }
+        let cold = solve_maxmin_reference(&cold_topo, &flows, |_| 1.0);
+        prop_assert_eq!(warm.rates.len(), cold.rates.len());
+        for (i, (a, b)) in warm.rates.iter().zip(&cold.rates).enumerate() {
             let scale = 1.0f64.max(a.abs()).max(b.abs());
             prop_assert!(
                 (a - b).abs() <= 1e-9 * scale,
-                "flow {}: optimized {} vs reference {}", i, a, b
+                "flow {}: warm {} vs cold {}", i, a, b
             );
         }
-        // Regression: the incremental algorithm still freezes at least one
-        // flow per round, so the classic convergence bound holds.
-        let nl = topo.num_links() as usize;
-        prop_assert!(
-            opt.rounds <= nl + flows.len() + 1,
-            "{} rounds for {} links + {} flows", opt.rounds, nl, flows.len()
-        );
     }
 
     /// Scaling all weights by a constant does not change the allocation.
