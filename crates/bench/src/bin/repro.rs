@@ -21,6 +21,7 @@ use frontier_core::sim_core::metrics;
 use frontier_core::sim_core::prelude::{SimTime, Trace};
 use rayon::prelude::*;
 use std::sync::Mutex;
+// simlint::allow(wallclock): trace spans are operator-facing timing, emitted only behind --trace and never part of the byte-compared repro output
 use std::time::Instant;
 
 const SECTIONS: &[(&str, &str)] = &[
@@ -145,6 +146,7 @@ fn main() {
     // Per-section wall-clock spans for `--trace`, stamped against one
     // process-wide origin so concurrent sections nest correctly in the
     // chrome://tracing view.
+    // simlint::allow(wallclock): the shared origin for --trace span stamps; determinism diffs never see the trace file
     let t0 = Instant::now();
     let spans: Mutex<Vec<(String, String, u64, u64)>> = Mutex::new(Vec::new());
     let want_trace = trace_out.is_some();

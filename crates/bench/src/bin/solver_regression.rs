@@ -24,6 +24,7 @@ use frontier_core::sim_core::rng::StreamRng;
 use frontier_core::sim_core::units::Bandwidth;
 use std::hint::black_box;
 use std::process::ExitCode;
+// simlint::allow(wallclock): this binary *is* a wall-clock benchmark (v3 vs incremental slowdown gate); its timings are judged against a ratio, never byte-compared
 use std::time::Instant;
 
 /// Maximum tolerated slowdown of v3 relative to the incremental solver.
@@ -93,6 +94,7 @@ fn parity_sweep() -> Result<(), String> {
 fn median_ns<F: FnMut() -> usize>(reps: usize, mut f: F) -> f64 {
     let mut times: Vec<f64> = (0..reps)
         .map(|_| {
+            // simlint::allow(wallclock): the measurement this benchmark exists to take
             let t0 = Instant::now();
             black_box(f());
             t0.elapsed().as_nanos() as f64

@@ -21,10 +21,11 @@ pub fn render_report(snap: &MetricsSnapshot) -> String {
         .filter(|(k, _)| k.starts_with("repro.section."))
         .collect();
     if !sections.is_empty() {
+        // total_cmp: a total order needs no expect, and a stray NaN
+        // timing cannot abort the report.
         sections.sort_by(|a, b| {
             b.1.total_ms
-                .partial_cmp(&a.1.total_ms)
-                .expect("timings are finite")
+                .total_cmp(&a.1.total_ms)
                 .then_with(|| a.0.cmp(b.0))
         });
         let mut t = Table::new(

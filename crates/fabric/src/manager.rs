@@ -99,6 +99,7 @@ impl<'a> FabricManager<'a> {
                 return p;
             }
         }
+        // simlint::allow(panic-in-lib): documented in `# Panics` — the caller asked to route across a partitioned fabric, which the failure model is required to reject loudly, not absorb
         panic!("no live path between {src:?} and {dst:?}");
     }
 

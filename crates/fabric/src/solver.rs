@@ -192,6 +192,7 @@ fn freeze_flow(
     for l in paths[gfi] {
         let li = links
             .binary_search(&l.0)
+            // simlint::allow(panic-in-lib): component decomposition put every path link in `links`; a Result in the innermost freeze loop would cost more than the solve
             .expect("path link outside its component");
         lweight[li] -= w;
         avail[li] -= r;
@@ -228,6 +229,7 @@ fn solve_component(
     for &fi in comp {
         let w = weights[fi as usize];
         for l in paths[fi as usize] {
+            // simlint::allow(panic-in-lib): `links` is built from exactly these paths two loops up; hot-path invariant, see DESIGN §3.6
             let li = links.binary_search(&l.0).expect("link in local universe");
             lweight[li] += w;
         }
@@ -379,6 +381,7 @@ fn solve_component(
                 let gfi = idx.link_flows[k as usize];
                 let ci = comp
                     .binary_search(&gfi)
+                    // simlint::allow(panic-in-lib): flows sharing a link are by construction in the same connected component
                     .expect("link's flow outside its component");
                 if active[ci] {
                     n_active -= 1;

@@ -64,6 +64,11 @@ impl VniAllocator {
         self.recycled.insert(vni);
     }
 
+    /// Total number of allocatable VNIs in the namespace.
+    pub fn capacity(&self) -> usize {
+        (self.limit - self.base) as usize
+    }
+
     pub fn live_count(&self) -> usize {
         self.live.len()
     }
@@ -122,6 +127,7 @@ mod tests {
     #[test]
     fn slingshot_space_reserves_system_range() {
         let mut a = VniAllocator::slingshot();
+        assert_eq!(a.capacity(), (1 << 16) - 16);
         let v = a.allocate().unwrap();
         assert!(v >= 16);
     }

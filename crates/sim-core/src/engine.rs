@@ -194,6 +194,7 @@ impl<E> Simulator<E> {
         let t = self
             .now
             .checked_add(delay)
+            // simlint::allow(panic-in-lib): clock overflow (~584 years at ns ticks) is unrepresentable state, not a recoverable error; a Result here would infect every schedule site
             .expect("simulation clock overflow");
         self.queue.push(t, payload);
     }
@@ -234,11 +235,8 @@ impl<E> Simulator<E> {
         F: FnMut(&mut Self, SimTime, E),
     {
         let start = self.processed;
-        while let Some(t) = self.peek_time() {
-            if t > deadline {
-                break;
-            }
-            let (t, e) = self.pop().expect("peeked event vanished");
+        while self.peek_time().is_some_and(|t| t <= deadline) {
+            let Some((t, e)) = self.pop() else { break };
             handler(self, t, e);
         }
         self.processed - start

@@ -38,13 +38,27 @@
 //! family; they live in their own `wallclock` snapshot section, which
 //! determinism comparisons exclude (see [`MetricsSnapshot::deterministic_json`]).
 
+// simlint::allow-file(hash-iter-render): the registry shards and top-k tables are
+// HashMaps for lock-splitting and O(1) handle resolution; every snapshot copies
+// them into the name-sorted BTreeMaps of MetricsSnapshot (and sorts top-k entries
+// by a total order) before any byte is rendered, so iteration order never reaches
+// emitted output.
+
 use crate::json;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Every registry mutex funnels through here. A poisoned lock means a
+/// sibling thread panicked mid-update; the snapshot it guarded may be
+/// torn, and rendering torn telemetry would be worse than propagating.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // simlint::allow(panic-in-lib): poisoned = a metric update already panicked; propagating beats emitting a torn snapshot
+    m.lock().expect("metrics lock poisoned")
+}
 
 /// Registry shards. Metric handles are resolved by name once per
 /// instrumentation site invocation; sharding the name→metric map keeps
@@ -167,7 +181,7 @@ impl TopK {
             return;
         }
         if let Metric::TopK(t) = &*self.0 {
-            let mut map = t.entries.lock().expect("top-k poisoned");
+            let mut map = lock(&t.entries);
             let slot = map.entry(label.to_string()).or_insert(v);
             if v > *slot {
                 *slot = v;
@@ -183,10 +197,7 @@ pub struct Wallclock(Arc<Metric>);
 impl Wallclock {
     pub fn record(&self, d: Duration) {
         if let Metric::Wall(samples) = &*self.0 {
-            samples
-                .lock()
-                .expect("wallclock poisoned")
-                .push(d.as_nanos().min(u64::MAX as u128) as u64);
+            lock(samples).push(d.as_nanos().min(u64::MAX as u128) as u64);
         }
     }
 }
@@ -230,7 +241,7 @@ impl MetricsRegistry {
     }
 
     fn get_or_insert(&self, name: &str, make: impl FnOnce() -> Metric) -> Arc<Metric> {
-        let mut map = self.shard(name).lock().expect("metrics shard poisoned");
+        let mut map = lock(self.shard(name));
         if let Some(m) = map.get(name) {
             return Arc::clone(m);
         }
@@ -318,7 +329,7 @@ impl MetricsRegistry {
     /// not see — re-resolve handles after a reset.
     pub fn reset(&self) {
         for shard in &self.shards {
-            shard.lock().expect("metrics shard poisoned").clear();
+            lock(shard).clear();
         }
     }
 
@@ -326,7 +337,7 @@ impl MetricsRegistry {
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut snap = MetricsSnapshot::default();
         for shard in &self.shards {
-            let map = shard.lock().expect("metrics shard poisoned");
+            let map = lock(shard);
             for (name, m) in map.iter() {
                 match &**m {
                     Metric::Counter(c) => {
@@ -356,21 +367,18 @@ impl MetricsRegistry {
                         );
                     }
                     Metric::TopK(t) => {
-                        let map = t.entries.lock().expect("top-k poisoned");
+                        let map = lock(&t.entries);
                         let mut entries: Vec<(String, f64)> =
                             map.iter().map(|(l, &v)| (l.clone(), v)).collect();
                         // Value descending, then label ascending: a total
-                        // order, so ties cannot reorder across runs.
-                        entries.sort_by(|a, b| {
-                            b.1.partial_cmp(&a.1)
-                                .expect("top-k values are finite")
-                                .then_with(|| a.0.cmp(&b.0))
-                        });
+                        // order (total_cmp), so ties cannot reorder across
+                        // runs and a stray NaN cannot poison the sort.
+                        entries.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
                         entries.truncate(t.k);
                         snap.top.insert(name.clone(), entries);
                     }
                     Metric::Wall(samples) => {
-                        let samples = samples.lock().expect("wallclock poisoned");
+                        let samples = lock(samples);
                         let mut sorted = samples.clone();
                         sorted.sort_unstable();
                         let calls = sorted.len() as u64;

@@ -101,7 +101,9 @@ pub fn percentile(samples: &[f64], q: f64) -> f64 {
     assert!(!samples.is_empty(), "percentile of empty sample set");
     assert!((0.0..=100.0).contains(&q), "percentile {q} out of range");
     let mut v: Vec<f64> = samples.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+    // total_cmp is a total order: a stray NaN (caller bug) sorts to the
+    // high end deterministically instead of aborting mid-sort.
+    v.sort_by(|a, b| a.total_cmp(b));
     if q <= 0.0 {
         return v[0];
     }

@@ -1,0 +1,173 @@
+//! Diagnostics and report rendering (human and JSON). The JSON emitter
+//! is hand-rolled and deterministic: diagnostics are sorted by
+//! (file, line, rule), maps are `BTreeMap`s — simlint obeys its own
+//! hash-order rule.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One finding, before and after suppression/ratchet evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    pub message: String,
+    /// Suppressed by a `simlint::allow` comment.
+    pub suppressed: bool,
+    /// Absorbed by the ratchet file (pre-existing debt, may not grow).
+    pub ratcheted: bool,
+}
+
+impl Diagnostic {
+    pub fn new(rule: &'static str, file: &str, line: u32, message: String) -> Diagnostic {
+        Diagnostic {
+            rule,
+            file: file.to_string(),
+            line,
+            message,
+            suppressed: false,
+            ratcheted: false,
+        }
+    }
+
+    /// Does this diagnostic still gate the build?
+    pub fn is_failure(&self) -> bool {
+        !self.suppressed && !self.ratcheted
+    }
+}
+
+/// Canonical ordering so output is byte-stable across runs and thread
+/// counts.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+}
+
+/// Render `file:line: [rule] message` lines for every gating diagnostic.
+pub fn render_human(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags.iter().filter(|d| d.is_failure()) {
+        let _ = writeln!(out, "{}:{}: [{}] {}", d.file, d.line, d.rule, d.message);
+    }
+    out
+}
+
+/// Minimal JSON string escaping, compatible with serde_json's output for
+/// the subset we emit (control chars, quotes, backslashes).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The machine-readable report uploaded as a CI artifact.
+pub fn render_json(
+    diags: &[Diagnostic],
+    ratchet_over: &[String],
+    ratchet_under: &[String],
+) -> String {
+    let mut per_rule: BTreeMap<&str, (u32, u32, u32)> = BTreeMap::new();
+    for d in diags {
+        let e = per_rule.entry(d.rule).or_default();
+        if d.suppressed {
+            e.1 += 1;
+        } else if d.ratcheted {
+            e.2 += 1;
+        } else {
+            e.0 += 1;
+        }
+    }
+
+    let mut out = String::from("{\n  \"version\": 1,\n  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"suppressed\": {}, \"ratcheted\": {}}}",
+            json_escape(d.rule),
+            json_escape(&d.file),
+            d.line,
+            json_escape(&d.message),
+            d.suppressed,
+            d.ratcheted
+        );
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"summary\": {");
+    for (i, (rule, (fail, supp, ratch))) in per_rule.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {}: {{\"failing\": {fail}, \"suppressed\": {supp}, \"ratcheted\": {ratch}}}",
+            json_escape(rule)
+        );
+    }
+    if !per_rule.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("},\n  \"ratchet\": {\"over\": [");
+    for (i, k) in ratchet_over.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&json_escape(k));
+    }
+    out.push_str("], \"under\": [");
+    for (i, k) in ratchet_under.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&json_escape(k));
+    }
+    out.push_str("]}\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_lists_only_failures() {
+        let mut d = vec![
+            Diagnostic::new("wallclock", "b.rs", 2, "x".into()),
+            Diagnostic::new("wallclock", "a.rs", 1, "y".into()),
+        ];
+        d[0].suppressed = true;
+        sort(&mut d);
+        let h = render_human(&d);
+        assert!(h.contains("a.rs:1"));
+        assert!(!h.contains("b.rs:2"));
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let d = vec![Diagnostic::new("r", "a\"b.rs", 3, "msg\n".into())];
+        let j = render_json(&d, &[], &[]);
+        assert!(j.contains("a\\\"b.rs"));
+        assert!(j.contains("msg\\n"));
+        assert!(j.contains("\"failing\": 1"));
+    }
+}

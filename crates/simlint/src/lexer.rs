@@ -1,0 +1,296 @@
+//! A minimal Rust lexer: just enough structure for token-level lint
+//! rules. It understands the constructs that would otherwise produce
+//! false positives — line/block comments (nested), string and raw-string
+//! literals, byte strings, char literals vs. lifetimes — and throws
+//! everything else into two buckets: identifier-like tokens (idents,
+//! keywords, numbers) and single-character punctuation.
+//!
+//! Comments are not discarded: they carry the `// simlint::allow(...)`
+//! suppression syntax, so they are returned alongside the token stream
+//! with their line numbers.
+
+/// What a token is, at the only granularity the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier, keyword, or numeric literal.
+    Ident,
+    /// A single punctuation character (`.`, `:`, `(`, `!`, ...).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// One comment (`//`, `///`, `//!`, or `/* ... */`) with its starting
+/// line. `own_line` is true when nothing but whitespace precedes it on
+/// that line, which is what lets a `simlint::allow` comment apply to the
+/// line below it.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+    pub own_line: bool,
+}
+
+/// Lexer output: the token stream plus every comment.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into tokens and comments. Never fails: unterminated
+/// literals simply consume to end of input, which is the right behavior
+/// for a linter that must not crash on the code it audits.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    // True until a non-whitespace char is seen on the current line.
+    let mut at_line_start = true;
+
+    while i < n {
+        let c = chars[i];
+
+        if c == '\n' {
+            line += 1;
+            at_line_start = true;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+
+        // Line comment (also covers /// and //! doc comments).
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start = i;
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                text: chars[start..i].iter().collect(),
+                line,
+                own_line: at_line_start,
+            });
+            at_line_start = false;
+            continue;
+        }
+
+        // Block comment, possibly nested.
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let start = i;
+            let start_line = line;
+            let own = at_line_start;
+            let mut depth = 1u32;
+            i += 2;
+            while i < n && depth > 0 {
+                if chars[i] == '\n' {
+                    line += 1;
+                } else if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    i += 1;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    i += 1;
+                }
+                i += 1;
+            }
+            out.comments.push(Comment {
+                text: chars[start..i.min(n)].iter().collect(),
+                line: start_line,
+                own_line: own,
+            });
+            at_line_start = false;
+            continue;
+        }
+
+        at_line_start = false;
+
+        // Raw strings and raw byte strings: r"..", r#".."#, br#".."#.
+        if c == 'r' || c == 'b' {
+            let mut j = i;
+            if chars[j] == 'b' && j + 1 < n && chars[j + 1] == 'r' {
+                j += 1;
+            }
+            if chars[j] == 'r' {
+                let mut k = j + 1;
+                let mut hashes = 0usize;
+                while k < n && chars[k] == '#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < n && chars[k] == '"' {
+                    // Consume to the matching `"` + hashes closer.
+                    k += 1;
+                    'raw: while k < n {
+                        if chars[k] == '\n' {
+                            line += 1;
+                        } else if chars[k] == '"' {
+                            let mut h = 0usize;
+                            while k + 1 + h < n && h < hashes && chars[k + 1 + h] == '#' {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                k += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        k += 1;
+                    }
+                    i = k;
+                    continue;
+                }
+            }
+        }
+
+        // Ordinary string or byte string.
+        if c == '"' || (c == 'b' && i + 1 < n && chars[i + 1] == '"') {
+            if c == 'b' {
+                i += 1;
+            }
+            i += 1; // opening quote
+            while i < n {
+                match chars[i] {
+                    '\\' => i += 2,
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    '\n' => {
+                        line += 1;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            continue;
+        }
+
+        // Char literal vs. lifetime. `'a` followed by anything but a
+        // closing quote is a lifetime (no token emitted; rules never
+        // match on lifetimes). `'x'` or `'\n'` is a char literal.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied().unwrap_or(' ');
+            let after = chars.get(i + 2).copied().unwrap_or(' ');
+            if next == '\\' {
+                // Escaped char literal: consume through closing quote.
+                i += 2;
+                while i < n && chars[i] != '\'' {
+                    i += 1;
+                }
+                i += 1;
+            } else if after == '\'' {
+                i += 3; // 'x'
+            } else {
+                i += 1; // lifetime tick; the ident lexes next
+            }
+            continue;
+        }
+
+        // Identifier / keyword / number (numbers need no distinction for
+        // any rule, and lumping them keeps suffixes like `0u32` simple).
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Ident,
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+
+        // Everything else: single-char punctuation.
+        out.tokens.push(Token {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            // thread_rng in a comment
+            /* Instant::now in /* a nested */ block */
+            let s = "thread_rng";
+            let r = r#"Instant::now "quoted" "#;
+            let c = 'x';
+            fn real_ident() {}
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"thread_rng".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let ids = idents("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(ids.contains(&"str".to_string()));
+        assert!(ids.contains(&"a".to_string()));
+    }
+
+    #[test]
+    fn comments_carry_line_and_own_line() {
+        let l = lex("let x = 1; // trailing\n// own line\nlet y = 2;\n");
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].line, 1);
+        assert!(!l.comments[0].own_line);
+        assert_eq!(l.comments[1].line, 2);
+        assert!(l.comments[1].own_line);
+    }
+
+    #[test]
+    fn lines_advance_through_multiline_strings() {
+        let l = lex("let a = \"x\ny\";\nlet b = 1;\n");
+        let b = l.tokens.iter().find(|t| t.is_ident("b"));
+        assert_eq!(b.map(|t| t.line), Some(3));
+    }
+}

@@ -1,0 +1,353 @@
+//! The rule registry. Every rule encodes one invariant the simulator's
+//! parallel ≡ serial reproducibility guarantee rests on (see DESIGN
+//! §3.8); each has fixture tests in `tests/rules.rs` proving it catches
+//! its target pattern and respects suppressions.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::source::{FileKind, SourceFile};
+use std::collections::BTreeSet;
+
+/// Static description of one lint rule.
+pub struct Rule {
+    pub id: &'static str,
+    pub summary: &'static str,
+    /// The invariant the rule protects, surfaced by `--list-rules`.
+    pub invariant: &'static str,
+    /// Ratchetable rules tolerate pre-existing debt recorded in
+    /// `simlint.ratchet`; the debt may shrink but never grow.
+    pub ratchet: bool,
+}
+
+pub const HASH_ITER: &str = "hash-iter-render";
+pub const WALLCLOCK: &str = "wallclock";
+pub const UNKEYED_RNG: &str = "unkeyed-rng";
+pub const PAR_RAW_ATOMIC: &str = "par-raw-atomic";
+pub const PANIC_IN_LIB: &str = "panic-in-lib";
+pub const BARE_ALLOW: &str = "bare-allow";
+
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: HASH_ITER,
+        summary: "no HashMap/HashSet in snapshot/render/report code paths",
+        invariant: "rendered output must not depend on hash-iteration order; \
+                    use BTreeMap/BTreeSet or sort before emitting",
+        ratchet: false,
+    },
+    Rule {
+        id: WALLCLOCK,
+        summary: "no Instant/SystemTime outside sim-core::metrics (wallclock module)",
+        invariant: "wall-clock reads are the one sanctioned nondeterminism and live \
+                    in the metrics wallclock section, which determinism diffs exclude",
+        ratchet: false,
+    },
+    Rule {
+        id: UNKEYED_RNG,
+        summary: "no thread_rng/from_entropy/OsRng — all randomness is keyed & seeded",
+        invariant: "every random draw comes from a stream keyed by (seed, component, \
+                    index), so serial and parallel schedules see identical draws",
+        ratchet: false,
+    },
+    Rule {
+        id: PAR_RAW_ATOMIC,
+        summary: "no raw atomic read-modify-write inside rayon closures",
+        invariant: "metric updates under parallelism go through the commutative \
+                    sim-core::metrics API; raw fetch_* orderings leak the schedule",
+        ratchet: false,
+    },
+    Rule {
+        id: PANIC_IN_LIB,
+        summary: "no unwrap/expect/panic! in library code outside tests",
+        invariant: "library crates surface typed errors or documented-invariant \
+                    expects; panics are budgeted and ratcheted downward",
+        ratchet: true,
+    },
+    Rule {
+        id: BARE_ALLOW,
+        summary: "every simlint::allow carries a justification",
+        invariant: "suppressions are audit records; an allow without a reason \
+                    cannot be reviewed",
+        ratchet: false,
+    },
+];
+
+pub fn rule(id: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// Files whose output feeds the byte-compared artifacts (tables, traces,
+/// metric snapshots, the repro binary). Hash-ordered containers here are
+/// exactly where iteration order could leak into rendered bytes.
+fn is_render_path(rel: &str) -> bool {
+    const RENDER_FILES: &[&str] = &[
+        "crates/sim-core/src/table.rs",
+        "crates/sim-core/src/trace.rs",
+        "crates/sim-core/src/json.rs",
+        "crates/sim-core/src/metrics.rs",
+        "crates/sim-core/src/stats.rs",
+        "crates/sim-core/src/hist.rs",
+    ];
+    RENDER_FILES.contains(&rel) || rel.starts_with("crates/bench/src/")
+}
+
+/// The one module allowed to read the wall clock: the metrics registry's
+/// wallclock family, whose snapshot section determinism diffs exclude.
+fn is_wallclock_module(rel: &str) -> bool {
+    rel == "crates/sim-core/src/metrics.rs"
+}
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "drain",
+    "retain",
+];
+
+const RAW_RMW: &[&str] = &[
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_min",
+    "fetch_max",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+const ENTROPY_IDENTS: &[&str] = &[
+    "thread_rng",
+    "ThreadRng",
+    "from_entropy",
+    "OsRng",
+    "getrandom",
+];
+
+/// Run every rule over one parsed file, appending raw (not yet
+/// suppression-evaluated) diagnostics.
+pub fn check_file(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    check_hash_iter(f, out);
+    check_wallclock(f, out);
+    check_unkeyed_rng(f, out);
+    check_par_raw_atomic(f, out);
+    check_panic_in_lib(f, out);
+    check_bare_allow(f, out);
+}
+
+/// Apply suppressions: a diagnostic on an allowed line (or in a file
+/// with a file-wide allow for its rule) is marked suppressed, not
+/// dropped — the JSON report still shows it.
+pub fn apply_suppressions(f: &SourceFile, diags: &mut [Diagnostic]) {
+    for d in diags.iter_mut() {
+        // The bare-allow rule polices the suppression mechanism itself
+        // and therefore cannot be silenced by it.
+        if d.rule != BARE_ALLOW && f.suppressed(d.rule, d.line) {
+            d.suppressed = true;
+        }
+    }
+}
+
+fn prod_code(f: &SourceFile, kind_ok: &[FileKind], line: u32) -> bool {
+    kind_ok.contains(&f.kind) && !f.in_test_region(line)
+}
+
+/// R1: hash-ordered containers in render/report paths.
+fn check_hash_iter(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !is_render_path(&f.rel) {
+        return;
+    }
+    let toks = &f.tokens;
+    // Names declared with a hash-container type in this file:
+    // `x: HashMap<..>`, `x = HashMap::new()`, `type X = HashMap<..>`.
+    let mut hash_names: BTreeSet<&str> = BTreeSet::new();
+    let mut flagged_lines: BTreeSet<u32> = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        if !prod_code(f, &[FileKind::Lib, FileKind::Bin], t.line) {
+            continue;
+        }
+        if i >= 2 && toks[i].kind == TokKind::Ident {
+            let prev = &toks[i - 1];
+            let name = &toks[i - 2];
+            if (prev.is_punct(':') || prev.is_punct('=')) && name.kind == TokKind::Ident {
+                hash_names.insert(name.text.as_str());
+            }
+        }
+        if flagged_lines.insert(t.line) {
+            out.push(Diagnostic::new(
+                HASH_ITER,
+                &f.rel,
+                t.line,
+                format!(
+                    "hash-ordered `{}` in a render/report path; use BTreeMap/BTreeSet \
+                     or sort before emitting",
+                    t.text
+                ),
+            ));
+        }
+    }
+    // Iteration over a declared hash name: `name.iter()`, `for .. in &name`.
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !hash_names.contains(t.text.as_str()) {
+            continue;
+        }
+        if !prod_code(f, &[FileKind::Lib, FileKind::Bin], t.line) {
+            continue;
+        }
+        let method_iter = i + 2 < toks.len()
+            && toks[i + 1].is_punct('.')
+            && toks[i + 2].kind == TokKind::Ident
+            && ITER_METHODS.contains(&toks[i + 2].text.as_str());
+        let mut j = i;
+        while j > 0 && (toks[j - 1].is_punct('&') || toks[j - 1].is_ident("mut")) {
+            j -= 1;
+        }
+        let for_iter = j > 0 && toks[j - 1].is_ident("in");
+        if (method_iter || for_iter) && !flagged_lines.contains(&t.line) {
+            flagged_lines.insert(t.line);
+            out.push(Diagnostic::new(
+                HASH_ITER,
+                &f.rel,
+                t.line,
+                format!(
+                    "iteration over hash-ordered `{}` in a render/report path; \
+                     order can leak into emitted bytes",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// R2: wall-clock reads outside the metrics wallclock module.
+fn check_wallclock(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if is_wallclock_module(&f.rel) {
+        return;
+    }
+    for t in &f.tokens {
+        if !(t.is_ident("Instant") || t.is_ident("SystemTime")) {
+            continue;
+        }
+        if !prod_code(f, &[FileKind::Lib, FileKind::Bin], t.line) {
+            continue;
+        }
+        out.push(Diagnostic::new(
+            WALLCLOCK,
+            &f.rel,
+            t.line,
+            format!(
+                "`{}` outside sim-core::metrics; route timing through the \
+                 wallclock metric family (its snapshot section is excluded \
+                 from determinism diffs)",
+                t.text
+            ),
+        ));
+    }
+}
+
+/// R3: entropy-derived RNG anywhere — tests included, since a test that
+/// draws from process entropy cannot pin determinism either.
+fn check_unkeyed_rng(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for t in &f.tokens {
+        if t.kind == TokKind::Ident && ENTROPY_IDENTS.contains(&t.text.as_str()) {
+            out.push(Diagnostic::new(
+                UNKEYED_RNG,
+                &f.rel,
+                t.line,
+                format!(
+                    "`{}` draws from process entropy; all RNG must be a keyed, \
+                     seeded stream (sim-core::rng::StreamRng)",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// R4: raw atomic read-modify-write lexically inside a rayon construct.
+fn check_par_raw_atomic(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !f.has_par_regions() {
+        return;
+    }
+    for (i, t) in f.tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || !RAW_RMW.contains(&t.text.as_str()) {
+            continue;
+        }
+        if i == 0 || !f.tokens[i - 1].is_punct('.') || !f.in_par_region(i) {
+            continue;
+        }
+        if !prod_code(f, &[FileKind::Lib, FileKind::Bin], t.line) {
+            continue;
+        }
+        out.push(Diagnostic::new(
+            PAR_RAW_ATOMIC,
+            &f.rel,
+            t.line,
+            format!(
+                "raw `{}` inside a rayon closure; update metrics through the \
+                 commutative sim-core::metrics API instead",
+                t.text
+            ),
+        ));
+    }
+}
+
+/// R5: unwrap/expect/panic! in library code outside tests. Captured
+/// `&mut` accumulation in rayon closures is rustc's job; this rule and
+/// the ratchet handle the panic budget.
+fn check_panic_in_lib(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let toks = &f.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let hit = match t.text.as_str() {
+            "unwrap" | "expect" => {
+                i > 0
+                    && toks[i - 1].is_punct('.')
+                    && i + 1 < toks.len()
+                    && toks[i + 1].is_punct('(')
+            }
+            "panic" => i + 1 < toks.len() && toks[i + 1].is_punct('!'),
+            _ => false,
+        };
+        if !hit || !prod_code(f, &[FileKind::Lib], t.line) {
+            continue;
+        }
+        out.push(Diagnostic::new(
+            PANIC_IN_LIB,
+            &f.rel,
+            t.line,
+            format!(
+                "`{}` in library code; return a typed error, or document the \
+                 invariant and suppress with simlint::allow({PANIC_IN_LIB}): <why>",
+                t.text
+            ),
+        ));
+    }
+}
+
+/// Meta-rule: every allow must say why.
+fn check_bare_allow(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for a in &f.allows {
+        if !a.justified {
+            out.push(Diagnostic::new(
+                BARE_ALLOW,
+                &f.rel,
+                a.line,
+                format!(
+                    "simlint::allow({}) without a justification; append `: <why \
+                     this is sound>`",
+                    a.rules.join(", ")
+                ),
+            ));
+        }
+    }
+}

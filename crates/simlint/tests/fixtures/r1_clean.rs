@@ -1,0 +1,22 @@
+use std::collections::BTreeMap;
+
+pub fn render() -> String {
+    let m: BTreeMap<String, u64> = BTreeMap::new();
+    let mut out = String::new();
+    for (k, v) in &m {
+        out.push_str(k);
+        let _ = v;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn scratch_map_in_tests_is_fine() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        assert!(m.is_empty());
+    }
+}

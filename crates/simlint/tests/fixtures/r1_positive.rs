@@ -1,0 +1,14 @@
+use std::collections::HashMap;
+
+pub fn render() -> String {
+    let m: HashMap<String, u64> = HashMap::new();
+    let mut out = String::new();
+    for (k, v) in &m {
+        out.push_str(k);
+        let _ = v;
+    }
+    for k in m.keys() {
+        out.push_str(k);
+    }
+    out
+}

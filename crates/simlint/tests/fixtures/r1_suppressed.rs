@@ -1,0 +1,7 @@
+// simlint::allow(hash-iter-render): keyed lookup only, never iterated
+use std::collections::HashMap;
+
+pub struct Cache {
+    // simlint::allow(hash-iter-render): entries drain into a BTreeMap before rendering
+    entries: HashMap<String, u64>,
+}

@@ -1,0 +1,7 @@
+// simlint::allow(wallclock): operator-facing elapsed print, never part of compared output
+use std::time::Instant;
+
+pub fn banner() {
+    let t0 = Instant::now(); // simlint::allow(wallclock): same — stderr progress only
+    let _ = t0;
+}

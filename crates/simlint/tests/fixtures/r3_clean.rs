@@ -1,0 +1,7 @@
+use frontier_sim_core::rng::StreamRng;
+
+pub fn draw(seed: u64, component: u32, index: u64) -> f64 {
+    // Keyed stream: identical draws under any thread schedule.
+    let mut rng = StreamRng::keyed(seed, component, index);
+    rng.uniform()
+}

@@ -1,0 +1,9 @@
+use rand::thread_rng;
+
+pub fn jitter() -> f64 {
+    let mut rng = thread_rng();
+    let _ = &mut rng;
+    let seeded = SmallRng::from_entropy();
+    let _ = seeded;
+    0.0
+}

@@ -1,0 +1,14 @@
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn serial_tally(v: &[u64], total: &AtomicU64) {
+    for x in v {
+        total.fetch_add(*x, Ordering::Relaxed);
+    }
+}
+
+pub fn metric_tally(v: &[u64], c: &frontier_sim_core::metrics::Counter) {
+    v.par_iter().for_each(|x| {
+        c.add(*x);
+    });
+}

@@ -1,0 +1,16 @@
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn tally(v: &[u64], total: &AtomicU64) {
+    v.par_iter().for_each(|x| {
+        total.fetch_add(*x, Ordering::Relaxed);
+    });
+}
+
+pub fn race_max(v: &[u64], hi: &AtomicU64) -> u64 {
+    let (_, _) = rayon::join(
+        || hi.fetch_max(v[0], Ordering::SeqCst),
+        || hi.fetch_max(v[1], Ordering::SeqCst),
+    );
+    hi.load(Ordering::SeqCst)
+}

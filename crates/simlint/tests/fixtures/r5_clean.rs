@@ -1,0 +1,18 @@
+pub fn pick(v: &[u64]) -> Option<u64> {
+    let first = v.first()?;
+    let second = v.get(1).copied().unwrap_or_default();
+    if *first == 0 {
+        return None;
+    }
+    Some(second)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(pick(&[1, 2]).unwrap(), 2);
+    }
+}

@@ -1,0 +1,8 @@
+pub fn pick(v: &[u64]) -> u64 {
+    let first = v.first().unwrap();
+    let second = v.get(1).expect("needs two elements");
+    if *first == 0 {
+        panic!("zero is not a valid rate");
+    }
+    *second
+}
