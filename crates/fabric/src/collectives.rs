@@ -8,18 +8,20 @@
 //! paths, so algorithm choice, message size, and placement all interact
 //! with the topology the way they do on the real machine.
 
-use crate::des::{makespan, DesConfig, Message};
+use crate::des::{makespan, DesConfig, MessageBatch, PathSpan};
 use crate::dragonfly::Dragonfly;
 use crate::routing::{RoutePolicy, Router};
-use crate::topology::{EndpointId, LinkId};
+use crate::topology::EndpointId;
 use frontier_sim_core::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::Arc;
 
-/// Shared routed paths, keyed by (src, dst) endpoint pair.
-type PathCache = HashMap<(EndpointId, EndpointId), Arc<[LinkId]>>;
+/// Interned routed paths, keyed by (src, dst) endpoint pair. The value is
+/// a span into the shared [`MessageBatch`] path pool, which outlives
+/// `clear()` — so each pair is routed and copied into the pool exactly
+/// once across all rounds of a collective.
+type PathCache = HashMap<(EndpointId, EndpointId), PathSpan>;
 
 /// Allreduce algorithm choice.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -43,9 +45,13 @@ pub struct Collectives<'a> {
     /// Routed-path cache: collectives re-send over the same (src, dst)
     /// pairs round after round (a ring allreduce revisits each neighbor
     /// pair 2(p-1) times), so each pair routes once and every message
-    /// over it shares the same `Arc<[LinkId]>` instead of cloning the
+    /// over it reuses the interned [`PathSpan`] instead of cloning the
     /// path per injected message.
     paths: RefCell<PathCache>,
+    /// Reusable SoA message arena: cleared (messages only — the interned
+    /// path pool survives) and refilled each round, so steady-state rounds
+    /// allocate nothing.
+    batch: RefCell<MessageBatch>,
 }
 
 impl<'a> Collectives<'a> {
@@ -58,6 +64,7 @@ impl<'a> Collectives<'a> {
             ranks,
             seed,
             paths: RefCell::new(PathCache::new()),
+            batch: RefCell::new(MessageBatch::new()),
         }
     }
 
@@ -69,22 +76,22 @@ impl<'a> Collectives<'a> {
     /// and return the round's completion time.
     fn round(&self, pairs: &[(usize, usize, Bytes)], rng: &mut StreamRng) -> SimTime {
         let mut paths = self.paths.borrow_mut();
-        let msgs: Vec<Message> = pairs
-            .iter()
-            .filter(|&&(s, d, _)| self.ranks[s] != self.ranks[d])
-            .map(|&(s, d, size)| {
-                let (src, dst) = (self.ranks[s], self.ranks[d]);
-                let path = paths
-                    .entry((src, dst))
-                    .or_insert_with(|| self.router.route(src, dst, rng).into())
-                    .clone();
-                Message::on(path, size, SimTime::ZERO, s as u64)
-            })
-            .collect();
-        if msgs.is_empty() {
+        let mut batch = self.batch.borrow_mut();
+        batch.clear();
+        for &(s, d, size) in pairs {
+            if self.ranks[s] == self.ranks[d] {
+                continue;
+            }
+            let (src, dst) = (self.ranks[s], self.ranks[d]);
+            let span = *paths
+                .entry((src, dst))
+                .or_insert_with(|| batch.intern(&self.router.route(src, dst, rng)));
+            batch.push(span, size, SimTime::ZERO, s as u64);
+        }
+        if batch.is_empty() {
             return SimTime::ZERO;
         }
-        makespan(self.df.topology(), &self.cfg, &msgs)
+        makespan(self.df.topology(), &self.cfg, &batch)
     }
 
     /// Allreduce of `size` bytes across all ranks.

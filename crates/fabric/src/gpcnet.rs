@@ -127,35 +127,51 @@ struct Workload {
     victim_ranks: u64,
 }
 
-fn build_workload(df: &Dragonfly, cfg: &GpcnetConfig) -> Workload {
-    let total_nodes = cfg.nodes.min(df.params().total_nodes());
-    let n_congestor = (total_nodes as f64 * cfg.congestor_fraction).round() as usize;
-
-    // Interleave victims among congestors (every 5th node) so both
-    // populations span all groups, as a real scheduler allocation would.
-    let stride = (total_nodes as f64 / (total_nodes - n_congestor) as f64).round() as usize;
-    let mut victims = Vec::new();
-    let mut congestors = Vec::new();
+/// Split the first `total_nodes` nodes into interleaved victim and
+/// congestor node lists (every `stride`-th node is a victim), so both
+/// populations span all groups the way a real scheduler allocation would.
+/// Shared by the solver-based run and the DES victim entry points.
+pub fn split_nodes(total_nodes: usize, congestor_fraction: f64) -> (Vec<usize>, Vec<usize>) {
+    let n_congestor = (total_nodes as f64 * congestor_fraction).round() as usize;
+    let n_victims = total_nodes - n_congestor;
+    let stride = (total_nodes as f64 / n_victims as f64).round() as usize;
+    let mut victims = Vec::with_capacity(n_victims);
+    let mut congestors = Vec::with_capacity(n_congestor);
     for node in 0..total_nodes {
-        if node % stride == 0 && victims.len() < total_nodes - n_congestor {
+        if node % stride == 0 && victims.len() < n_victims {
             victims.push(node);
         } else {
             congestors.push(node);
         }
     }
+    (victims, congestors)
+}
+
+/// Victim ranks → endpoints: `ppn` ranks per victim node, spread
+/// round-robin over the node's NICs, in node order. This is the rank
+/// layout every victim test (random ring, BW+sync, multiple-allreduce)
+/// measures over.
+pub fn victim_rank_endpoints(df: &Dragonfly, victims: &[usize], ppn: usize) -> Vec<EndpointId> {
+    let nics = df.params().nics_per_node;
+    let mut victim_rank_ep: Vec<EndpointId> = Vec::with_capacity(victims.len() * ppn);
+    for &v in victims {
+        let eps = df.node_endpoints(v);
+        victim_rank_ep.extend((0..ppn).map(|r| eps[r % nics]));
+    }
+    victim_rank_ep
+}
+
+fn build_workload(df: &Dragonfly, cfg: &GpcnetConfig) -> Workload {
+    let total_nodes = cfg.nodes.min(df.params().total_nodes());
+    let (victims, congestors) = split_nodes(total_nodes, cfg.congestor_fraction);
 
     let mut rng = StreamRng::for_component(cfg.seed, "gpcnet", 0);
     let router = Router::new(df, RoutePolicy::adaptive_default());
 
-    // Victim ranks → endpoints (PPN ranks spread over the node's NICs).
     // Every sizing below is known up front from PPN × node counts, so the
     // pair and rank vectors are allocated exactly once.
     let nics = df.params().nics_per_node;
-    let mut victim_rank_ep: Vec<EndpointId> = Vec::with_capacity(victims.len() * cfg.ppn);
-    for &v in &victims {
-        let eps = df.node_endpoints(v);
-        victim_rank_ep.extend((0..cfg.ppn).map(|r| eps[r % nics]));
-    }
+    let victim_rank_ep = victim_rank_endpoints(df, &victims, cfg.ppn);
 
     // Pair generation stays sequential (the pattern draws are cheap); the
     // expensive part — routing — happens afterwards in one tagged batch
@@ -434,6 +450,25 @@ pub fn run_on(df: &Dragonfly, cfg: &GpcnetConfig) -> GpcnetReport {
     }
 }
 
+/// The victim multiple-allreduce of `cfg`, executed message-by-message on
+/// the DES core instead of through the calibrated latency model: the
+/// victim ranks (same node split and rank layout as [`run_on`]) run one
+/// recursive-doubling allreduce of `size` bytes over routed dragonfly
+/// paths. Returns the completion time.
+///
+/// At `frontier_table5` scale this is a full-machine per-message workload
+/// — 1,880 victim nodes × 8 PPN = 15,040 ranks, ~14 rounds of ~15k
+/// simultaneous messages — and is the GPCNeT entry the `bench_des`
+/// harness drives.
+pub fn victim_allreduce_des(df: &Dragonfly, cfg: &GpcnetConfig, size: Bytes) -> SimTime {
+    use crate::collectives::{AllreduceAlgo, Collectives};
+    let total_nodes = cfg.nodes.min(df.params().total_nodes());
+    let (victims, _) = split_nodes(total_nodes, cfg.congestor_fraction);
+    let ranks = victim_rank_endpoints(df, &victims, cfg.ppn);
+    let c = Collectives::new(df, ranks, RoutePolicy::adaptive_default(), cfg.seed);
+    c.allreduce(size, AllreduceAlgo::RecursiveDoubling)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -489,6 +524,31 @@ mod tests {
         let b = run(&cfg);
         assert_eq!(a.isolated[1].average, b.isolated[1].average);
         assert_eq!(a.congested[0].p99, b.congested[0].p99);
+    }
+
+    #[test]
+    fn split_nodes_is_exact_and_interleaved() {
+        let (v, c) = split_nodes(180, 0.8);
+        assert_eq!(v.len(), 36);
+        assert_eq!(c.len(), 144);
+        // Victims are spread across the node range, not clumped in front.
+        assert!(*v.last().unwrap() > 150);
+        let mut all: Vec<usize> = v.iter().chain(&c).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..180).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn victim_allreduce_des_runs_and_is_deterministic() {
+        let cfg = GpcnetConfig::scaled_for_tests();
+        let df = Dragonfly::build(cfg.params.clone());
+        let a = victim_allreduce_des(&df, &cfg, Bytes::new(8));
+        let b = victim_allreduce_des(&df, &cfg, Bytes::new(8));
+        assert!(a > SimTime::ZERO);
+        assert_eq!(a, b);
+        // Bigger payloads can only take longer.
+        let big = victim_allreduce_des(&df, &cfg, Bytes::kib(128));
+        assert!(big >= a);
     }
 
     #[test]

@@ -1,7 +1,15 @@
 //! Property-based tests for the message-level DES and the collectives.
+//!
+//! The SoA rewrite is pinned two ways: against the pre-rewrite
+//! per-`Message` oracle ([`simulate_reference`]), and calendar-queue
+//! against binary-heap scheduling — both must agree delivery-for-delivery,
+//! bit-identically.
 
 use frontier_fabric::collectives::{AllreduceAlgo, Collectives};
-use frontier_fabric::des::{makespan, simulate, DesConfig, Message};
+use frontier_fabric::des::{
+    makespan, simulate, simulate_reference, simulate_with, DesConfig, Message, MessageBatch,
+    QueueKind,
+};
 use frontier_fabric::dragonfly::{Dragonfly, DragonflyParams};
 use frontier_fabric::routing::{RoutePolicy, Router};
 use frontier_fabric::topology::EndpointId;
@@ -10,6 +18,44 @@ use proptest::prelude::*;
 
 fn df() -> Dragonfly {
     Dragonfly::build(DragonflyParams::scaled(4, 4, 4))
+}
+
+/// Route `n_msgs` random same-size messages over the dragonfly, returning
+/// both the boxed-message and SoA-batch representations of the same batch.
+fn random_batch(
+    df: &Dragonfly,
+    n_msgs: usize,
+    size_kib: u64,
+    max_skew_ns: u64,
+    seed: u64,
+) -> (Vec<Message>, MessageBatch) {
+    let router = Router::new(df, RoutePolicy::Minimal);
+    let mut rng = StreamRng::from_seed(seed);
+    let ne = df.params().total_endpoints();
+    let msgs: Vec<Message> = (0..n_msgs)
+        .map(|i| {
+            let s = rng.index(ne);
+            let mut d = rng.index(ne);
+            if d == s {
+                d = (d + 1) % ne;
+            }
+            let inject = if max_skew_ns == 0 {
+                SimTime::ZERO
+            } else {
+                SimTime::from_nanos(rng.int_range(0, max_skew_ns + 1))
+            };
+            Message {
+                path: router
+                    .route(EndpointId(s as u32), EndpointId(d as u32), &mut rng)
+                    .into(),
+                size: Bytes::kib(size_kib),
+                inject_at: inject,
+                tag: i as u64,
+            }
+        })
+        .collect();
+    let batch = MessageBatch::from_messages(&msgs);
+    (msgs, batch)
 }
 
 proptest! {
@@ -25,29 +71,8 @@ proptest! {
     ) {
         let df = df();
         let cfg = DesConfig::default();
-        let router = Router::new(&df, RoutePolicy::Minimal);
-        let mut rng = StreamRng::from_seed(seed);
-        let ne = df.params().total_endpoints();
-        let msgs: Vec<Message> = (0..n_msgs)
-            .map(|i| {
-                let s = rng.index(ne);
-                let mut d = rng.index(ne);
-                if d == s {
-                    d = (d + 1) % ne;
-                }
-                Message {
-                    path: router.route(
-                        EndpointId(s as u32),
-                        EndpointId(d as u32),
-                        &mut rng,
-                    ).into(),
-                    size: Bytes::kib(size_kib),
-                    inject_at: SimTime::ZERO,
-                    tag: i as u64,
-                }
-            })
-            .collect();
-        let deliveries = simulate(df.topology(), &cfg, &msgs);
+        let (msgs, batch) = random_batch(&df, n_msgs, size_kib, 0, seed);
+        let deliveries = simulate(df.topology(), &cfg, &batch);
         for (m, d) in msgs.iter().zip(&deliveries) {
             let mut bound = cfg.send_overhead + cfg.recv_overhead;
             for l in m.path.iter() {
@@ -66,6 +91,43 @@ proptest! {
         }
     }
 
+    /// The SoA arena core reproduces the pre-rewrite per-`Message`
+    /// implementation exactly: same deliveries, same order, same
+    /// picosecond arrivals — including injection-time skew, which
+    /// exercises same-instant event ties.
+    #[test]
+    fn soa_core_matches_reference_oracle(
+        n_msgs in 1usize..40,
+        size_kib in 1u64..4_096,
+        skew_ns in 0u64..2_000,
+        seed in 0u64..1_000,
+    ) {
+        let df = df();
+        let cfg = DesConfig::default();
+        let (msgs, batch) = random_batch(&df, n_msgs, size_kib, skew_ns, seed);
+        let oracle = simulate_reference(df.topology(), &cfg, &msgs);
+        let soa = simulate(df.topology(), &cfg, &batch);
+        prop_assert_eq!(soa, oracle);
+    }
+
+    /// Calendar-queue and binary-heap scheduling of the same batch are
+    /// bit-identical (the fabric-level restatement of the sim-core
+    /// scheduler parity contract).
+    #[test]
+    fn calendar_and_heap_schedules_agree(
+        n_msgs in 1usize..40,
+        size_kib in 1u64..4_096,
+        skew_ns in 0u64..2_000,
+        seed in 0u64..1_000,
+    ) {
+        let df = df();
+        let cfg = DesConfig::default();
+        let (_msgs, batch) = random_batch(&df, n_msgs, size_kib, skew_ns, seed);
+        let cal = simulate_with(df.topology(), &cfg, &batch, QueueKind::Calendar);
+        let heap = simulate_with(df.topology(), &cfg, &batch, QueueKind::BinaryHeap);
+        prop_assert_eq!(cal, heap);
+    }
+
     /// Adding a message never speeds up the rest of the batch (FIFO work
     /// conservation).
     #[test]
@@ -74,18 +136,17 @@ proptest! {
         let cfg = DesConfig::default();
         let router = Router::new(&df, RoutePolicy::Minimal);
         let mut rng = StreamRng::from_seed(seed);
-        let mk = |s: u32, d: u32, rng: &mut StreamRng| Message {
-            path: router.route(EndpointId(s), EndpointId(d), rng).into(),
-            size: Bytes::kib(size_kib),
-            inject_at: SimTime::ZERO,
-            tag: 0,
+        let mut base = MessageBatch::new();
+        let mut with_extra = MessageBatch::new();
+        let add = |s: u32, d: u32, rng: &mut StreamRng, batches: &mut [&mut MessageBatch]| {
+            let path = router.route(EndpointId(s), EndpointId(d), rng);
+            for b in batches {
+                b.push_path(&path, Bytes::kib(size_kib), SimTime::ZERO, 0);
+            }
         };
-        let base = vec![mk(0, 20, &mut rng), mk(1, 21, &mut rng)];
-        let with_extra = {
-            let mut v = base.clone();
-            v.push(mk(2, 20, &mut rng)); // contends at the destination switch
-            v
-        };
+        add(0, 20, &mut rng, &mut [&mut base, &mut with_extra]);
+        add(1, 21, &mut rng, &mut [&mut base, &mut with_extra]);
+        add(2, 20, &mut rng, &mut [&mut with_extra]); // contends at the destination switch
         let t_base = makespan(df.topology(), &cfg, &base);
         let t_extra = makespan(df.topology(), &cfg, &with_extra);
         prop_assert!(t_extra >= t_base);

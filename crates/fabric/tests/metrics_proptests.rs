@@ -7,7 +7,7 @@
 //! own integration-test binary and serialize on a file-local mutex; the
 //! unit tests inside `sim-core` use private registries and stay parallel.
 
-use frontier_fabric::des::{simulate, DesConfig, Message};
+use frontier_fabric::des::{simulate, DesConfig, MessageBatch};
 use frontier_fabric::dragonfly::{Dragonfly, DragonflyParams};
 use frontier_fabric::maxmin::solve_maxmin;
 use frontier_fabric::routing::{RoutePolicy, Router};
@@ -187,13 +187,12 @@ fn des_counts_messages_and_hop_events() {
     let pairs = random_pairs(n, 3, 12);
     let r = Router::new(&df, RoutePolicy::Minimal);
     let flows = r.route_all(&pairs, 0, 3);
-    let msgs: Vec<Message> = flows
-        .iter()
-        .enumerate()
-        .map(|(i, f)| Message::over(f, Bytes::kib(64), SimTime::ZERO, i as u64))
-        .collect();
+    let mut batch = MessageBatch::new();
+    for (i, f) in flows.iter().enumerate() {
+        batch.push_path(&f.path, Bytes::kib(64), SimTime::ZERO, i as u64);
+    }
     let total_hops: u64 = flows.iter().map(|f| f.path.len() as u64).sum();
-    simulate(df.topology(), &DesConfig::default(), &msgs);
+    simulate(df.topology(), &DesConfig::default(), &batch);
     let snap = metrics::global().snapshot();
     metrics::set_enabled(false);
 
@@ -201,6 +200,12 @@ fn des_counts_messages_and_hop_events() {
     // Store-and-forward: one event per (message, hop).
     assert_eq!(snap.counters["fabric.des.events"], total_hops);
     assert!(snap.gauges["fabric.des.makespan_ns_max"] > 0.0);
+    // The default (calendar) scheduler reports its bucket-occupancy
+    // telemetry for the injection burst.
+    assert!(
+        snap.histograms["fabric.des.calendar.bucket_occupancy"].count() > 0,
+        "calendar occupancy histogram missing"
+    );
 }
 
 #[test]

@@ -1,14 +1,29 @@
 //! Discrete-event simulation engine.
 //!
-//! The engine is a classic calendar-queue DES: events carry a payload `E`,
-//! are scheduled at absolute [`SimTime`] instants, and are delivered in
-//! non-decreasing time order. Ties are broken by insertion sequence number,
-//! which makes event delivery *fully deterministic* — two events scheduled at
-//! the same instant always fire in the order they were scheduled, regardless
-//! of payload or heap internals.
+//! Events carry a payload `E`, are scheduled at absolute [`SimTime`]
+//! instants, and are delivered in non-decreasing time order. Ties are broken
+//! by insertion sequence number, which makes event delivery *fully
+//! deterministic* — two events scheduled at the same instant always fire in
+//! the order they were scheduled, regardless of payload or queue internals.
+//!
+//! Two schedulers implement that contract behind the [`EventScheduler`] trait:
+//!
+//! * [`EventQueue`] — a binary heap. O(log n) per operation with a small
+//!   constant; the *reference* implementation every other scheduler is
+//!   property-tested against.
+//! * [`CalendarQueue`] — a calendar queue (Brown, CACM 1988) whose buckets
+//!   are small binary heaps. Near-O(1) per operation when event times are
+//!   spread (the common DES steady state: ~1 pending event per bucket), and
+//!   never worse than O(log n) per operation when they are not (e.g. the
+//!   all-messages-injected-at-t=0 burst that opens every message-level
+//!   network simulation).
+//!
+//! [`Simulator`] is generic over the scheduler and defaults to
+//! [`EventQueue`], so existing call sites are unchanged.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
+use std::marker::PhantomData;
 
 use crate::time::SimTime;
 
@@ -37,6 +52,28 @@ impl<E> Ord for Scheduled<E> {
             .time
             .cmp(&self.time)
             .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The contract shared by every event scheduler: timestamped events go in,
+/// and come back out in `(time, insertion seq)` order — earliest first,
+/// same-instant ties delivered in the order they were pushed.
+///
+/// Two implementations must be *byte-identical* under any interleaving of
+/// pushes and pops (pinned by the parity proptests in `tests/proptests.rs`);
+/// the [`EventQueue`] binary heap is the reference, the [`CalendarQueue`]
+/// the data-oriented fast path.
+pub trait EventScheduler<E> {
+    /// Schedule `payload` for delivery at `time`.
+    fn push(&mut self, time: SimTime, payload: E);
+    /// Remove and return the earliest event (ties by insertion order).
+    fn pop(&mut self) -> Option<(SimTime, E)>;
+    /// The delivery instant of the earliest pending event.
+    fn peek_time(&self) -> Option<SimTime>;
+    /// Number of pending events.
+    fn len(&self) -> usize;
+    fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -106,7 +143,451 @@ impl<E> EventQueue<E> {
     }
 }
 
-/// A discrete-event simulator: an [`EventQueue`] plus a monotone clock.
+impl<E> EventScheduler<E> for EventQueue<E> {
+    fn push(&mut self, time: SimTime, payload: E) {
+        EventQueue::push(self, time, payload);
+    }
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        EventQueue::pop(self)
+    }
+    fn peek_time(&self) -> Option<SimTime> {
+        EventQueue::peek_time(self)
+    }
+    fn len(&self) -> usize {
+        EventQueue::len(self)
+    }
+}
+
+/// Smallest/largest bucket counts the calendar will use. The floor keeps
+/// tiny queues from resizing constantly; the ceiling bounds redistribution
+/// cost and memory for enormous event populations.
+const CAL_MIN_BUCKETS: usize = 16;
+const CAL_MAX_BUCKETS: usize = 1 << 20;
+
+/// Pre-sizing cap for [`CalendarQueue::with_capacity`]: past this, a
+/// bucket-per-event array stops paying off — the bucket headers outgrow
+/// the cache and every sweep peek becomes a miss. Larger populations run
+/// at a few events per bucket instead, which the FIFO buckets absorb in
+/// O(1) per event.
+const CAL_PRESIZE_MAX_BUCKETS: usize = 1 << 16;
+
+/// When the pop sweep has peeked this many empty buckets (per live bucket)
+/// since the last redistribution, the width estimate is stale: rebuild the
+/// calendar from the live population. Amortized, this bounds sweep waste
+/// to a small constant per pop while keeping redistributions rare.
+///
+/// A *provisional* width — one calibrated from a zero-span population,
+/// i.e. a same-instant injection burst, where any width is a blind guess —
+/// gets a much smaller budget ([`CAL_PROVISIONAL_WASTE`]): the first sign
+/// of real sweep waste replaces it with an estimate from the by-then
+/// spread-out population.
+const CAL_WASTE_FACTOR: u64 = 4;
+const CAL_PROVISIONAL_WASTE: u64 = 1024;
+
+/// One calendar bucket: a FIFO fast path plus an out-of-order side heap.
+///
+/// DES workloads push *almost sorted* streams — an injection burst pushes
+/// thousands of same-instant events in seq order, and steady-state
+/// follow-ups usually land later than anything already in their bucket.
+/// Events that arrive in non-decreasing `(time, seq)` order relative to
+/// the FIFO's tail are appended to a `VecDeque` and pop in O(1) with
+/// linear memory traffic; only genuinely out-of-order arrivals pay the
+/// side heap's O(log n). The bucket's pop order is the exact `(time, seq)`
+/// min across both halves, so the structure is invisible to callers.
+struct Bucket<E> {
+    fifo: VecDeque<Scheduled<E>>,
+    heap: BinaryHeap<Scheduled<E>>,
+}
+
+impl<E> Bucket<E> {
+    fn new() -> Self {
+        Bucket {
+            fifo: VecDeque::new(),
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.fifo.len() + self.heap.len()
+    }
+
+    fn push(&mut self, s: Scheduled<E>) {
+        match self.fifo.back() {
+            // Seq numbers are globally increasing, so tail.time <= s.time
+            // already implies (tail.time, tail.seq) < (s.time, s.seq).
+            Some(tail) if s.time < tail.time => self.heap.push(s),
+            _ => self.fifo.push_back(s),
+        }
+    }
+
+    /// The bucket's `(time, seq)` minimum.
+    fn peek(&self) -> Option<&Scheduled<E>> {
+        match (self.fifo.front(), self.heap.peek()) {
+            (Some(f), Some(h)) => {
+                if (f.time, f.seq) <= (h.time, h.seq) {
+                    Some(f)
+                } else {
+                    Some(h)
+                }
+            }
+            (Some(f), None) => Some(f),
+            (None, h) => h,
+        }
+    }
+
+    fn pop(&mut self) -> Option<Scheduled<E>> {
+        match (self.fifo.front(), self.heap.peek()) {
+            (Some(f), Some(h)) => {
+                if (f.time, f.seq) <= (h.time, h.seq) {
+                    self.fifo.pop_front()
+                } else {
+                    self.heap.pop()
+                }
+            }
+            (Some(_), None) => self.fifo.pop_front(),
+            (None, _) => self.heap.pop(),
+        }
+    }
+
+    /// Move every event into `out` (arbitrary order), keeping both
+    /// halves' allocations for reuse.
+    fn drain_into(&mut self, out: &mut Vec<Scheduled<E>>) {
+        out.extend(self.fifo.drain(..));
+        out.extend(self.heap.drain());
+    }
+}
+
+/// A calendar-queue scheduler: a power-of-two array of buckets, each
+/// covering a `width`-picosecond slice of the time axis, cycled through
+/// year after year (year = `buckets.len() * width`).
+///
+/// Design choices that keep it deterministic and robust:
+///
+/// * **Buckets are FIFO-first** (see [`Bucket`]): pushes arriving in
+///   non-decreasing time order append to a ring buffer in O(1); only
+///   out-of-order arrivals pay a side binary heap. DES workloads push
+///   almost-sorted (a t=0 injection burst is *exactly* sorted), so the
+///   common path is a linear-memory append/pop with no comparisons
+///   beyond one against the FIFO tail — and the `(time, seq)` total
+///   order of [`EventQueue`] is preserved exactly.
+/// * **The bucket width is derived from the pending events themselves**
+///   (span / population, recomputed at every resize), never from wall
+///   clocks or randomness, so the structure — and therefore every pop —
+///   is a pure function of the push history.
+/// * **Recalibration is waste-driven**: the pop sweep counts fruitless
+///   bucket inspections, and when they exceed [`CAL_WASTE_FACTOR`] ×
+///   buckets the calendar rebuilds itself with a width re-derived from
+///   the live population. A width frozen by an unlucky early calibration
+///   (e.g. during a same-instant burst, when the span is zero) heals
+///   after a bounded amount of wasted sweeping instead of degrading the
+///   whole run.
+/// * **Pops sweep buckets by year**: an event in bucket `b` is deliverable
+///   only when the sweep's current year matches the event's own
+///   `time / width` year, so far-future events parked in the same bucket
+///   cannot jump the queue. If a full sweep finds nothing (sparse queue),
+///   the minimum over bucket tops is taken directly — O(buckets), rare,
+///   and exact.
+pub struct CalendarQueue<E> {
+    /// Power-of-two bucket array; each bucket FIFO-first (see [`Bucket`]).
+    buckets: Vec<Bucket<E>>,
+    /// Bucket width in picoseconds (>= 1).
+    width: u64,
+    /// Year index (`time / width`) the pop sweep resumes from.
+    cur_year: u64,
+    len: usize,
+    next_seq: u64,
+    /// One-shot trigger: when `len` first reaches this, recompute the
+    /// width from the live population (used by [`CalendarQueue::with_capacity`],
+    /// which pre-sizes the bucket array and would otherwise never pass
+    /// through a width-calibrating grow).
+    calibrate_at: usize,
+    /// Fruitless bucket inspections by the pop sweep since the last
+    /// resize; when it crosses its budget the width is recalibrated
+    /// (see [`CalendarQueue::pop`]).
+    waste: u64,
+    /// True while `width` is a blind guess — initial, or calibrated from
+    /// a zero-span (same-instant) population. Provisional widths get the
+    /// eager [`CAL_PROVISIONAL_WASTE`] budget instead of the lax
+    /// [`CAL_WASTE_FACTOR`]-based one.
+    width_provisional: bool,
+}
+
+impl<E> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> CalendarQueue<E> {
+    pub fn new() -> Self {
+        CalendarQueue {
+            buckets: (0..CAL_MIN_BUCKETS).map(|_| Bucket::new()).collect(),
+            // 1 ns: a neutral starting width; the first resize replaces it
+            // with an estimate from the actual event population.
+            width: 1_000,
+            cur_year: 0,
+            len: 0,
+            next_seq: 0,
+            calibrate_at: usize::MAX,
+            waste: 0,
+            width_provisional: true,
+        }
+    }
+
+    /// A calendar pre-sized for `capacity` pending events: the bucket array
+    /// starts at the target size (skipping the grow-doubling ladder), and
+    /// the width self-calibrates once the queue is half loaded.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let n = capacity
+            .next_power_of_two()
+            .clamp(CAL_MIN_BUCKETS, CAL_PRESIZE_MAX_BUCKETS);
+        CalendarQueue {
+            buckets: (0..n).map(|_| Bucket::new()).collect(),
+            width: 1_000,
+            cur_year: 0,
+            len: 0,
+            next_seq: 0,
+            calibrate_at: (n / 2).max(CAL_MIN_BUCKETS),
+            waste: 0,
+            width_provisional: true,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of buckets currently in the calendar.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Current bucket width in picoseconds.
+    pub fn bucket_width_ps(&self) -> u64 {
+        self.width
+    }
+
+    /// Visit every bucket's occupancy (pending events per bucket), in
+    /// bucket order. Used by telemetry to histogram how well the width
+    /// estimate is spreading the event population.
+    pub fn for_each_occupancy(&self, mut f: impl FnMut(usize)) {
+        for b in &self.buckets {
+            f(b.len());
+        }
+    }
+
+    #[inline]
+    fn bucket_of(&self, ps: u64) -> usize {
+        ((ps / self.width) as usize) & (self.buckets.len() - 1)
+    }
+
+    /// Schedule `payload` at `time`.
+    pub fn push(&mut self, time: SimTime, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let ps = time.as_picos();
+        let year = ps / self.width;
+        // Rewind the sweep if this event lands before its resume point —
+        // the queue (unlike Simulator) accepts arbitrary time order.
+        if self.len == 0 || year < self.cur_year {
+            self.cur_year = year;
+        }
+        let b = self.bucket_of(ps);
+        self.buckets[b].push(Scheduled { time, seq, payload });
+        self.len += 1;
+        if self.len > 4 * self.buckets.len() && self.buckets.len() < CAL_MAX_BUCKETS {
+            let target = self.buckets.len() * 2;
+            self.resize(target);
+        } else if self.len >= self.calibrate_at {
+            self.calibrate_at = usize::MAX;
+            let target = self.buckets.len();
+            self.resize(target);
+        }
+    }
+
+    /// Remove and return the earliest event (ties by insertion order).
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let b = self.find_next()?;
+        // find_next guarantees a populated bucket whose top is the queue
+        // minimum and has set cur_year to its year.
+        let s = self.buckets[b].pop()?;
+        self.len -= 1;
+        if self.len * 4 < self.buckets.len() && self.buckets.len() > CAL_MIN_BUCKETS {
+            let target = (self.buckets.len() / 2).max(CAL_MIN_BUCKETS);
+            self.resize(target);
+        } else {
+            let budget = if self.width_provisional {
+                CAL_PROVISIONAL_WASTE
+            } else {
+                CAL_WASTE_FACTOR * self.buckets.len() as u64 + 256
+            };
+            if self.waste > budget {
+                // The sweep has wasted more inspections than the calendar
+                // can amortize: the width is stale (e.g. it was calibrated
+                // during a same-instant burst, when the population had zero
+                // span). Rebuild at the current bucket count to re-derive
+                // the width from the live population.
+                let target = self.buckets.len();
+                self.resize(target);
+            }
+        }
+        Some((s.time, s.payload))
+    }
+
+    /// The delivery instant of the earliest pending event.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        let b = self.find_next()?;
+        self.buckets[b].peek().map(|s| s.time)
+    }
+
+    /// Locate the bucket holding the global minimum `(time, seq)` event and
+    /// advance `cur_year` to that event's year. Sweeps at most one full
+    /// calendar year bucket-by-bucket; if the queue is too sparse for the
+    /// sweep to connect, falls back to a direct minimum over bucket tops.
+    fn find_next(&mut self) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        let nb = self.buckets.len();
+        let mask = (nb - 1) as u64;
+        for step in 0..nb as u64 {
+            if self.width_provisional && step == CAL_PROVISIONAL_WASTE {
+                // The width is a blind guess and this single sweep has
+                // already blown its whole waste budget: recalibrate now
+                // (the rebuild also repositions `cur_year` at the true
+                // minimum) and rerun the sweep with the solid width.
+                let target = nb;
+                self.resize(target);
+                return self.find_next();
+            }
+            let year = match self.cur_year.checked_add(step) {
+                Some(y) => y,
+                None => break, // beyond the time axis; use the fallback
+            };
+            let b = (year & mask) as usize;
+            if let Some(top) = self.buckets[b].peek() {
+                if top.time.as_picos() / self.width == year {
+                    self.cur_year = year;
+                    // Buckets inspected before the hit were fruitless.
+                    self.waste += step;
+                    return Some(b);
+                }
+            }
+        }
+        // Sparse queue: no event within a year of the sweep start. The
+        // minimum over bucket tops is exact (each top is its bucket's
+        // minimum) and O(buckets).
+        self.waste += nb as u64;
+        let mut best: Option<(SimTime, u64, usize)> = None;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            if let Some(top) = bucket.peek() {
+                let key = (top.time, top.seq, i);
+                if best.is_none_or(|(t, s, _)| (top.time, top.seq) < (t, s)) {
+                    best = Some(key);
+                }
+            }
+        }
+        best.map(|(t, _, b)| {
+            self.cur_year = t.as_picos() / self.width;
+            b
+        })
+    }
+
+    /// Rebuild the calendar with `new_buckets` buckets and a width derived
+    /// from the live population: the pending span divided by the
+    /// population, clamped to at least 1 ps — aiming at ~1 event per
+    /// bucket-year slot. Resets the waste counter: the new width gets a
+    /// full budget before it can be declared stale in turn.
+    fn resize(&mut self, new_buckets: usize) {
+        let new_buckets = new_buckets.clamp(CAL_MIN_BUCKETS, CAL_MAX_BUCKETS);
+        let mut all: Vec<Scheduled<E>> = Vec::with_capacity(self.len);
+        for b in &mut self.buckets {
+            b.drain_into(&mut all);
+        }
+        let (mut lo, mut hi) = (u64::MAX, 0u64);
+        for s in &all {
+            let ps = s.time.as_picos();
+            lo = lo.min(ps);
+            hi = hi.max(ps);
+        }
+        self.width_provisional = all.is_empty() || hi == lo;
+        self.width = if self.width_provisional {
+            1_000
+        } else {
+            // Bias the density estimate wide by 4x. Too-wide is cheap (a
+            // few events share a bucket-year and the FIFO absorbs them);
+            // too-narrow costs a cache-missing peek per empty bucket the
+            // sweep crosses. And the estimate is stale in the narrow
+            // direction the moment it is taken: a draining simulation's
+            // pending population keeps spreading out in time.
+            (4 * ((hi - lo) / all.len() as u64)).max(1)
+        };
+        // Redistribute in `(time, seq)` order so every event lands on its
+        // bucket's FIFO fast path. The stable sort is adaptive: the input
+        // is near-sorted already (burst-heavy buckets drain their FIFOs in
+        // order), so this is closer to a merge pass than a full sort.
+        all.sort_by_key(|s| (s.time, s.seq));
+        // A same-size rebuild (width recalibration) reuses the bucket
+        // array and every bucket's buffers; only genuine grows/shrinks
+        // reallocate.
+        if new_buckets != self.buckets.len() {
+            self.buckets = (0..new_buckets).map(|_| Bucket::new()).collect();
+        }
+        self.cur_year = if all.is_empty() { 0 } else { lo / self.width };
+        self.waste = 0;
+        for s in all {
+            let b = self.bucket_of(s.time.as_picos());
+            self.buckets[b].push(s);
+        }
+    }
+}
+
+impl<E> EventScheduler<E> for CalendarQueue<E> {
+    fn push(&mut self, time: SimTime, payload: E) {
+        CalendarQueue::push(self, time, payload);
+    }
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        CalendarQueue::pop(self)
+    }
+    fn peek_time(&self) -> Option<SimTime> {
+        // Trait peek borrows immutably; run the bucket location without
+        // advancing the sweep cursor (a pure scan of the same structure).
+        if self.len == 0 {
+            return None;
+        }
+        let nb = self.buckets.len();
+        let mask = (nb - 1) as u64;
+        for step in 0..nb as u64 {
+            if let Some(year) = self.cur_year.checked_add(step) {
+                let b = (year & mask) as usize;
+                if let Some(top) = self.buckets[b].peek() {
+                    if top.time.as_picos() / self.width == year {
+                        return Some(top.time);
+                    }
+                }
+            }
+        }
+        self.buckets
+            .iter()
+            .filter_map(|b| b.peek().map(|s| (s.time, s.seq)))
+            .min()
+            .map(|(t, _)| t)
+    }
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+/// A discrete-event simulator: an [`EventScheduler`] plus a monotone clock.
+///
+/// Generic over the scheduler and defaulting to the binary-heap
+/// [`EventQueue`]; [`Simulator::calendar`]/[`Simulator::calendar_with_capacity`]
+/// build one over a [`CalendarQueue`] instead. Both deliver events in the
+/// identical deterministic order.
 ///
 /// The simulator enforces causality: events cannot be scheduled in the past,
 /// and [`Simulator::now`] never decreases.
@@ -129,10 +610,11 @@ impl<E> EventQueue<E> {
 /// }
 /// assert_eq!(order, vec![(1, Ev::Start), (5, Ev::Stop)]);
 /// ```
-pub struct Simulator<E> {
-    queue: EventQueue<E>,
+pub struct Simulator<E, Q: EventScheduler<E> = EventQueue<E>> {
+    queue: Q,
     now: SimTime,
     processed: u64,
+    _payload: PhantomData<fn() -> E>,
 }
 
 impl<E> Default for Simulator<E> {
@@ -143,21 +625,44 @@ impl<E> Default for Simulator<E> {
 
 impl<E> Simulator<E> {
     pub fn new() -> Self {
-        Simulator {
-            queue: EventQueue::new(),
-            now: SimTime::ZERO,
-            processed: 0,
-        }
+        Simulator::over(EventQueue::new())
     }
 
     /// A simulator whose event queue is pre-sized for `capacity` pending
     /// events (see [`EventQueue::with_capacity`]).
     pub fn with_capacity(capacity: usize) -> Self {
+        Simulator::over(EventQueue::with_capacity(capacity))
+    }
+}
+
+impl<E> Simulator<E, CalendarQueue<E>> {
+    /// A simulator scheduling through a [`CalendarQueue`].
+    pub fn calendar() -> Self {
+        Simulator::over(CalendarQueue::new())
+    }
+
+    /// A calendar-queue simulator pre-sized for `capacity` pending events
+    /// (see [`CalendarQueue::with_capacity`]).
+    pub fn calendar_with_capacity(capacity: usize) -> Self {
+        Simulator::over(CalendarQueue::with_capacity(capacity))
+    }
+}
+
+impl<E, Q: EventScheduler<E>> Simulator<E, Q> {
+    /// A simulator over an explicit scheduler instance.
+    pub fn over(queue: Q) -> Self {
         Simulator {
-            queue: EventQueue::with_capacity(capacity),
+            queue,
             now: SimTime::ZERO,
             processed: 0,
+            _payload: PhantomData,
         }
+    }
+
+    /// Borrow the underlying scheduler (e.g. to read calendar-queue
+    /// occupancy telemetry mid-run).
+    pub fn queue(&self) -> &Q {
+        &self.queue
     }
 
     /// Current simulated time: the timestamp of the most recently popped

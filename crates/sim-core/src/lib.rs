@@ -43,7 +43,7 @@ pub mod units;
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
-    pub use crate::engine::{EventQueue, Simulator};
+    pub use crate::engine::{CalendarQueue, EventQueue, EventScheduler, Simulator};
     pub use crate::hist::{Histogram, LogHistogram};
     pub use crate::metrics::{self, MetricsRegistry, MetricsSnapshot, TimerScope};
     pub use crate::rng::StreamRng;

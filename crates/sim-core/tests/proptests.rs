@@ -39,6 +39,69 @@ proptest! {
         }
     }
 
+    /// Scheduler parity: the calendar queue delivers an arbitrary
+    /// interleaving of pushes and pops byte-identically to the binary-heap
+    /// reference — same `(time, payload)` at every pop, same `peek_time`
+    /// before it. Times are bucketed coarsely so same-instant ties are
+    /// common, and pops are interleaved so the sweep cursor is exercised
+    /// against rewinds.
+    #[test]
+    fn calendar_queue_matches_heap_interleaved(
+        ops in proptest::collection::vec((0u64..100_000, proptest::bool::ANY), 1..400),
+        tie_shift in 0u32..12,
+    ) {
+        let mut heap: EventQueue<u64> = EventQueue::new();
+        let mut cal: CalendarQueue<u64> = CalendarQueue::new();
+        let mut payload = 0u64;
+        for &(t_raw, do_pop) in &ops {
+            if do_pop {
+                prop_assert_eq!(
+                    EventScheduler::peek_time(&cal),
+                    heap.peek_time(),
+                    "peek diverged"
+                );
+                prop_assert_eq!(cal.pop(), heap.pop(), "pop diverged");
+            } else {
+                // Coarse bucketing clusters many pushes onto one instant.
+                let t = SimTime::from_picos((t_raw >> tie_shift) << tie_shift);
+                heap.push(t, payload);
+                cal.push(t, payload);
+                payload += 1;
+            }
+            prop_assert_eq!(cal.len(), heap.len());
+        }
+        loop {
+            let (a, b) = (cal.pop(), heap.pop());
+            prop_assert_eq!(a, b, "drain diverged");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Scheduler parity under the worst case for a calendar queue: every
+    /// event at the same instant (the t=0 injection burst of a
+    /// message-level simulation). Ties must drain in exact insertion
+    /// order, matching the heap.
+    #[test]
+    fn calendar_queue_matches_heap_same_instant_burst(
+        n in 1usize..300,
+        t in 0u64..1_000,
+        capacity in 0usize..512,
+    ) {
+        let mut heap: EventQueue<usize> = EventQueue::new();
+        let mut cal: CalendarQueue<usize> = CalendarQueue::with_capacity(capacity);
+        let t = SimTime::from_picos(t);
+        for i in 0..n {
+            heap.push(t, i);
+            cal.push(t, i);
+        }
+        for _ in 0..n {
+            prop_assert_eq!(cal.pop(), heap.pop());
+        }
+        prop_assert!(cal.is_empty());
+    }
+
     /// OnlineStats::merge is associative with sequential pushes.
     #[test]
     fn online_stats_merge_matches_sequential(
