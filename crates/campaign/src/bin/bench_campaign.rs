@@ -1,0 +1,251 @@
+//! Campaign-engine throughput harness and regression gate.
+//!
+//! Runs the reference grid — the full 9,472-node Frontier shape swept
+//! over 36 capacity points (link rate × protocol efficiency × taper
+//! bundles) × 54 overlay variants (FIT scale × NVMe per node × power
+//! envelope) × 2 seeds ≈ 1,944 full-machine variants — serially and in
+//! parallel, and enforces:
+//!
+//! 1. **Parity**: the serial and parallel JSONL documents must be
+//!    byte-identical (the documents are also written next to `target/`
+//!    so CI can `cmp` them independently).
+//! 2. **Throughput**: the serial sweep must sustain at least
+//!    [`MIN_VARIANTS_PER_MIN`] full-machine variants/minute.
+//!
+//! `--quick` (the CI mode) sweeps a small shape instead, keeps both
+//! gates (with a scaled-down floor), and skips the JSON artifact; a full
+//! run rewrites `BENCH_campaign.json` at the workspace root.
+
+use frontier_campaign::engine::{self, Mode};
+use frontier_campaign::jsonl;
+use frontier_campaign::spec::CampaignSpec;
+use frontier_core::sim_core::metrics;
+use std::path::PathBuf;
+use std::process::ExitCode;
+// simlint::allow(wallclock): this binary *is* a wall-clock benchmark (variants/minute throughput gate); its timings feed a JSON artifact, never byte-compared simulation state
+use std::time::Instant;
+
+/// Throughput floor for the full reference grid, variants per minute.
+/// The paper-scale design question ("what if Frontier had 3 bundles and
+/// 250 Gb/s links?") needs thousands of variants to be an interactive
+/// exercise; 1,000/min makes a ~2,000-variant study a two-minute wait.
+const MIN_VARIANTS_PER_MIN: f64 = 1_000.0;
+
+/// Floor for the `--quick` grid (a toy shape; far below what it really
+/// sustains, but enough to catch an accidental cold-solve-per-variant
+/// regression, which costs ~100× throughput).
+const QUICK_MIN_VARIANTS_PER_MIN: f64 = 2_000.0;
+
+/// The reference grid. Goes through the real TOML parser, so the bench
+/// also exercises the spec path end-to-end.
+const REFERENCE_GRID: &str = r#"
+name = "reference"
+seeds = [1, 2]
+workloads = ["mpigraph", "hpl", "mtti"]
+
+[machine]
+groups = [74]
+
+[sweep]
+link_rate_gbit = [150.0, 200.0, 250.0]
+protocol_efficiency = [0.65, 0.70]
+bundles_per_group_pair = [1, 2, 3]
+
+[overlay]
+fit_scale = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0]
+nvme_per_node = [1, 2, 4]
+power_scale = [0.9, 1.0, 1.1]
+"#;
+
+/// The CI grid: same axis structure, toy shape.
+const QUICK_GRID: &str = r#"
+name = "quick"
+seeds = [1, 2]
+workloads = ["mpigraph", "hpl", "mtti"]
+
+[machine]
+groups = [8]
+switches_per_group = [4]
+endpoints_per_switch = [4]
+
+[sweep]
+link_rate_gbit = [160.0, 200.0]
+bundles_per_group_pair = [1, 2]
+
+[overlay]
+fit_scale = [1.0, 4.0]
+nvme_per_node = [1, 2]
+"#;
+
+struct Measured {
+    result: engine::CampaignResult,
+    doc: String,
+    wall_ms: f64,
+}
+
+fn timed_run(spec: &CampaignSpec, mode: Mode) -> Measured {
+    // simlint::allow(wallclock): the measurement this benchmark exists to take
+    let t0 = Instant::now();
+    let result = engine::run(spec, mode);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let doc = jsonl::render_campaign(&spec.name, &result);
+    Measured {
+        result,
+        doc,
+        wall_ms,
+    }
+}
+
+fn variants_per_min(n: usize, wall_ms: f64) -> f64 {
+    n as f64 / (wall_ms / 60_000.0)
+}
+
+/// Write the serial and parallel documents where CI can `cmp` them.
+fn write_parity_docs(tag: &str, serial: &str, parallel: &str) {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target");
+    for (name, doc) in [
+        (format!("campaign_{tag}_serial.jsonl"), serial),
+        (format!("campaign_{tag}_parallel.jsonl"), parallel),
+    ] {
+        let path = dir.join(&name);
+        match std::fs::write(&path, doc) {
+            Ok(()) => println!("bench-campaign: wrote {}", path.display()),
+            Err(e) => eprintln!("bench-campaign: could not write {}: {e}", path.display()),
+        }
+    }
+}
+
+fn write_json(spec: &CampaignSpec, serial: &Measured, parallel: &Measured) {
+    let s = &serial.result.stats;
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"campaign\",\n",
+            "  \"grid\": \"{}\",\n",
+            "  \"variants\": {},\n",
+            "  \"tracks\": {},\n",
+            "  \"capacity_points_per_track\": {},\n",
+            "  \"overlays_per_point\": {},\n",
+            "  \"cold_solves\": {},\n",
+            "  \"warm_resolves\": {},\n",
+            "  \"outcome_requests\": {},\n",
+            "  \"outcome_built\": {},\n",
+            "  \"pareto_size\": {},\n",
+            "  \"serial_wall_ms\": {:.1},\n",
+            "  \"parallel_wall_ms\": {:.1},\n",
+            "  \"serial_variants_per_min\": {:.0},\n",
+            "  \"parallel_variants_per_min\": {:.0},\n",
+            "  \"floor_variants_per_min\": {:.0}\n",
+            "}}\n"
+        ),
+        spec.name,
+        serial.result.rows.len(),
+        s.tracks,
+        spec.capacity_count(),
+        spec.overlay_count(),
+        s.cold_solves,
+        s.warm_resolves,
+        s.outcome_requests,
+        s.outcome_built,
+        serial.result.pareto.len(),
+        serial.wall_ms,
+        parallel.wall_ms,
+        variants_per_min(serial.result.rows.len(), serial.wall_ms),
+        variants_per_min(parallel.result.rows.len(), parallel.wall_ms),
+        MIN_VARIANTS_PER_MIN,
+    );
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_campaign.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("bench-campaign: wrote {}", path.display()),
+        Err(e) => eprintln!("bench-campaign: could not write {}: {e}", path.display()),
+    }
+}
+
+fn main() -> ExitCode {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (grid, tag, floor) = if quick {
+        (QUICK_GRID, "quick", QUICK_MIN_VARIANTS_PER_MIN)
+    } else {
+        (REFERENCE_GRID, "reference", MIN_VARIANTS_PER_MIN)
+    };
+    let spec = match CampaignSpec::parse_str(grid) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench-campaign: bad embedded grid: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "bench-campaign: grid \"{}\": {} variants = {} shapes x {} seeds x {} capacity points x {} overlays",
+        spec.name,
+        spec.variant_count(),
+        spec.shape_count(),
+        spec.seeds.len(),
+        spec.capacity_count(),
+        spec.overlay_count(),
+    );
+
+    // Capture the sharing counters in the metrics snapshot: the engine
+    // publishes deterministic totals after each run.
+    metrics::set_enabled(true);
+    metrics::global().reset();
+
+    let serial = timed_run(&spec, Mode::Serial);
+    let parallel = timed_run(&spec, Mode::Parallel);
+
+    let snap = metrics::global().snapshot();
+    metrics::set_enabled(false);
+
+    println!(
+        "bench-campaign: serial   {:>8.1} ms ({:>7.0} variants/min)",
+        serial.wall_ms,
+        variants_per_min(serial.result.rows.len(), serial.wall_ms),
+    );
+    println!(
+        "bench-campaign: parallel {:>8.1} ms ({:>7.0} variants/min)",
+        parallel.wall_ms,
+        variants_per_min(parallel.result.rows.len(), parallel.wall_ms),
+    );
+    let s = &serial.result.stats;
+    let solves = s.cold_solves + s.warm_resolves;
+    println!(
+        "bench-campaign: warm-start {}/{} resolves warm ({:.0}%), dedupe {} outcome requests -> {} built ({:.0}% hit), pareto {} of {}",
+        s.warm_resolves,
+        solves,
+        100.0 * s.warm_resolves as f64 / solves.max(1) as f64,
+        s.outcome_requests,
+        s.outcome_built,
+        100.0 * (s.outcome_requests - s.outcome_built) as f64 / s.outcome_requests.max(1) as f64,
+        serial.result.pareto.len(),
+        serial.result.rows.len(),
+    );
+    for key in [
+        "campaign.warm.cold_solves",
+        "campaign.warm.resolves",
+        "campaign.dedupe.outcome_requests",
+        "campaign.dedupe.outcome_built",
+    ] {
+        if let Some(v) = snap.counters.get(key) {
+            println!("bench-campaign: metric {key} = {v}");
+        }
+    }
+
+    write_parity_docs(tag, &serial.doc, &parallel.doc);
+    if serial.doc != parallel.doc {
+        eprintln!("bench-campaign: parity FAILED: serial and parallel JSONL differ");
+        return ExitCode::FAILURE;
+    }
+    println!("bench-campaign: parity OK ({} bytes)", serial.doc.len());
+
+    let vpm = variants_per_min(serial.result.rows.len(), serial.wall_ms);
+    if vpm < floor {
+        eprintln!("bench-campaign: perf FAILED: {vpm:.0} variants/min (floor: {floor:.0})");
+        return ExitCode::FAILURE;
+    }
+    println!("bench-campaign: perf OK ({vpm:.0} variants/min, floor {floor:.0})");
+
+    if !quick {
+        write_json(&spec, &serial, &parallel);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,152 @@
+//! `campaign` — run a declarative machine-variant campaign.
+//!
+//! ```text
+//! campaign <spec.toml|spec.json> [--out results.jsonl] [--serial] [--metrics]
+//! ```
+//!
+//! Reads a campaign spec (TOML or JSON, auto-detected), streams the
+//! variant cross-product through the warm-start sweep engine, and writes
+//! one JSONL line per variant plus a summary line (sharing counters and
+//! the FOM/power/MTTI Pareto frontier). The artifact is deterministic:
+//! serial and parallel runs produce byte-identical files. Throughput is
+//! printed to stdout only, never written to the artifact.
+
+use frontier_campaign::engine::{self, Mode};
+use frontier_campaign::jsonl;
+use frontier_campaign::spec::CampaignSpec;
+use frontier_core::sim_core::metrics;
+use std::process::ExitCode;
+// simlint::allow(wallclock): operator-facing throughput report on stdout; never enters the JSONL artifact
+use std::time::Instant;
+
+const USAGE: &str = "usage: campaign <spec.toml|spec.json> [--out <path>] [--serial] [--metrics]";
+
+struct Cli {
+    spec_path: String,
+    out_path: String,
+    mode: Mode,
+    metrics: bool,
+}
+
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut spec_path = None;
+    let mut out_path = "campaign_results.jsonl".to_string();
+    let mut mode = Mode::Parallel;
+    let mut metrics = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => {
+                out_path = it
+                    .next()
+                    .ok_or_else(|| "--out requires a path".to_string())?
+                    .clone();
+            }
+            "--serial" => mode = Mode::Serial,
+            "--metrics" => metrics = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other}\n{USAGE}"));
+            }
+            other => {
+                if spec_path.replace(other.to_string()).is_some() {
+                    return Err(format!("more than one spec path\n{USAGE}"));
+                }
+            }
+        }
+    }
+    let spec_path = spec_path.ok_or_else(|| USAGE.to_string())?;
+    Ok(Cli {
+        spec_path,
+        out_path,
+        mode,
+        metrics,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_cli(&args) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let text = match std::fs::read_to_string(&cli.spec_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("campaign: cannot read {}: {e}", cli.spec_path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match CampaignSpec::parse_str(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("campaign: {}: {e}", cli.spec_path);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "campaign \"{}\": {} variants ({} shapes x {} seeds x {} capacity points x {} overlays), {} mode",
+        spec.name,
+        spec.variant_count(),
+        spec.shape_count(),
+        spec.seeds.len(),
+        spec.capacity_count(),
+        spec.overlay_count(),
+        match cli.mode {
+            Mode::Serial => "serial",
+            Mode::Parallel => "parallel",
+        },
+    );
+
+    if cli.metrics {
+        metrics::set_enabled(true);
+        metrics::global().reset();
+    }
+    // simlint::allow(wallclock): stdout throughput report only
+    let t0 = Instant::now();
+    let result = engine::run(&spec, cli.mode);
+    let wall = t0.elapsed().as_secs_f64();
+
+    let doc = jsonl::render_campaign(&spec.name, &result);
+    if let Err(e) = std::fs::write(&cli.out_path, &doc) {
+        eprintln!("campaign: cannot write {}: {e}", cli.out_path);
+        return ExitCode::FAILURE;
+    }
+
+    let s = &result.stats;
+    println!(
+        "campaign: {} variants in {:.2} s ({:.0} variants/min) -> {}",
+        result.rows.len(),
+        wall,
+        result.rows.len() as f64 / (wall / 60.0).max(1e-9),
+        cli.out_path,
+    );
+    println!(
+        "campaign: {} tracks, {} routing passes, {} cold solves + {} warm resolves, {} outcomes built for {} requests, pareto {} of {}",
+        s.tracks,
+        s.routing_passes,
+        s.cold_solves,
+        s.warm_resolves,
+        s.outcome_built,
+        s.outcome_requests,
+        result.pareto.len(),
+        result.rows.len(),
+    );
+    if cli.metrics {
+        let snap = metrics::global().snapshot();
+        metrics::set_enabled(false);
+        let mut keys: Vec<&String> = snap.counters.keys().collect();
+        keys.sort();
+        for k in keys {
+            if k.starts_with("campaign.") || k.starts_with("bench.cache.") {
+                println!("campaign: metric {k} = {}", snap.counters[k]);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,234 @@
+//! Cross-product expansion: a spec becomes a flat list of [`Variant`]s
+//! with *canonical indices* — the position in the fixed nested
+//! enumeration (shape → seed → capacity → overlay, each axis in spec
+//! order). Execution may visit variants in any order (the planner
+//! reorders capacity points into a snake; the engine may run tracks in
+//! parallel), but results are always reported in canonical-index order,
+//! which is what makes parallel output byte-identical to serial.
+
+use crate::spec::CampaignSpec;
+use frontier_core::fabric::dragonfly::DragonflyParams;
+use frontier_core::sim_core::units::Bandwidth;
+
+/// Switches per I/O group. Fixed at Frontier's value; the storage-group
+/// internals are not a campaign axis.
+pub const IO_GROUP_SWITCHES: u64 = 16;
+
+/// A structural (graph-shaping) parameter combination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    pub groups: usize,
+    pub switches_per_group: usize,
+    pub endpoints_per_switch: usize,
+    pub nics_per_node: usize,
+    pub io_groups: usize,
+}
+
+impl Shape {
+    /// The dragonfly parameter set of this shape at capacity point `cap`.
+    pub fn params(&self, cap: &CapPoint) -> DragonflyParams {
+        DragonflyParams {
+            groups: self.groups,
+            switches_per_group: self.switches_per_group,
+            endpoints_per_switch: self.endpoints_per_switch,
+            nics_per_node: self.nics_per_node,
+            link_rate: Bandwidth::gbit_s(cap.link_rate_gbit),
+            protocol_efficiency: cap.protocol_efficiency,
+            bundles_per_group_pair: cap.bundles_per_group_pair,
+            io_groups: self.io_groups,
+            bundles_per_io_pair: cap.bundles_per_io_pair,
+        }
+    }
+
+    pub fn total_nodes(&self) -> u64 {
+        (self.groups * self.switches_per_group * self.endpoints_per_switch / self.nics_per_node)
+            as u64
+    }
+
+    /// Fabric switch inventory: the compute groups plus
+    /// [`IO_GROUP_SWITCHES`] per storage group and one management group
+    /// (Frontier's 74×32 + 6×16 = 2,464 with `io_groups = 5`).
+    pub fn switch_count(&self) -> u64 {
+        (self.groups * self.switches_per_group) as u64
+            + (self.io_groups as u64 + 1) * IO_GROUP_SWITCHES
+    }
+}
+
+/// A capacity (warm-startable) parameter combination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapPoint {
+    pub link_rate_gbit: f64,
+    pub protocol_efficiency: f64,
+    pub bundles_per_group_pair: usize,
+    pub bundles_per_io_pair: usize,
+}
+
+/// An overlay (fabric-free) parameter combination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Overlay {
+    pub fit_scale: f64,
+    pub nvme_per_node: u64,
+    pub power_scale: f64,
+}
+
+/// One grid point with its canonical index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Variant {
+    pub index: u32,
+    pub shape: Shape,
+    pub seed: u64,
+    pub cap: CapPoint,
+    pub overlay: Overlay,
+}
+
+/// All shapes in canonical order.
+pub fn shapes(spec: &CampaignSpec) -> Vec<Shape> {
+    let m = &spec.machine;
+    let mut out = Vec::with_capacity(spec.shape_count());
+    for &groups in &m.groups {
+        for &switches_per_group in &m.switches_per_group {
+            for &endpoints_per_switch in &m.endpoints_per_switch {
+                for &nics_per_node in &m.nics_per_node {
+                    for &io_groups in &m.io_groups {
+                        out.push(Shape {
+                            groups,
+                            switches_per_group,
+                            endpoints_per_switch,
+                            nics_per_node,
+                            io_groups,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// All capacity points in canonical order.
+pub fn cap_points(spec: &CampaignSpec) -> Vec<CapPoint> {
+    let s = &spec.sweep;
+    let mut out = Vec::with_capacity(spec.capacity_count());
+    for &link_rate_gbit in &s.link_rate_gbit {
+        for &protocol_efficiency in &s.protocol_efficiency {
+            for &bundles_per_group_pair in &s.bundles_per_group_pair {
+                for &bundles_per_io_pair in &s.bundles_per_io_pair {
+                    out.push(CapPoint {
+                        link_rate_gbit,
+                        protocol_efficiency,
+                        bundles_per_group_pair,
+                        bundles_per_io_pair,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// All overlays in canonical order.
+pub fn overlays(spec: &CampaignSpec) -> Vec<Overlay> {
+    let o = &spec.overlay;
+    let mut out = Vec::with_capacity(spec.overlay_count());
+    for &fit_scale in &o.fit_scale {
+        for &nvme_per_node in &o.nvme_per_node {
+            for &power_scale in &o.power_scale {
+                out.push(Overlay {
+                    fit_scale,
+                    nvme_per_node,
+                    power_scale,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The full cross-product in canonical-index order.
+pub fn expand(spec: &CampaignSpec) -> Vec<Variant> {
+    let shapes = shapes(spec);
+    let caps = cap_points(spec);
+    let overs = overlays(spec);
+    let mut out = Vec::with_capacity(spec.variant_count());
+    let mut index = 0u32;
+    for &shape in &shapes {
+        for &seed in &spec.seeds {
+            for &cap in &caps {
+                for &overlay in &overs {
+                    out.push(Variant {
+                        index,
+                        shape,
+                        seed,
+                        cap,
+                        overlay,
+                    });
+                    index += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CampaignSpec;
+
+    fn spec() -> CampaignSpec {
+        CampaignSpec::parse_str(
+            r#"
+            seeds = [1, 2]
+            [machine]
+            groups = [8, 16]
+            [sweep]
+            link_rate_gbit = [150.0, 200.0]
+            bundles_per_group_pair = [1, 2]
+            [overlay]
+            fit_scale = [1.0, 4.0]
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn expansion_matches_counts_with_unique_indices() {
+        let s = spec();
+        let vs = expand(&s);
+        assert_eq!(vs.len(), s.variant_count());
+        for (i, v) in vs.iter().enumerate() {
+            assert_eq!(v.index as usize, i, "canonical order is the index");
+        }
+        // Innermost axis varies fastest.
+        assert_eq!(vs[0].overlay.fit_scale, 1.0);
+        assert_eq!(vs[1].overlay.fit_scale, 4.0);
+        assert_eq!(
+            vs[0].cap.bundles_per_group_pair,
+            vs[1].cap.bundles_per_group_pair
+        );
+    }
+
+    #[test]
+    fn shape_derivations_reproduce_frontier() {
+        let frontier = Shape {
+            groups: 74,
+            switches_per_group: 32,
+            endpoints_per_switch: 16,
+            nics_per_node: 4,
+            io_groups: 5,
+        };
+        assert_eq!(frontier.total_nodes(), 9_472);
+        assert_eq!(frontier.switch_count(), 74 * 32 + 6 * 16);
+        let cap = CapPoint {
+            link_rate_gbit: 200.0,
+            protocol_efficiency: 0.70,
+            bundles_per_group_pair: 2,
+            bundles_per_io_pair: 1,
+        };
+        let p = frontier.params(&cap);
+        assert_eq!(
+            p,
+            frontier_core::fabric::dragonfly::DragonflyParams::frontier()
+        );
+    }
+}

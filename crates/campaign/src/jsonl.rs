@@ -1,0 +1,182 @@
+//! Streamed JSONL rendering of campaign results.
+//!
+//! One line per variant in canonical-index order, then one summary line.
+//! Keys are emitted in a fixed literal order and floats go through
+//! `sim_core::json::number`, so the byte stream is a pure function of the
+//! result — the serial-vs-parallel CI gate `cmp`s two of these streams.
+//! Wall-clock throughput never appears here (stdout only): a timestamp in
+//! the artifact would make the parity gate vacuous.
+
+use crate::engine::{CampaignResult, VariantRow};
+use frontier_core::sim_core::json;
+use std::fmt::Write as _;
+
+/// Render one variant row as a single JSON line (no trailing newline).
+pub fn render_row(r: &VariantRow) -> String {
+    let v = &r.variant;
+    let mut out = String::with_capacity(256);
+    let _ = write!(
+        out,
+        "{{\"i\": {}, \"groups\": {}, \"spg\": {}, \"eps\": {}, \"nics\": {}, \"io_groups\": {}, \
+         \"nodes\": {}, \"switches\": {}, \"seed\": {}, \"link_rate_gbit\": {}, \
+         \"protocol_efficiency\": {}, \"bundles\": {}, \"io_bundles\": {}, \"fit_scale\": {}, \
+         \"nvme_per_node\": {}, \"power_scale\": {}",
+        v.index,
+        v.shape.groups,
+        v.shape.switches_per_group,
+        v.shape.endpoints_per_switch,
+        v.shape.nics_per_node,
+        v.shape.io_groups,
+        r.nodes,
+        r.switches,
+        v.seed,
+        json::number(v.cap.link_rate_gbit),
+        json::number(v.cap.protocol_efficiency),
+        v.cap.bundles_per_group_pair,
+        v.cap.bundles_per_io_pair,
+        json::number(v.overlay.fit_scale),
+        v.overlay.nvme_per_node,
+        json::number(v.overlay.power_scale),
+    );
+    match &r.mpi {
+        Some(m) => {
+            let _ = write!(
+                out,
+                ", \"mpi_min_gb_s\": {}, \"mpi_mean_gb_s\": {}, \"mpi_max_gb_s\": {}",
+                json::number(m.min_gb_s),
+                json::number(m.mean_gb_s),
+                json::number(m.max_gb_s),
+            );
+        }
+        None => out
+            .push_str(", \"mpi_min_gb_s\": null, \"mpi_mean_gb_s\": null, \"mpi_max_gb_s\": null"),
+    }
+    match &r.gpcnet_impact {
+        Some(fs) => {
+            let items: Vec<String> = fs.iter().map(|&f| json::number(f)).collect();
+            let _ = write!(out, ", \"gpcnet_impact\": [{}]", items.join(", "));
+        }
+        None => out.push_str(", \"gpcnet_impact\": null"),
+    }
+    match r.fom_ef {
+        Some(f) => {
+            let _ = write!(out, ", \"fom_ef\": {}", json::number(f));
+        }
+        None => out.push_str(", \"fom_ef\": null"),
+    }
+    let _ = write!(out, ", \"power_mw\": {}", json::number(r.power_mw));
+    match r.mtti_hours {
+        Some(h) => {
+            let _ = write!(out, ", \"mtti_hours\": {}}}", json::number(h));
+        }
+        None => out.push_str(", \"mtti_hours\": null}"),
+    }
+    out
+}
+
+/// Render the trailing summary line: grid totals, sharing counters, and
+/// the Pareto frontier. Deterministic — no timing data.
+pub fn render_summary(name: &str, result: &CampaignResult) -> String {
+    let s = &result.stats;
+    let pareto: Vec<String> = result.pareto.iter().map(|i| i.to_string()).collect();
+    format!(
+        "{{\"summary\": {{\"campaign\": {}, \"variants\": {}, \"tracks\": {}, \
+         \"routing_passes\": {}, \"cold_solves\": {}, \"warm_resolves\": {}, \
+         \"outcome_requests\": {}, \"outcome_built\": {}, \"pareto\": [{}]}}}}",
+        json::escape(name),
+        result.rows.len(),
+        s.tracks,
+        s.routing_passes,
+        s.cold_solves,
+        s.warm_resolves,
+        s.outcome_requests,
+        s.outcome_built,
+        pareto.join(", "),
+    )
+}
+
+/// The full JSONL document: every row line then the summary line, each
+/// `\n`-terminated.
+pub fn render_campaign(name: &str, result: &CampaignResult) -> String {
+    let mut out = String::with_capacity(result.rows.len() * 256 + 256);
+    for row in &result.rows {
+        out.push_str(&render_row(row));
+        out.push('\n');
+    }
+    out.push_str(&render_summary(name, result));
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{self, Mode};
+    use crate::spec::CampaignSpec;
+
+    fn small() -> CampaignSpec {
+        CampaignSpec::parse_str(
+            r#"
+            name = "jsonl-test"
+            seeds = [5]
+            [machine]
+            groups = [6]
+            switches_per_group = [4]
+            endpoints_per_switch = [4]
+            [sweep]
+            link_rate_gbit = [160.0, 200.0]
+            [overlay]
+            nvme_per_node = [1, 2]
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rows_are_valid_json_in_canonical_order() {
+        let spec = small();
+        let result = engine::run(&spec, Mode::Serial);
+        let doc = render_campaign(&spec.name, &result);
+        let lines: Vec<&str> = doc.lines().collect();
+        assert_eq!(lines.len(), result.rows.len() + 1);
+        for (i, line) in lines[..lines.len() - 1].iter().enumerate() {
+            let v = crate::value::parse_json(line).expect("row parses as JSON");
+            assert_eq!(v.get("i").unwrap().as_num(), Some(i as f64));
+            assert!(v.get("mpi_mean_gb_s").unwrap().as_num().unwrap() > 0.0);
+        }
+        let last = crate::value::parse_json(lines[lines.len() - 1]).unwrap();
+        let summary = last.get("summary").unwrap();
+        assert_eq!(
+            summary.get("variants").unwrap().as_num(),
+            Some(result.rows.len() as f64)
+        );
+    }
+
+    #[test]
+    fn serial_and_parallel_documents_are_byte_identical() {
+        let spec = small();
+        let a = render_campaign(&spec.name, &engine::run(&spec, Mode::Serial));
+        let b = render_campaign(&spec.name, &engine::run(&spec, Mode::Parallel));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn absent_workloads_render_as_null() {
+        let spec = CampaignSpec::parse_str(
+            r#"
+            workloads = ["mtti"]
+            [machine]
+            groups = [6]
+            switches_per_group = [4]
+            endpoints_per_switch = [4]
+            "#,
+        )
+        .unwrap();
+        let result = engine::run(&spec, Mode::Serial);
+        let line = render_row(&result.rows[0]);
+        assert!(line.contains("\"mpi_mean_gb_s\": null"));
+        assert!(line.contains("\"fom_ef\": null"));
+        assert!(line.contains("\"mtti_hours\": "));
+        assert!(!line.contains("\"mtti_hours\": null"));
+    }
+}

@@ -1,0 +1,201 @@
+//! The sweep planner: group variants into *tracks* (one fabric shape ×
+//! one seed) and order each track's capacity points so that consecutive
+//! points differ in **exactly one** capacity axis.
+//!
+//! The ordering is a reflected mixed-radix (boustrophedon) walk of the
+//! capacity grid: the innermost axis snakes back and forth, reversing
+//! direction each time an outer axis advances. Gray-code-style, every
+//! step changes a single coordinate — so a warm-start `resolve_with`
+//! between neighboring points carries the smallest possible capacity
+//! delta (a bundle-count step dirties only the global pipes; only the
+//! occasional link-rate step touches every link).
+//!
+//! Within a step, overlay variants keep their canonical order; tracks
+//! keep canonical (shape, seed) order. The canonical index on each
+//! variant survives the reordering, so results can always be emitted in
+//! spec order no matter how the plan walked the grid.
+
+use crate::grid::{self, CapPoint, Shape, Variant};
+use crate::spec::CampaignSpec;
+
+/// One capacity point of a track, with the overlay variants standing on
+/// its fabric outcome.
+#[derive(Debug, Clone)]
+pub struct Step {
+    pub cap: CapPoint,
+    pub variants: Vec<Variant>,
+}
+
+/// One (shape, seed) sweep: a snake walk over the capacity grid.
+#[derive(Debug, Clone)]
+pub struct Track {
+    pub shape: Shape,
+    pub seed: u64,
+    pub steps: Vec<Step>,
+}
+
+/// Reflected mixed-radix enumeration of `dims` (outermost first):
+/// consecutive multi-indices differ in exactly one coordinate, by ±1.
+pub fn snake_order(dims: &[usize]) -> Vec<Vec<usize>> {
+    let mut out = vec![Vec::new()];
+    for &d in dims {
+        let mut next = Vec::with_capacity(out.len() * d);
+        for (i, prefix) in out.iter().enumerate() {
+            let forward = i % 2 == 0;
+            for k in 0..d {
+                let j = if forward { k } else { d - 1 - k };
+                let mut p = prefix.clone();
+                p.push(j);
+                next.push(p);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// Capacity points in snake order, with the canonical position of each
+/// (so `plan` can look up the variants parked at that point).
+fn snaked_cap_order(spec: &CampaignSpec) -> Vec<usize> {
+    let s = &spec.sweep;
+    let dims = [
+        s.link_rate_gbit.len(),
+        s.protocol_efficiency.len(),
+        s.bundles_per_group_pair.len(),
+        s.bundles_per_io_pair.len(),
+    ];
+    // Canonical capacity index of multi-index (i0, i1, i2, i3) is the
+    // nested-loop position; the snake revisits those positions in
+    // one-axis-at-a-time order.
+    snake_order(&dims)
+        .into_iter()
+        .map(|ix| ((ix[0] * dims[1] + ix[1]) * dims[2] + ix[2]) * dims[3] + ix[3])
+        .collect()
+}
+
+/// Build the execution plan: canonical (shape, seed) tracks, each with
+/// snake-ordered capacity steps carrying their overlay variants.
+pub fn plan(spec: &CampaignSpec) -> Vec<Track> {
+    let shapes = grid::shapes(spec);
+    let caps = grid::cap_points(spec);
+    let cap_order = snaked_cap_order(spec);
+    let variants = grid::expand(spec);
+    let n_over = spec.overlay_count();
+    let n_caps = caps.len();
+
+    let mut tracks = Vec::with_capacity(shapes.len() * spec.seeds.len());
+    let mut track_base = 0usize;
+    for &shape in &shapes {
+        for &seed in &spec.seeds {
+            let steps = cap_order
+                .iter()
+                .map(|&ci| {
+                    let start = track_base + ci * n_over;
+                    Step {
+                        cap: caps[ci],
+                        variants: variants[start..start + n_over].to_vec(),
+                    }
+                })
+                .collect();
+            tracks.push(Track { shape, seed, steps });
+            track_base += n_caps * n_over;
+        }
+    }
+    tracks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CampaignSpec;
+
+    #[test]
+    fn snake_order_changes_one_axis_per_step() {
+        for dims in [vec![3], vec![2, 3], vec![3, 2, 2], vec![2, 1, 3, 2]] {
+            let walk = snake_order(&dims);
+            assert_eq!(walk.len(), dims.iter().product::<usize>());
+            let mut seen = std::collections::BTreeSet::new();
+            for w in &walk {
+                assert!(seen.insert(w.clone()), "revisited {w:?}");
+            }
+            for pair in walk.windows(2) {
+                let diffs: Vec<usize> = (0..dims.len())
+                    .filter(|&k| pair[0][k] != pair[1][k])
+                    .collect();
+                assert_eq!(diffs.len(), 1, "{:?} -> {:?}", pair[0], pair[1]);
+                let k = diffs[0];
+                assert_eq!(
+                    pair[0][k].abs_diff(pair[1][k]),
+                    1,
+                    "step must be adjacent in the changed axis"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plan_partitions_every_variant_exactly_once() {
+        let spec = CampaignSpec::parse_str(
+            r#"
+            seeds = [1, 2]
+            [machine]
+            groups = [8, 12]
+            [sweep]
+            link_rate_gbit = [150.0, 200.0]
+            bundles_per_group_pair = [1, 2, 3]
+            [overlay]
+            fit_scale = [1.0, 2.0]
+            nvme_per_node = [1, 4]
+            "#,
+        )
+        .unwrap();
+        let tracks = plan(&spec);
+        assert_eq!(tracks.len(), 2 * 2, "shapes × seeds");
+        let mut indices = Vec::new();
+        for t in &tracks {
+            assert_eq!(t.steps.len(), spec.capacity_count());
+            for s in &t.steps {
+                assert_eq!(s.variants.len(), spec.overlay_count());
+                for v in &s.variants {
+                    assert_eq!(v.shape, t.shape);
+                    assert_eq!(v.seed, t.seed);
+                    assert_eq!(v.cap, s.cap);
+                    indices.push(v.index);
+                }
+            }
+        }
+        indices.sort_unstable();
+        let expect: Vec<u32> = (0..spec.variant_count() as u32).collect();
+        assert_eq!(indices, expect);
+    }
+
+    #[test]
+    fn consecutive_steps_differ_in_one_capacity_axis() {
+        let spec = CampaignSpec::parse_str(
+            r#"
+            [sweep]
+            link_rate_gbit = [100.0, 150.0, 200.0]
+            protocol_efficiency = [0.65, 0.70]
+            bundles_per_group_pair = [1, 2, 3]
+            bundles_per_io_pair = [1, 2]
+            "#,
+        )
+        .unwrap();
+        let tracks = plan(&spec);
+        for t in &tracks {
+            for pair in t.steps.windows(2) {
+                let (a, b) = (&pair[0].cap, &pair[1].cap);
+                let diffs = [
+                    a.link_rate_gbit != b.link_rate_gbit,
+                    a.protocol_efficiency != b.protocol_efficiency,
+                    a.bundles_per_group_pair != b.bundles_per_group_pair,
+                    a.bundles_per_io_pair != b.bundles_per_io_pair,
+                ]
+                .iter()
+                .filter(|&&d| d)
+                .count();
+                assert_eq!(diffs, 1, "{a:?} -> {b:?}");
+            }
+        }
+    }
+}

@@ -23,10 +23,13 @@
 //! `free_at` array indexed by the dense link id. An in-flight message is a
 //! single 8-byte `(msg, cursor)` event; processing a hop touches four
 //! arrays and performs one float divide — no pointer chasing, no hashing,
-//! and no allocation. Events are scheduled through the calendar queue
-//! ([`frontier_sim_core::engine::CalendarQueue`]) by default, with the
-//! binary-heap reference scheduler selectable via [`simulate_with`] for
-//! parity testing and benchmarking.
+//! and no allocation. [`simulate`] picks the scheduler by batch size
+//! ([`auto_queue_kind`]): the calendar queue
+//! ([`frontier_sim_core::engine::CalendarQueue`]) for large batches, the
+//! binary heap below [`CALENDAR_MIN_HOP_EVENTS`] hop events where the
+//! calendar's bucket bookkeeping costs more than it saves. Either
+//! scheduler is selectable explicitly via [`simulate_with`] for parity
+//! testing and benchmarking.
 //!
 //! The pre-rewrite per-`Message` implementation is kept verbatim as
 //! [`simulate_reference`]; property tests pin the SoA core to it
@@ -281,14 +284,40 @@ pub enum QueueKind {
     BinaryHeap,
 }
 
+/// Hop-event count at which the calendar queue starts beating the binary
+/// heap. Below it, the calendar's bucket bookkeeping and width
+/// recalibration cost more than `log n` heap sifts on a near-empty queue.
+///
+/// The crossover is bracketed by BENCH_des.json: at 1,232 hop events
+/// (64 endpoints) the calendar runs ~1.3× *slower* than the heap
+/// (98 µs vs 75 µs), while at 22,660 hop events (1,024 endpoints) it is
+/// already 2.1× faster (1.04 ms vs 2.16 ms) and 2.7× faster at full
+/// machine. The threshold sits between those measured points; a batch
+/// whose total hop count reaches it is firmly in the calendar's regime.
+pub const CALENDAR_MIN_HOP_EVENTS: u64 = 8_192;
+
+/// The scheduler [`simulate`] picks for `batch`: the binary heap below
+/// [`CALENDAR_MIN_HOP_EVENTS`] total hop events, the calendar queue at or
+/// above it. Purely size-based and deterministic — and both schedulers
+/// deliver bit-identical results, so the pick can never change an answer,
+/// only the wall-clock.
+pub fn auto_queue_kind(batch: &MessageBatch) -> QueueKind {
+    if batch.total_hops() >= CALENDAR_MIN_HOP_EVENTS {
+        QueueKind::Calendar
+    } else {
+        QueueKind::BinaryHeap
+    }
+}
+
 /// Simulate the delivery of a batch of messages over the topology.
 ///
 /// Links are FIFO servers: a message begins serialization when both it has
 /// fully arrived at the link's input and the link is free. Returns one
-/// [`Delivery`] per message, in input order. Events are scheduled through
-/// the calendar queue; [`simulate_with`] selects the scheduler explicitly.
+/// [`Delivery`] per message, in input order. The scheduler is auto-selected
+/// by batch size ([`auto_queue_kind`]); [`simulate_with`] selects it
+/// explicitly.
 pub fn simulate(topo: &Topology, cfg: &DesConfig, batch: &MessageBatch) -> Vec<Delivery> {
-    simulate_with(topo, cfg, batch, QueueKind::Calendar)
+    simulate_with(topo, cfg, batch, auto_queue_kind(batch))
 }
 
 /// [`simulate`] with an explicit scheduler choice. Both schedulers deliver
@@ -573,6 +602,45 @@ mod tests {
         let cal = simulate_with(&t, &cfg, &batch, QueueKind::Calendar);
         let heap = simulate_with(&t, &cfg, &batch, QueueKind::BinaryHeap);
         assert_eq!(cal, heap);
+    }
+
+    #[test]
+    fn auto_select_pins_the_crossover() {
+        // Below the threshold (the BENCH_des.json "small" regime, 1,232
+        // hop events): the heap. At/above it (the "subset" regime, 22,660
+        // hop events): the calendar.
+        let (_, path) = pair();
+        let mut small = MessageBatch::new();
+        let span = small.intern(&path);
+        let below = CALENDAR_MIN_HOP_EVENTS / path.len() as u64 - 1;
+        for i in 0..below {
+            small.push(span, Bytes::kib(4), SimTime::ZERO, i);
+        }
+        assert!(small.total_hops() < CALENDAR_MIN_HOP_EVENTS);
+        assert_eq!(auto_queue_kind(&small), QueueKind::BinaryHeap);
+
+        let mut large = small.clone();
+        for i in 0..path.len() as u64 {
+            large.push(span, Bytes::kib(4), SimTime::ZERO, below + i);
+        }
+        assert!(large.total_hops() >= CALENDAR_MIN_HOP_EVENTS);
+        assert_eq!(auto_queue_kind(&large), QueueKind::Calendar);
+    }
+
+    #[test]
+    fn auto_select_cannot_change_results() {
+        let (t, path) = pair();
+        let cfg = DesConfig::default();
+        let mut batch = MessageBatch::new();
+        let span = batch.intern(&path);
+        for i in 0..48u64 {
+            batch.push(span, Bytes::kib(1 + i % 7), SimTime::from_nanos(i % 4), i);
+        }
+        let auto = simulate(&t, &cfg, &batch);
+        let cal = simulate_with(&t, &cfg, &batch, QueueKind::Calendar);
+        let heap = simulate_with(&t, &cfg, &batch, QueueKind::BinaryHeap);
+        assert_eq!(auto, cal);
+        assert_eq!(auto, heap);
     }
 
     #[test]

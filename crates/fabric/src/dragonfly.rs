@@ -108,6 +108,19 @@ impl DragonflyParams {
     pub fn total_nodes(&self) -> usize {
         self.groups * self.nodes_per_group()
     }
+
+    /// Do two parameter sets build the *same graph* — identical switch,
+    /// endpoint, and link populations with identical [`LinkId`]
+    /// assignment — differing at most in link capacities? Capacity-only
+    /// axes (link rate, protocol efficiency, bundle counts) keep the
+    /// shape; the structural axes here change it.
+    pub fn same_shape(&self, other: &Self) -> bool {
+        self.groups == other.groups
+            && self.switches_per_group == other.switches_per_group
+            && self.endpoints_per_switch == other.endpoints_per_switch
+            && self.nics_per_node == other.nics_per_node
+            && self.io_groups == other.io_groups
+    }
 }
 
 /// A built dragonfly with its routing lookup tables.
@@ -302,6 +315,51 @@ impl Dragonfly {
         self.group_global_bandwidth().as_bytes_per_sec()
             / self.group_injection_bandwidth().as_bytes_per_sec()
     }
+
+    /// The per-link capacities this graph would carry under `p`, without
+    /// rebuilding it: endpoint injection/ejection links at
+    /// `p.endpoint_rate()`, intra-group links at `p.link_rate`, global
+    /// pipes at `p.pipe_capacity()`, I/O pipes at `p.io_pipe_capacity()`.
+    ///
+    /// Because [`Dragonfly::build`] assigns link ids purely from the shape
+    /// parameters, any same-shape `p` maps onto this graph's ids exactly —
+    /// this is the campaign engine's warm-start step: feed the returned
+    /// pairs to `ResolveDelta::changed_capacities` instead of building and
+    /// re-routing a whole new machine for a capacity-axis parameter step.
+    ///
+    /// # Panics
+    /// Panics if `p` is not [`DragonflyParams::same_shape`] with this
+    /// dragonfly's own parameters.
+    pub fn capacities_for(&self, p: &DragonflyParams) -> Vec<(LinkId, Bandwidth)> {
+        assert!(
+            self.params.same_shape(p),
+            "capacities_for requires an identically-shaped parameter set"
+        );
+        let mut caps = Vec::with_capacity(self.topo.num_links() as usize);
+        let ep_rate = p.endpoint_rate();
+        for ep in 0..self.params.total_endpoints() as u32 {
+            caps.push((self.topo.injection_link(EndpointId(ep)), ep_rate));
+            caps.push((self.topo.ejection_link(EndpointId(ep)), ep_rate));
+        }
+        for table in &self.intra {
+            for &l in table {
+                if l != NO_LINK {
+                    caps.push((l, p.link_rate));
+                }
+            }
+        }
+        let pipe = p.pipe_capacity();
+        for &l in &self.pipes {
+            if l != NO_LINK {
+                caps.push((l, pipe));
+            }
+        }
+        let io = p.io_pipe_capacity();
+        for &l in self.io_pipes.iter().chain(&self.io_pipes_rev) {
+            caps.push((l, io));
+        }
+        caps
+    }
 }
 
 #[cfg(test)]
@@ -325,6 +383,43 @@ mod tests {
         assert!((df.taper() - 0.5703).abs() < 0.001, "taper {}", df.taper());
         assert!((df.group_global_bandwidth().as_tb_s() - 7.3).abs() < 0.01);
         assert!((df.group_injection_bandwidth().as_tb_s() - 12.8).abs() < 0.01);
+    }
+
+    #[test]
+    fn capacities_for_matches_a_real_rebuild() {
+        let base = Dragonfly::build(DragonflyParams::scaled(6, 4, 4));
+        let mut p = DragonflyParams::scaled(6, 4, 4);
+        p.link_rate = Bandwidth::gbit_s(160.0);
+        p.protocol_efficiency = 0.65;
+        p.bundles_per_group_pair = 3;
+        p.bundles_per_io_pair = 2;
+        let variant = Dragonfly::build(p.clone());
+        let caps = base.capacities_for(&p);
+        assert_eq!(caps.len(), base.topology().num_links() as usize);
+        let mut seen = vec![false; caps.len()];
+        for (l, c) in caps {
+            assert!(!seen[l.0 as usize], "link {l:?} listed twice");
+            seen[l.0 as usize] = true;
+            assert_eq!(
+                c.as_bytes_per_sec().to_bits(),
+                variant
+                    .topology()
+                    .link(l)
+                    .capacity
+                    .as_bytes_per_sec()
+                    .to_bits(),
+                "capacity mismatch on {l:?}"
+            );
+        }
+        assert!(seen.iter().all(|&s| s), "every link covered");
+    }
+
+    #[test]
+    #[should_panic(expected = "identically-shaped")]
+    fn capacities_for_rejects_shape_changes() {
+        let base = Dragonfly::build(DragonflyParams::scaled(6, 4, 4));
+        let p = DragonflyParams::scaled(8, 4, 4);
+        base.capacities_for(&p);
     }
 
     #[test]

@@ -174,6 +174,7 @@ impl<'a> FabricManager<'a> {
             },
             changed_flows: changed,
             removed_flows: Vec::new(),
+            changed_capacities: Vec::new(),
         };
         (rerouted, solver.resolve_with(&delta))
     }

@@ -32,6 +32,16 @@ pub struct MpiGraphResult {
 }
 
 impl MpiGraphResult {
+    /// Package already-solved per-pair rates (GB/s) into a result,
+    /// applying the same deterministic measurement noise as
+    /// [`run_with_flows`]. This is the campaign engine's warm-start exit:
+    /// a `Solver::resolve_with` re-solve hands its rates here and gets a
+    /// result bit-identical to a cold [`run_with_flows`] at the same
+    /// capacities and seed.
+    pub fn from_solved_rates(rates: Vec<f64>, seed: u64) -> Self {
+        Self::from_rates(rates, seed)
+    }
+
     fn from_rates(mut rates: Vec<f64>, seed: u64) -> Self {
         // Apply measurement noise deterministically.
         let mut rng = StreamRng::for_component(seed, "mpigraph-noise", 0);

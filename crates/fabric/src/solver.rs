@@ -47,6 +47,7 @@
 use crate::maxmin::{publish_solve_metrics, Allocation, REL_EPS};
 use crate::topology::{Flow, LinkId, Topology, UnionFind};
 use frontier_sim_core::metrics;
+use frontier_sim_core::units::Bandwidth;
 use rayon::prelude::*;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -533,15 +534,23 @@ pub(crate) fn solve_event_driven(topo: &Topology, flows: &[Flow], weights: &[f64
 }
 
 /// A change set for [`Solver::resolve_with`]. Every link named here —
-/// removed links, the old and new paths of changed flows, the paths of
-/// removed flows — is *dirty*: components of the updated workload that
-/// contain a dirty link are re-solved, everything else reuses the cached
-/// rates (provably unchanged: any membership or capacity change would
-/// have dirtied one of the component's links).
+/// removed links, re-provisioned links whose capacity actually changed,
+/// the old and new paths of changed flows, the paths of removed flows —
+/// is *dirty*: components of the updated workload that contain a dirty
+/// link are re-solved, everything else reuses the cached rates (provably
+/// unchanged: any membership or capacity change would have dirtied one of
+/// the component's links).
 #[derive(Debug, Clone, Default)]
 pub struct ResolveDelta {
     /// Links whose capacity drops to zero (failed pipes).
     pub removed_links: Vec<LinkId>,
+    /// `(link, new capacity)` re-provisions: the link keeps its flows but
+    /// its capacity changes. This is the campaign-sweep delta — a
+    /// link-rate / taper-bundle / protocol-efficiency parameter step is a
+    /// batch of capacity changes over an unchanged routing. Entries whose
+    /// capacity bit-equals the solver's current effective capacity are
+    /// no-ops and do not dirty the link.
+    pub changed_capacities: Vec<(LinkId, Bandwidth)>,
     /// `(flow index, new path)` re-routes.
     pub changed_flows: Vec<(usize, Vec<LinkId>)>,
     /// Flows withdrawn from the workload (their rate becomes 0).
@@ -553,6 +562,14 @@ impl ResolveDelta {
     pub fn removed_links(links: Vec<LinkId>) -> Self {
         ResolveDelta {
             removed_links: links,
+            ..Default::default()
+        }
+    }
+
+    /// Delta that only re-provisions link capacities.
+    pub fn changed_capacities(changes: Vec<(LinkId, Bandwidth)>) -> Self {
+        ResolveDelta {
+            changed_capacities: changes,
             ..Default::default()
         }
     }
@@ -698,6 +715,16 @@ impl<'a> Solver<'a> {
     pub fn resolve_with(&mut self, delta: &ResolveDelta) -> Allocation {
         let nl = self.caps.len();
         let mut dirty = vec![false; nl];
+        // Capacity re-provisions first; a removal of the same link below
+        // wins (zero capacity is what "removed" means to the engine).
+        for (l, cap) in &delta.changed_capacities {
+            let li = l.0 as usize;
+            let new = cap.as_bytes_per_sec();
+            if new.to_bits() != self.caps[li].to_bits() {
+                self.caps[li] = new;
+                dirty[li] = true;
+            }
+        }
         for l in &delta.removed_links {
             dirty[l.0 as usize] = true;
             self.caps[l.0 as usize] = 0.0;
@@ -789,7 +816,6 @@ mod tests {
     use super::*;
     use crate::maxmin::{solve_maxmin, solve_maxmin_reference};
     use crate::topology::{EndpointId, LinkLevel, SwitchId};
-    use frontier_sim_core::prelude::*;
 
     fn assert_close(a: &[f64], b: &[f64]) {
         assert_eq!(a.len(), b.len());
@@ -929,6 +955,52 @@ mod tests {
         flows[0].path = new_path;
         let cold = solve_maxmin(&t, &flows);
         assert_close(&warm.rates, &cold.rates);
+    }
+
+    #[test]
+    fn warm_changed_capacity_matches_cold_on_reprovisioned_topology() {
+        let (t, flows) = disjoint_cells(3, 4);
+        // Re-provision cell 1's bottleneck (a campaign parameter step).
+        let target = flows[4].path[1];
+        let new_cap = Bandwidth::gb_s(4.0);
+        let mut solver = Solver::new(&t, flows.clone());
+        solver.solve();
+        let warm = solver.resolve_with(&ResolveDelta::changed_capacities(vec![(target, new_cap)]));
+        let mut t2 = t.clone();
+        t2.set_capacity(target, new_cap);
+        let cold = solve_maxmin(&t2, &flows);
+        assert_close(&warm.rates, &cold.rates);
+    }
+
+    #[test]
+    fn warm_capacity_noop_reuses_every_component() {
+        let (t, flows) = disjoint_cells(3, 4);
+        // Re-state the current capacity bit-for-bit: nothing is dirty.
+        let target = flows[0].path[1];
+        let same = t.link(target).capacity;
+        let mut solver = Solver::new(&t, flows);
+        let cold = solver.solve();
+        let warm = solver.resolve_with(&ResolveDelta::changed_capacities(vec![(target, same)]));
+        assert_eq!(warm.rates, cold.rates);
+        assert_eq!(warm.rounds, 0, "no-op capacity delta must reuse everything");
+    }
+
+    #[test]
+    fn warm_capacity_sweep_chain_matches_per_step_cold_solves() {
+        // The campaign shape: a chain of capacity steps on one solver,
+        // each step checked against a cold solve at that capacity.
+        let (t, flows) = disjoint_cells(2, 5);
+        let target = flows[0].path[1];
+        let mut solver = Solver::new(&t, flows.clone());
+        solver.solve();
+        for gb in [2.0, 8.0, 3.0, 12.0] {
+            let cap = Bandwidth::gb_s(gb);
+            let warm = solver.resolve_with(&ResolveDelta::changed_capacities(vec![(target, cap)]));
+            let mut t2 = t.clone();
+            t2.set_capacity(target, cap);
+            let cold = solve_maxmin(&t2, &flows);
+            assert_close(&warm.rates, &cold.rates);
+        }
     }
 
     #[test]

@@ -228,6 +228,7 @@ proptest! {
             removed_links: vec![dead],
             changed_flows: changed.clone(),
             removed_flows: vec![],
+            changed_capacities: vec![],
         });
 
         // Cold oracle: same updated flows on a topology with the link dead.
@@ -243,6 +244,77 @@ proptest! {
             prop_assert!(
                 (a - b).abs() <= 1e-9 * scale,
                 "flow {}: warm {} vs cold {}", i, a, b
+            );
+        }
+    }
+
+    /// Capacity re-provisioning warm-starts are exact: after changing the
+    /// bandwidth-determining parameters of a same-shape dragonfly (link
+    /// rate, protocol efficiency, taper bundles), re-solving via
+    /// [`ResolveDelta::changed_capacities`] with the analytic
+    /// [`Dragonfly::capacities_for`] map matches a cold reference solve on
+    /// a freshly *built* fabric at the new parameters — to 1e-9, across
+    /// random group counts, shapes, flow sets, and parameter steps. This
+    /// is the exactness contract the campaign sweep engine stands on.
+    #[test]
+    fn warm_capacity_resolve_matches_cold_rebuild(
+        seed in 0u64..500,
+        groups in 2usize..6,
+        spg in 2usize..5,
+        eps in 1usize..4,
+        nflows in 2usize..50,
+        rate_step in 0usize..4,
+        eff_step in 0usize..3,
+        bundle_step in 1usize..4,
+    ) {
+        let base = DragonflyParams::scaled(groups, spg, eps);
+        let df = Dragonfly::build(base.clone());
+        let n = base.total_endpoints();
+        prop_assume!(n >= 2);
+        let mut rng = StreamRng::from_seed(seed);
+        let router = Router::new(&df, RoutePolicy::adaptive_default());
+        let mut flows = Vec::with_capacity(nflows);
+        for i in 0..nflows {
+            let s = rng.index(n);
+            let mut d = rng.index(n);
+            if d == s { d = (d + 1) % n; }
+            let mut f = Flow::saturating(
+                EndpointId(s as u32),
+                EndpointId(d as u32),
+                router.route(EndpointId(s as u32), EndpointId(d as u32), &mut rng),
+                (i % 4) as u32,
+            );
+            if i % 3 == 0 {
+                f.demand = Bandwidth::gb_s(0.3 + 40.0 * rng.uniform());
+            }
+            flows.push(f);
+        }
+
+        let mut solver = Solver::new(df.topology(), flows.clone());
+        solver.solve();
+
+        // A same-shape re-provision: new link rate, payload efficiency,
+        // and taper bundle count (group count & co stay fixed — shape
+        // changes rebuild, they never warm-start).
+        let mut next = base.clone();
+        next.link_rate = Bandwidth::gbit_s([100.0, 150.0, 200.0, 250.0][rate_step]);
+        next.protocol_efficiency = [0.60, 0.70, 0.80][eff_step];
+        next.bundles_per_group_pair = bundle_step;
+        let warm = solver.resolve_with(&ResolveDelta::changed_capacities(
+            df.capacities_for(&next),
+        ));
+
+        // Cold oracle: build the fabric from scratch at the new
+        // parameters. Same shape => identical link IDs, so the routed
+        // paths carry over verbatim.
+        let cold_df = Dragonfly::build(next);
+        let cold = solve_maxmin_reference(cold_df.topology(), &flows, |_| 1.0);
+        prop_assert_eq!(warm.rates.len(), cold.rates.len());
+        for (i, (a, b)) in warm.rates.iter().zip(&cold.rates).enumerate() {
+            let scale = 1.0f64.max(a.abs()).max(b.abs());
+            prop_assert!(
+                (a - b).abs() <= 1e-9 * scale,
+                "flow {}: warm {} vs cold rebuild {}", i, a, b
             );
         }
     }

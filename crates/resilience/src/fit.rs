@@ -88,9 +88,18 @@ impl FitModel {
 
     /// A hypothetical 10× FIT improvement (the 2008 report's what-if).
     pub fn improved_10x(&self) -> Self {
+        self.scaled(0.1)
+    }
+
+    /// Every class rate multiplied by `factor` — the campaign sweep's
+    /// FIT axis (`factor` 0.25 models a matured part population, 8.0 an
+    /// early-life screen escape). Negative and non-finite factors are
+    /// nonsensical; debug builds reject them.
+    pub fn scaled(&self, factor: f64) -> Self {
+        debug_assert!(factor.is_finite() && factor >= 0.0, "FIT scale {factor}");
         let mut rates = self.rates;
         for (_, r) in rates.iter_mut() {
-            *r /= 10.0;
+            *r *= factor;
         }
         FitModel { rates }
     }
@@ -137,6 +146,27 @@ impl Inventory {
                 (ComponentClass::PowerSupply, nodes * 2),
                 (ComponentClass::Switch, 74 * 32 + 6 * 16),
                 (ComponentClass::NvmeDrive, nodes * 2),
+            ],
+        }
+    }
+
+    /// An inventory for an arbitrary machine shape: `nodes` compute nodes
+    /// with Frontier's per-node component ratios (32 HBM stacks, 8 DIMMs,
+    /// 8 GCDs, 1 CPU, 4 NICs, ~2 rectifier modules), `switches` fabric
+    /// switches, and `nvme_per_node` node-local drives. This is the
+    /// campaign bridge: a dragonfly variant's node and switch counts plus
+    /// its storage axis become the MTTI inventory directly.
+    pub fn for_machine(nodes: u64, switches: u64, nvme_per_node: u64) -> Self {
+        Inventory {
+            counts: [
+                (ComponentClass::HbmStack, nodes * 32),
+                (ComponentClass::DdrDimm, nodes * 8),
+                (ComponentClass::GcdAsic, nodes * 8),
+                (ComponentClass::Cpu, nodes),
+                (ComponentClass::Nic, nodes * 4),
+                (ComponentClass::PowerSupply, nodes * 2),
+                (ComponentClass::Switch, switches),
+                (ComponentClass::NvmeDrive, nodes * nvme_per_node),
             ],
         }
     }
@@ -220,5 +250,33 @@ mod tests {
     fn scaled_inventory() {
         let inv = Inventory::frontier().scaled(0.125);
         assert_eq!(inv.count(ComponentClass::Cpu), 1_184);
+    }
+
+    #[test]
+    fn scaled_fits_multiply_every_class() {
+        let fits = FitModel::frontier();
+        let worse = fits.scaled(4.0);
+        for c in ComponentClass::ALL {
+            assert!((worse.fit(c) - fits.fit(c) * 4.0).abs() < 1e-12);
+        }
+        // improved_10x is now a scaled(0.1) alias; keep them agreeing.
+        for c in ComponentClass::ALL {
+            assert!((fits.improved_10x().fit(c) - fits.scaled(0.1).fit(c)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn for_machine_reproduces_frontier() {
+        // Frontier's own shape through the parameterized constructor must
+        // match the hand-written inventory class-for-class.
+        let param = Inventory::for_machine(9_472, 74 * 32 + 6 * 16, 2);
+        let fixed = Inventory::frontier();
+        for c in ComponentClass::ALL {
+            assert_eq!(param.count(c), fixed.count(c), "{c:?}");
+        }
+        // And the storage axis moves only the NVMe count.
+        let dense = Inventory::for_machine(9_472, 2_464, 4);
+        assert_eq!(dense.count(ComponentClass::NvmeDrive), 9_472 * 4);
+        assert_eq!(dense.count(ComponentClass::Cpu), 9_472);
     }
 }

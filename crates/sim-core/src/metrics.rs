@@ -520,6 +520,63 @@ impl MetricsSnapshot {
         clone.wallclock.clear();
         clone.to_json()
     }
+
+    /// What happened *since* `base`: counters and histogram tallies are
+    /// subtracted (saturating, so a delta against an unrelated snapshot
+    /// degrades to the raw value instead of wrapping); names absent from
+    /// `base` pass through whole; names present only in `base` (a metric
+    /// that stopped being touched) are omitted — their delta is zero.
+    ///
+    /// This is the scoped-snapshot primitive: take a snapshot before a
+    /// campaign variant (or any bracketed phase), one after, and
+    /// `after.delta_since(&before)` is that phase's own activity even
+    /// though the registry is process-global and monotone.
+    ///
+    /// Gauges, top-k tables, and wall-clock series are *not* invertible —
+    /// a max-gauge or a top-k winner observed before `base` cannot be
+    /// un-observed — so those sections carry `self`'s values unchanged.
+    pub fn delta_since(&self, base: &Self) -> Self {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, &v)| {
+                (
+                    k.clone(),
+                    v.saturating_sub(base.counters.get(k).copied().unwrap_or(0)),
+                )
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let mut d = h.clone();
+                // Only subtract a base histogram with identical shape:
+                // a re-registered histogram with different bounds or
+                // bucket count is a different series.
+                if let Some(b) = base.histograms.get(k) {
+                    if b.lo.to_bits() == h.lo.to_bits()
+                        && b.hi.to_bits() == h.hi.to_bits()
+                        && b.buckets.len() == h.buckets.len()
+                    {
+                        for (cur, old) in d.buckets.iter_mut().zip(&b.buckets) {
+                            *cur = cur.saturating_sub(*old);
+                        }
+                        d.underflow = d.underflow.saturating_sub(b.underflow);
+                        d.overflow = d.overflow.saturating_sub(b.overflow);
+                    }
+                }
+                (k.clone(), d)
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms,
+            top: self.top.clone(),
+            wallclock: self.wallclock.clone(),
+        }
+    }
 }
 
 /// Append `"key": value` entries (4-space indent, one per line) and leave
@@ -683,6 +740,47 @@ mod tests {
         let r = MetricsRegistry::new();
         r.counter("x");
         r.max_gauge("x");
+    }
+
+    #[test]
+    fn delta_since_subtracts_counters_and_histograms() {
+        let r = MetricsRegistry::new();
+        r.counter("phase.ops").add(10);
+        r.histogram("phase.latency", 0.0, 10.0, 5).record(1.0);
+        r.histogram("phase.latency", 0.0, 10.0, 5).record(-1.0);
+        let before = r.snapshot();
+
+        r.counter("phase.ops").add(7);
+        r.counter("phase.new").add(3);
+        r.histogram("phase.latency", 0.0, 10.0, 5).record(1.5);
+        r.histogram("phase.latency", 0.0, 10.0, 5).record(99.0);
+        r.max_gauge("phase.peak").observe(42.0);
+        let after = r.snapshot();
+
+        let d = after.delta_since(&before);
+        assert_eq!(d.counters["phase.ops"], 7);
+        assert_eq!(d.counters["phase.new"], 3);
+        let h = &d.histograms["phase.latency"];
+        assert_eq!(h.count(), 2, "only the two post-base observations");
+        assert_eq!(h.underflow, 0);
+        assert_eq!(h.overflow, 1);
+        // Gauges pass through from the later snapshot (non-invertible).
+        assert_eq!(d.gauges["phase.peak"], 42.0);
+    }
+
+    #[test]
+    fn delta_since_is_saturating_and_skips_vanished_names() {
+        let mut before = MetricsSnapshot::default();
+        before.counters.insert("gone".into(), 5);
+        before.counters.insert("shrunk".into(), 100);
+        let mut after = MetricsSnapshot::default();
+        after.counters.insert("shrunk".into(), 60);
+        let d = after.delta_since(&before);
+        assert_eq!(d.counters["shrunk"], 0, "unrelated base saturates to 0");
+        assert!(
+            !d.counters.contains_key("gone"),
+            "names only in base are omitted"
+        );
     }
 
     #[test]

@@ -87,7 +87,9 @@ fn is_render_path(rel: &str) -> bool {
         "crates/sim-core/src/stats.rs",
         "crates/sim-core/src/hist.rs",
     ];
-    RENDER_FILES.contains(&rel) || rel.starts_with("crates/bench/src/")
+    RENDER_FILES.contains(&rel)
+        || rel.starts_with("crates/bench/src/")
+        || rel.starts_with("crates/campaign/src/")
 }
 
 /// The one module allowed to read the wall clock: the metrics registry's

@@ -37,6 +37,7 @@
 //! harness that regenerates every table and figure of the paper
 //! (`cargo run --release -p frontier-bench --bin repro`).
 
+pub use frontier_campaign as campaign;
 pub use frontier_core::prelude;
 pub use frontier_core::{apps, fabric, node, power, resilience, sched, sim_core, storage};
 pub use frontier_miniapps as miniapps;
