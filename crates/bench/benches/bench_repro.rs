@@ -11,6 +11,13 @@
 //! Each run also passes `--metrics` and extracts the section's in-process
 //! wall-clock from the snapshot's `repro.section.*` timer, so
 //! BENCH_repro.json separates the render itself from process startup.
+//! Since the scoped-telemetry rework, `repro --metrics` collects each
+//! section under its own metrics scope and merges the per-section
+//! snapshots into the written file; the merge preserves the
+//! `repro.section.*` wall-clock keys (each section renders exactly once,
+//! so its median survives the commutative merge), which keeps the
+//! substring extraction below valid — the recorded medians are now
+//! per-section *scoped* timings rather than global-registry timings.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use frontier_bench::experiments as exp;

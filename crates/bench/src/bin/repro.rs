@@ -137,7 +137,11 @@ fn main() {
     // Telemetry only collects when one of the reporting flags asks for
     // it; otherwise every instrumentation site stays a single relaxed
     // load, and (pinned by the metrics-parity test) the rendered sections
-    // are identical either way.
+    // are identical either way. With telemetry on, every section renders
+    // under its own metrics scope (`section:<name>`), so attribution is
+    // structural — concurrent sections cannot interleave their counts —
+    // and the global registry holds only shared-resource telemetry
+    // (topology-cache builds) plus anything recorded outside a section.
     let telemetry = metrics_out.is_some() || trace_out.is_some() || want_report;
     if telemetry {
         metrics::set_enabled(true);
@@ -148,12 +152,17 @@ fn main() {
     // chrome://tracing view.
     // simlint::allow(wallclock): the shared origin for --trace span stamps; determinism diffs never see the trace file
     let t0 = Instant::now();
-    let spans: Mutex<Vec<(String, String, u64, u64)>> = Mutex::new(Vec::new());
+    let spans: Mutex<Vec<(String, String, String, u64, u64)>> = Mutex::new(Vec::new());
     let want_trace = trace_out.is_some();
 
     let render = |name: &&str| {
         let start = t0.elapsed();
-        let text = exp::section_text(name, scale).expect("validated above");
+        let (text, snap) = if telemetry {
+            let (text, snap) = exp::section_text_scoped(name, scale).expect("validated above");
+            (text, Some(snap))
+        } else {
+            (exp::section_text(name, scale).expect("validated above"), None)
+        };
         if want_trace {
             let track = rayon::current_thread_index()
                 .map(|i| format!("worker-{i}"))
@@ -161,32 +170,50 @@ fn main() {
             spans.lock().expect("span log poisoned").push((
                 track,
                 name.to_string(),
+                format!("section:{name}"),
                 start.as_nanos() as u64,
                 t0.elapsed().as_nanos() as u64,
             ));
         }
-        text
+        (text, snap)
     };
-    let texts: Vec<String> = if serial {
+    let rendered: Vec<(String, Option<metrics::MetricsSnapshot>)> = if serial {
         expanded.iter().map(render).collect()
     } else {
         expanded.par_iter().map(render).collect()
     };
-    for text in texts {
+    let mut section_snaps: Vec<(String, metrics::MetricsSnapshot)> = Vec::new();
+    for ((text, snap), name) in rendered.into_iter().zip(&expanded) {
         println!("{text}");
+        if let Some(snap) = snap {
+            section_snaps.push((name.to_string(), snap));
+        }
     }
 
+    // The run-level snapshot: per-section scoped snapshots absorbed in
+    // the requested section order (commutative merges, so serial and
+    // parallel runs agree byte-for-byte outside wallclock), plus the
+    // global registry's shared-resource telemetry.
+    let merged = || {
+        let mut m = metrics::MetricsSnapshot::default();
+        for (_, snap) in &section_snaps {
+            m.absorb(snap);
+        }
+        m.absorb(&metrics::global().snapshot());
+        m
+    };
     if let Some(path) = &metrics_out {
-        write_file(path, &metrics::global().snapshot().to_json());
+        write_file(path, &merged().to_json());
     }
     if let Some(path) = &trace_out {
         let mut spans = spans.into_inner().expect("span log poisoned");
-        spans.sort_by_key(|&(_, _, start, _)| start);
+        spans.sort_by_key(|&(_, _, _, start, _)| start);
         let mut tr = Trace::new();
-        for (track, name, start, end) in spans {
-            tr.span(
+        for (track, name, scope, start, end) in spans {
+            tr.span_scoped(
                 track,
                 name,
+                scope,
                 SimTime::from_nanos(start),
                 SimTime::from_nanos(end),
             );
@@ -194,6 +221,9 @@ fn main() {
         write_file(path, &tr.to_chrome_json());
     }
     if want_report {
-        print!("{}", report::render_report(&metrics::global().snapshot()));
+        print!(
+            "{}",
+            report::render_scoped_report(&section_snaps, &metrics::global().snapshot())
+        );
     }
 }

@@ -78,6 +78,13 @@ type Registry<K, V> = Mutex<Lru<K, V>>;
 /// several concurrent first callers all observe "miss".) An eviction
 /// counts as `evicted`, and the `size` max-gauge records the high-water
 /// entry count.
+///
+/// `requests` is attributed to the caller's scope via
+/// [`metrics::active`] — each scope deterministically requests what it
+/// requests. `built`/`evicted`/`size` go through [`metrics::shared`]
+/// instead: the registries are process-wide, so *which* concurrent scope
+/// triggers a build or eviction is a thread-scheduling race, and charging
+/// it to a scope would make per-scope snapshots nondeterministic.
 fn cached_with_capacity<K, V>(
     registry: &Registry<K, V>,
     family: &str,
@@ -114,12 +121,12 @@ where
                 .map(|(k, _)| k.clone())
             {
                 reg.map.remove(&stale);
-                if let Some(m) = metrics::active() {
+                if let Some(m) = metrics::shared() {
                     m.counter(&format!("bench.cache.{family}.evicted")).inc();
                 }
             }
         }
-        if let Some(m) = metrics::active() {
+        if let Some(m) = metrics::shared() {
             m.max_gauge(&format!("bench.cache.{family}.size"))
                 .observe(reg.map.len() as f64);
         }
@@ -128,7 +135,7 @@ where
     // The registry lock is dropped before building: only waiters on this
     // exact key serialize behind the build.
     Arc::clone(cell.get_or_init(|| {
-        if let Some(m) = metrics::active() {
+        if let Some(m) = metrics::shared() {
             m.counter(&format!("bench.cache.{family}.built")).inc();
         }
         Arc::new(build())
@@ -219,7 +226,7 @@ pub fn frontier_machine() -> Arc<MachineModel> {
         m.counter("bench.cache.machine.requests").inc();
     }
     Arc::clone(CACHE.get_or_init(|| {
-        if let Some(m) = metrics::active() {
+        if let Some(m) = metrics::shared() {
             m.counter("bench.cache.machine.built").inc();
         }
         Arc::new(MachineModel::frontier())

@@ -663,6 +663,27 @@ pub fn section_text(name: &str, scale: Scale) -> Option<String> {
     })
 }
 
+/// Render one section under its own metrics scope and return the text
+/// together with the section's private snapshot. The scope is named
+/// `section:{name}` so trace spans recorded during the render are
+/// attributable; the section's own wall-clock timer lands in the scoped
+/// registry too (key `repro.section.{name}`), so callers that merge
+/// scoped snapshots keep the per-section timing series.
+///
+/// Shared-resource telemetry (`bench.cache.*.built` and friends) goes
+/// through [`metrics::shared`] and is *not* in the returned snapshot —
+/// by design, since its scope attribution would be a scheduling race.
+pub fn section_text_scoped(name: &str, scale: Scale) -> Option<(String, metrics::MetricsSnapshot)> {
+    if !PAPER_ORDER.contains(&name) {
+        return None;
+    }
+    let registry = Arc::new(metrics::MetricsRegistry::new());
+    let scope = metrics::MetricsScope::enter_named(format!("section:{name}"), Arc::clone(&registry));
+    let text = section_text(name, scale)?;
+    drop(scope);
+    Some((text, registry.snapshot()))
+}
+
 /// Everything, in paper order.
 pub fn all_text(scale: Scale) -> String {
     let sections: Vec<String> = PAPER_ORDER

@@ -93,6 +93,53 @@ pub fn render_report(snap: &MetricsSnapshot) -> String {
     out
 }
 
+/// Render per-section scoped snapshots as the `--report` text: a
+/// breakdown table (one row per section, its own scope's solver/DES/
+/// cache activity) followed by the classic [`render_report`] over the
+/// merged totals. `sections` come in render order; `extra` is the global
+/// registry's snapshot — shared-resource telemetry (cache builds) plus
+/// anything recorded outside every section scope — absorbed into the
+/// totals so nothing collected disappears from the report.
+pub fn render_scoped_report(sections: &[(String, MetricsSnapshot)], extra: &MetricsSnapshot) -> String {
+    let mut out = String::from("== per-section breakdown ==\n");
+    let mut t = Table::new(
+        "Per-section activity",
+        &[
+            "section", "wall ms", "solves", "flows", "des events", "mtti trials", "cache reqs",
+        ],
+    );
+    let mut merged = MetricsSnapshot::default();
+    for (name, snap) in sections {
+        let c = |k: &str| snap.counters.get(k).copied().unwrap_or(0);
+        let cache_reqs: u64 = snap
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("bench.cache.") && k.ends_with(".requests"))
+            .map(|(_, v)| v)
+            .sum();
+        let wall = snap
+            .wallclock
+            .get(&format!("repro.section.{name}"))
+            .map(|w| format!("{:.2}", w.total_ms))
+            .unwrap_or_else(|| "-".to_string());
+        t.row(&[
+            name.clone(),
+            wall,
+            c("fabric.maxmin.solves").to_string(),
+            c("fabric.route.flows").to_string(),
+            c("fabric.des.events").to_string(),
+            c("resilience.mtti.trials").to_string(),
+            cache_reqs.to_string(),
+        ]);
+        merged.absorb(snap);
+    }
+    merged.absorb(extra);
+    out.push_str(&t.to_string());
+    out.push('\n');
+    out.push_str(&render_report(&merged));
+    out
+}
+
 /// One line per non-empty bucket: `[lo, hi)  count  bar`.
 fn render_histogram(title: &str, h: &frontier_core::sim_core::metrics::HistSnapshot) -> String {
     let mut out = format!("{title} (n = {}):\n", h.count());
@@ -148,6 +195,33 @@ mod tests {
         assert!(text.contains("rounds per solve"));
         assert!(text.contains("t9.global.4"));
         assert!(text.contains("fabric.maxmin.frozen_demand"));
+    }
+
+    #[test]
+    fn scoped_report_breaks_down_by_section_and_merges_totals() {
+        let mtti = MetricsRegistry::new();
+        mtti.counter("resilience.mtti.trials").add(5000);
+        mtti.counter("bench.cache.machine.requests").inc();
+        {
+            let _t = mtti.timer("repro.section.mtti");
+        }
+        let ugal = MetricsRegistry::new();
+        ugal.counter("fabric.route.flows").add(160);
+        ugal.counter("fabric.maxmin.solves").add(2);
+        let sections = vec![
+            ("mtti".to_string(), mtti.snapshot()),
+            ("ugal".to_string(), ugal.snapshot()),
+        ];
+        let shared = MetricsRegistry::new();
+        shared.counter("bench.cache.dragonfly.built").inc();
+        let text = render_scoped_report(&sections, &shared.snapshot());
+        assert!(text.contains("Per-section activity"));
+        assert!(text.contains("mtti"));
+        assert!(text.contains("ugal"));
+        assert!(text.contains("5000"), "per-section mtti trials column");
+        // Merged totals include the global (shared-resource) snapshot.
+        assert!(text.contains("bench.cache.dragonfly.built"));
+        assert!(text.contains("resilience.mtti.trials"));
     }
 
     #[test]

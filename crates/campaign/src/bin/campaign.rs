@@ -1,7 +1,7 @@
 //! `campaign` — run a declarative machine-variant campaign.
 //!
 //! ```text
-//! campaign <spec.toml|spec.json> [--out results.jsonl] [--serial] [--metrics]
+//! campaign <spec.toml|spec.json> [--out results.jsonl] [--serial] [--metrics] [--variant-metrics]
 //! ```
 //!
 //! Reads a campaign spec (TOML or JSON, auto-detected), streams the
@@ -10,8 +10,14 @@
 //! the FOM/power/MTTI Pareto frontier). The artifact is deterministic:
 //! serial and parallel runs produce byte-identical files. Throughput is
 //! printed to stdout only, never written to the artifact.
+//!
+//! `--variant-metrics` adds a `"metrics"` object to every row — that
+//! variant's own scoped telemetry snapshot (solver, GPCNeT, cache, and
+//! overlay counters), collected via per-variant metric scopes. The
+//! snapshots are wall-clock-free, so the artifact stays byte-identical
+//! between serial and parallel runs.
 
-use frontier_campaign::engine::{self, Mode};
+use frontier_campaign::engine::{self, Mode, RunConfig};
 use frontier_campaign::jsonl;
 use frontier_campaign::spec::CampaignSpec;
 use frontier_core::sim_core::metrics;
@@ -19,13 +25,15 @@ use std::process::ExitCode;
 // simlint::allow(wallclock): operator-facing throughput report on stdout; never enters the JSONL artifact
 use std::time::Instant;
 
-const USAGE: &str = "usage: campaign <spec.toml|spec.json> [--out <path>] [--serial] [--metrics]";
+const USAGE: &str =
+    "usage: campaign <spec.toml|spec.json> [--out <path>] [--serial] [--metrics] [--variant-metrics]";
 
 struct Cli {
     spec_path: String,
     out_path: String,
     mode: Mode,
     metrics: bool,
+    variant_metrics: bool,
 }
 
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
@@ -33,6 +41,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
     let mut out_path = "campaign_results.jsonl".to_string();
     let mut mode = Mode::Parallel;
     let mut metrics = false;
+    let mut variant_metrics = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -44,6 +53,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             }
             "--serial" => mode = Mode::Serial,
             "--metrics" => metrics = true,
+            "--variant-metrics" => variant_metrics = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag {other}\n{USAGE}"));
@@ -61,6 +71,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         out_path,
         mode,
         metrics,
+        variant_metrics,
     })
 }
 
@@ -109,7 +120,11 @@ fn main() -> ExitCode {
     }
     // simlint::allow(wallclock): stdout throughput report only
     let t0 = Instant::now();
-    let result = engine::run(&spec, cli.mode);
+    let cfg = RunConfig {
+        mode: cli.mode,
+        variant_metrics: cli.variant_metrics,
+    };
+    let result = engine::run_with(&spec, &cfg);
     let wall = t0.elapsed().as_secs_f64();
 
     let doc = jsonl::render_campaign(&spec.name, &result);

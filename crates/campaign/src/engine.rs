@@ -47,9 +47,10 @@ use frontier_core::fabric::solver::{ResolveDelta, Solver};
 use frontier_core::power::model::{PowerModel, SystemPower};
 use frontier_core::resilience::fit::{FitModel, Inventory};
 use frontier_core::resilience::mtti::analytic_mtti;
-use frontier_core::sim_core::metrics;
+use frontier_core::sim_core::metrics::{self, MetricsRegistry, MetricsScope, MetricsSnapshot};
 use frontier_core::sim_core::rng::StreamRng;
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// Execution strategy. Output is identical either way; `Parallel` runs
 /// tracks on the rayon pool.
@@ -57,6 +58,26 @@ use rayon::prelude::*;
 pub enum Mode {
     Serial,
     Parallel,
+}
+
+/// Execution options for [`run_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunConfig {
+    pub mode: Mode,
+    /// Collect a per-variant metrics snapshot on every row (and a
+    /// per-track snapshot in [`CampaignResult::track_metrics`]) via
+    /// scoped registries. Off by default: the sweep then runs with zero
+    /// scope installs and rows carry `metrics: None`.
+    pub variant_metrics: bool,
+}
+
+impl RunConfig {
+    pub fn new(mode: Mode) -> RunConfig {
+        RunConfig {
+            mode,
+            variant_metrics: false,
+        }
+    }
 }
 
 /// mpiGraph receive-bandwidth stats of one variant, GB/s.
@@ -78,6 +99,17 @@ pub struct VariantRow {
     pub fom_ef: Option<f64>,
     pub power_mw: f64,
     pub mtti_hours: Option<f64>,
+    /// This variant's own telemetry (requires
+    /// [`RunConfig::variant_metrics`]): the capacity point's scoped
+    /// activity (solve/resolve, GPCNeT, HPL — shared by the point's
+    /// overlay variants, extracted as a [`MetricsSnapshot::delta_since`]
+    /// against the track's previous point) absorbed with the variant
+    /// scope's overlay arithmetic. Gauge and top-k rows that did not move
+    /// at this point are omitted by the delta — each row describes what
+    /// its capacity change did. The wall-clock section is cleared, so the
+    /// snapshot is a pure function of `(spec, variant)` and
+    /// serial/parallel JSONL stays byte-identical.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 /// Sharing-ladder accounting for one run. `outcome_requests -
@@ -113,21 +145,42 @@ pub struct CampaignResult {
     /// min, MTTI max); empty unless both `hpl` and `mtti` workloads ran.
     pub pareto: Vec<u32>,
     pub stats: SweepStats,
+    /// One scoped snapshot per track, in plan order (warm/dedupe and
+    /// routing attribution per `(shape, seed)` chain). Empty unless
+    /// [`RunConfig::variant_metrics`] was set. Wall-clock cleared, like
+    /// the row snapshots.
+    pub track_metrics: Vec<MetricsSnapshot>,
 }
 
 /// Run the campaign. Rows come back in canonical-index order regardless
 /// of `mode`.
 pub fn run(spec: &CampaignSpec, mode: Mode) -> CampaignResult {
+    run_with(spec, &RunConfig::new(mode))
+}
+
+/// [`run`] with explicit [`RunConfig`] options.
+pub fn run_with(spec: &CampaignSpec, cfg: &RunConfig) -> CampaignResult {
     let tracks = plan::plan(spec);
-    let per_track: Vec<(Vec<VariantRow>, SweepStats)> = match mode {
-        Mode::Serial => tracks.iter().map(|t| run_track(spec, t)).collect(),
-        Mode::Parallel => tracks.par_iter().map(|t| run_track(spec, t)).collect(),
+    // The ordinal rides along so parallel tracks keep deterministic
+    // scope labels (`track:N`) independent of completion order.
+    let indexed: Vec<(usize, &Track)> = tracks.iter().enumerate().collect();
+    let per_track: Vec<TrackOutput> = match cfg.mode {
+        Mode::Serial => indexed
+            .iter()
+            .map(|(i, t)| run_track(spec, t, *i, cfg.variant_metrics))
+            .collect(),
+        Mode::Parallel => indexed
+            .par_iter()
+            .map(|(i, t)| run_track(spec, t, *i, cfg.variant_metrics))
+            .collect(),
     };
     let mut rows = Vec::with_capacity(spec.variant_count());
     let mut stats = SweepStats::default();
-    for (track_rows, track_stats) in &per_track {
-        rows.extend(track_rows.iter().cloned());
-        stats.absorb(track_stats);
+    let mut track_metrics = Vec::new();
+    for out in per_track {
+        rows.extend(out.rows);
+        stats.absorb(&out.stats);
+        track_metrics.extend(out.metrics);
     }
     rows.sort_by_key(|r| r.variant.index);
     publish_counters(&stats);
@@ -136,6 +189,7 @@ pub fn run(spec: &CampaignSpec, mode: Mode) -> CampaignResult {
         rows,
         pareto,
         stats,
+        track_metrics,
     }
 }
 
@@ -166,7 +220,38 @@ struct Outcome {
     fom_ef: Option<f64>,
 }
 
-fn run_track(spec: &CampaignSpec, track: &Track) -> (Vec<VariantRow>, SweepStats) {
+/// What one track hands back to [`run_with`]: its rows, its sharing
+/// counters, and (with variant metrics on) its track scope's snapshot.
+struct TrackOutput {
+    rows: Vec<VariantRow>,
+    stats: SweepStats,
+    metrics: Option<MetricsSnapshot>,
+}
+
+/// Snapshot `registry` for deterministic emission: everything but the
+/// wall-clock section, which varies run to run and would break the
+/// serial ≡ parallel byte identity the JSONL stream promises.
+fn deterministic_snapshot(registry: &MetricsRegistry) -> MetricsSnapshot {
+    let mut snap = registry.snapshot();
+    snap.wallclock.clear();
+    snap
+}
+
+fn run_track(
+    spec: &CampaignSpec,
+    track: &Track,
+    ordinal: usize,
+    variant_metrics: bool,
+) -> TrackOutput {
+    // The track scope collects everything this track records outside a
+    // nested step/variant scope — the routing pass and the per-track
+    // sharing counters published below. Nested scopes shadow it (no
+    // fan-out), so step and variant work stays out of the track snapshot.
+    let track_registry = variant_metrics.then(|| Arc::new(MetricsRegistry::new()));
+    let _track_scope = track_registry
+        .as_ref()
+        .map(|r| MetricsScope::enter_named(format!("track:{ordinal}"), Arc::clone(r)));
+
     let mut stats = SweepStats {
         tracks: 1,
         ..Default::default()
@@ -199,11 +284,25 @@ fn run_track(spec: &CampaignSpec, track: &Track) -> (Vec<VariantRow>, SweepStats
     let power_model = PowerModel::frontier();
     let base_fits = FitModel::frontier();
 
-    let mut first = true;
-    for step in &track.steps {
+    // The step scopes capture each capacity point's fabric work
+    // (solve/resolve, GPCNeT, HPL), which the point's overlay variants
+    // share. One registry is reused across the track's points — a fresh
+    // registry per step would re-tabulate every link label of the machine
+    // into cold maps on each point — and each point's own activity is
+    // extracted as `delta_since` the previous point's snapshot. The delta
+    // keeps only the gauge/top-k rows that moved at this point, so later
+    // rows describe what the capacity change did, not the whole history.
+    let step_registry = variant_metrics.then(|| Arc::new(MetricsRegistry::new()));
+    let mut prev_step_full = MetricsSnapshot::default();
+
+    for (step_idx, step) in track.steps.iter().enumerate() {
+        let step_scope = step_registry.as_ref().map(|r| {
+            MetricsScope::enter_named(format!("track:{ordinal}/step:{step_idx}"), Arc::clone(r))
+        });
+
         let vparams = track.shape.params(&step.cap);
         let mpi = solver.as_mut().map(|s| {
-            let alloc = if first {
+            let alloc = if step_idx == 0 {
                 stats.cold_solves += 1;
                 s.solve()
             } else {
@@ -220,10 +319,16 @@ fn run_track(spec: &CampaignSpec, track: &Track) -> (Vec<VariantRow>, SweepStats
                 max_gb_s: result.summary.max,
             }
         });
-        first = false;
 
         let gpcnet_impact = want_gpcnet.then(|| run_gpcnet(&vparams, nodes, track.seed));
         let fom_ef = want_hpl.then(|| hpl_fom(&vparams, nodes));
+        drop(step_scope);
+        let step_snap = step_registry.as_ref().map(|r| {
+            let full = deterministic_snapshot(r);
+            let delta = full.delta_since(&prev_step_full);
+            prev_step_full = full;
+            delta
+        });
         stats.outcome_built += 1;
         let outcome = Outcome {
             mpi,
@@ -233,6 +338,15 @@ fn run_track(spec: &CampaignSpec, track: &Track) -> (Vec<VariantRow>, SweepStats
 
         for v in &step.variants {
             stats.outcome_requests += 1;
+            // The variant scope covers only the overlay arithmetic; the
+            // row snapshot is step work + variant work, merged.
+            let var_registry = variant_metrics.then(|| Arc::new(MetricsRegistry::new()));
+            let var_scope = var_registry.as_ref().map(|r| {
+                MetricsScope::enter_named(format!("variant:{}", v.index), Arc::clone(r))
+            });
+            if let Some(m) = metrics::active() {
+                m.counter("campaign.variant.overlay_evals").inc();
+            }
             let power_mw = SystemPower::compute(
                 &power_model,
                 nodes as usize,
@@ -245,6 +359,12 @@ fn run_track(spec: &CampaignSpec, track: &Track) -> (Vec<VariantRow>, SweepStats
                 let inv = Inventory::for_machine(nodes, switches, v.overlay.nvme_per_node);
                 analytic_mtti(&inv, &base_fits.scaled(v.overlay.fit_scale)).mtti_hours
             });
+            drop(var_scope);
+            let row_metrics = step_snap.as_ref().zip(var_registry).map(|(snap, r)| {
+                let mut m = snap.clone();
+                m.absorb(&deterministic_snapshot(&r));
+                m
+            });
             rows.push(VariantRow {
                 variant: *v,
                 nodes,
@@ -254,10 +374,21 @@ fn run_track(spec: &CampaignSpec, track: &Track) -> (Vec<VariantRow>, SweepStats
                 fom_ef: outcome.fom_ef,
                 power_mw,
                 mtti_hours,
+                metrics: row_metrics,
             });
         }
     }
-    (rows, stats)
+    // With the track scope still installed, the per-track sharing
+    // counters land in the track snapshot, making it self-describing.
+    if track_registry.is_some() {
+        publish_counters(&stats);
+    }
+    let metrics = track_registry.map(|r| deterministic_snapshot(&r));
+    TrackOutput {
+        rows,
+        stats,
+        metrics,
+    }
 }
 
 /// GPCNeT congestion impact factors at this capacity point. GPCNeT's
@@ -354,6 +485,94 @@ mod tests {
         let parallel = run(&spec, Mode::Parallel);
         assert_eq!(serial, parallel);
         assert_eq!(serial.rows.len(), spec.variant_count());
+        assert!(
+            serial.rows.iter().all(|r| r.metrics.is_none()),
+            "plain runs must not pay for per-variant snapshots"
+        );
+        assert!(serial.track_metrics.is_empty());
+    }
+
+    #[test]
+    fn variant_metrics_are_scoped_and_parallel_identical() {
+        let spec = CampaignSpec::parse_str(SMALL).unwrap();
+        let serial = run_with(
+            &spec,
+            &RunConfig {
+                mode: Mode::Serial,
+                variant_metrics: true,
+            },
+        );
+        let parallel = run_with(
+            &spec,
+            &RunConfig {
+                mode: Mode::Parallel,
+                variant_metrics: true,
+            },
+        );
+        // PartialEq covers every row snapshot: scoped collection must be
+        // bitwise independent of the execution schedule.
+        assert_eq!(serial, parallel);
+        for row in &serial.rows {
+            let m = row.metrics.as_ref().expect("variant metrics requested");
+            assert!(
+                m.wallclock.is_empty(),
+                "wall-clock must be stripped from deterministic snapshots"
+            );
+            assert_eq!(
+                m.counters.get("campaign.variant.overlay_evals"),
+                Some(&1),
+                "each row carries exactly its own overlay evaluation"
+            );
+        }
+        // One track snapshot per (shape, seed) chain, each holding its own
+        // sharing counters.
+        let tracks = spec.shape_count() * spec.seeds.len();
+        assert_eq!(serial.track_metrics.len(), tracks);
+        for t in &serial.track_metrics {
+            assert_eq!(t.counters.get("campaign.tracks"), Some(&1));
+            assert!(t.wallclock.is_empty());
+        }
+        // Scoped collection changes nothing about the results themselves.
+        let plain = run(&spec, Mode::Serial);
+        assert_eq!(plain.pareto, serial.pareto);
+        assert_eq!(plain.stats, serial.stats);
+        for (a, b) in plain.rows.iter().zip(&serial.rows) {
+            assert_eq!(a.variant, b.variant);
+            assert_eq!(a.mpi, b.mpi);
+            assert_eq!(a.fom_ef, b.fom_ef);
+            assert_eq!(a.power_mw, b.power_mw);
+            assert_eq!(a.mtti_hours, b.mtti_hours);
+        }
+    }
+
+    #[test]
+    fn first_step_snapshot_shows_the_cold_solve() {
+        let spec = CampaignSpec::parse_str(SMALL).unwrap();
+        let r = run_with(
+            &spec,
+            &RunConfig {
+                mode: Mode::Serial,
+                variant_metrics: true,
+            },
+        );
+        // The first variant of a track sits on the cold-solved capacity
+        // point: its snapshot must contain fabric activity, proving the
+        // step scope actually captured the solver work.
+        let first = r.rows[0].metrics.as_ref().unwrap();
+        assert!(
+            first.counters.keys().any(|k| k.starts_with("fabric.")),
+            "step work must land in the row snapshot: {:?}",
+            first.counters.keys().collect::<Vec<_>>()
+        );
+        // The track's base topology request happens outside any step, so
+        // it belongs to the track snapshot — not to any row.
+        assert!(
+            r.track_metrics[0]
+                .counters
+                .keys()
+                .any(|k| k.starts_with("bench.cache.") && k.ends_with(".requests")),
+            "the base topology request is attributed to the track scope"
+        );
     }
 
     #[test]

@@ -67,10 +67,16 @@ pub fn render_row(r: &VariantRow) -> String {
     let _ = write!(out, ", \"power_mw\": {}", json::number(r.power_mw));
     match r.mtti_hours {
         Some(h) => {
-            let _ = write!(out, ", \"mtti_hours\": {}}}", json::number(h));
+            let _ = write!(out, ", \"mtti_hours\": {}", json::number(h));
         }
-        None => out.push_str(", \"mtti_hours\": null}"),
+        None => out.push_str(", \"mtti_hours\": null"),
     }
+    // Only `--variant-metrics` rows carry a snapshot; the compact form is
+    // wall-clock-free and key-sorted, so the line stays deterministic.
+    if let Some(m) = &r.metrics {
+        let _ = write!(out, ", \"metrics\": {}", m.to_compact_json());
+    }
+    out.push('}');
     out
 }
 
@@ -178,5 +184,40 @@ mod tests {
         assert!(line.contains("\"fom_ef\": null"));
         assert!(line.contains("\"mtti_hours\": "));
         assert!(!line.contains("\"mtti_hours\": null"));
+        assert!(
+            !line.contains("\"metrics\""),
+            "no metrics key unless requested"
+        );
+    }
+
+    #[test]
+    fn variant_metrics_rows_embed_a_parseable_snapshot() {
+        use crate::engine::RunConfig;
+        let spec = small();
+        let cfg = RunConfig {
+            mode: Mode::Serial,
+            variant_metrics: true,
+        };
+        let result = engine::run_with(&spec, &cfg);
+        let line = render_row(&result.rows[0]);
+        let v = crate::value::parse_json(&line).expect("row with metrics parses as JSON");
+        let m = v.get("metrics").expect("metrics object present");
+        let counters = m.get("counters").expect("compact snapshot has counters");
+        assert!(
+            counters.get("campaign.variant.overlay_evals").is_some(),
+            "variant-scope counter survives the round trip"
+        );
+        // Byte identity of the whole document, metrics included.
+        let parallel = engine::run_with(
+            &spec,
+            &RunConfig {
+                mode: Mode::Parallel,
+                variant_metrics: true,
+            },
+        );
+        assert_eq!(
+            render_campaign(&spec.name, &result),
+            render_campaign(&spec.name, &parallel)
+        );
     }
 }

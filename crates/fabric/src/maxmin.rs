@@ -340,7 +340,7 @@ fn solve_incremental(topo: &Topology, flows: &[Flow], weights: &[f64]) -> Alloca
 
     if let Some(m) = metrics::active() {
         publish_solve_metrics(
-            m,
+            &m,
             topo,
             rounds,
             nf,

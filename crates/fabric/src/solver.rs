@@ -513,7 +513,7 @@ pub(crate) fn solve_event_driven(topo: &Topology, flows: &[Flow], weights: &[f64
         solve_components(&caps, &paths, &demands, weights, &idx, &comps, &mut rates);
     if let Some(m) = metrics::active() {
         publish_v3_metrics(
-            m,
+            &m,
             topo,
             &paths,
             &rates,
@@ -682,7 +682,7 @@ impl<'a> Solver<'a> {
         );
         if let Some(m) = metrics::active() {
             publish_v3_metrics(
-                m,
+                &m,
                 self.topo,
                 &paths,
                 &rates,
@@ -782,7 +782,7 @@ impl<'a> Solver<'a> {
         );
         if let Some(m) = metrics::active() {
             publish_v3_metrics(
-                m,
+                &m,
                 self.topo,
                 &paths,
                 &rates,

@@ -81,6 +81,55 @@ proptest! {
 }
 
 #[test]
+fn scoped_collection_isolates_from_global_and_matches_serial() {
+    use frontier_sim_core::metrics::{MetricsRegistry, MetricsScope};
+    use std::sync::Arc;
+
+    let _g = lock();
+    // Global telemetry stays OFF for the whole test: the scope alone must
+    // opt the instrumentation in, and nothing may reach the global
+    // registry.
+    metrics::set_enabled(false);
+    metrics::global().reset();
+
+    let df = Dragonfly::build(DragonflyParams::scaled(6, 4, 4));
+    let n = df.params().total_endpoints();
+    let pairs = random_pairs(n, 21, 60);
+
+    let scoped_run = |parallel: bool| -> (Vec<f64>, String) {
+        let reg = Arc::new(MetricsRegistry::new());
+        let rates = {
+            let _scope = MetricsScope::enter(Arc::clone(&reg));
+            let r = Router::new(&df, RoutePolicy::adaptive_default());
+            let flows = if parallel {
+                r.route_all_parallel(&pairs, 0, 21)
+            } else {
+                r.route_all_serial(&pairs, 0, 21)
+            };
+            solve_maxmin(df.topology(), &flows).rates
+        };
+        (rates, reg.snapshot().deterministic_json())
+    };
+    let (rates_ser, snap_ser) = scoped_run(false);
+    let (rates_par, snap_par) = scoped_run(true);
+
+    // Scope parity: same rates, byte-identical scoped snapshots, real
+    // content inside.
+    assert_eq!(rates_ser, rates_par);
+    assert_eq!(snap_ser, snap_par);
+    assert!(
+        snap_ser.contains("fabric.maxmin.solves"),
+        "scoped registry must have captured the solver counters"
+    );
+
+    // Isolation: the global registry saw none of it.
+    let global = metrics::global().snapshot();
+    assert!(global.counters.is_empty(), "{:?}", global.counters);
+    assert!(global.histograms.is_empty());
+    assert!(global.top.is_empty());
+}
+
+#[test]
 fn solver_metrics_add_up() {
     let _g = lock();
     metrics::set_enabled(true);

@@ -110,17 +110,23 @@ fn class_rates(inv: &Inventory, fits: &FitModel) -> Vec<f64> {
 /// the sum is reduced over fixed-size chunks, so the result is bitwise
 /// identical to [`monte_carlo_mtti_serial`] regardless of thread count
 /// (pinned by a property test in `tests/proptests.rs`).
+///
+/// The chunk bodies record cause tallies *inside* rayon workers, so the
+/// caller's metrics scope is captured here and re-installed per chunk —
+/// without this, a campaign variant's MTTI telemetry would land in
+/// whatever registry the stealing worker happened to see.
 pub fn monte_carlo_mtti(inv: &Inventory, fits: &FitModel, trials: u64, seed: u64) -> f64 {
     assert!(trials > 0);
     record_mc_start(trials);
     let rates = class_rates(inv, fits);
     let n_chunks = trials.div_ceil(MTTI_CHUNK_TRIALS);
+    let scope = metrics::Scope::current();
     let partials: Vec<f64> = (0..n_chunks)
         .into_par_iter()
         .map(|c| {
             let lo = c * MTTI_CHUNK_TRIALS;
             let hi = ((c + 1) * MTTI_CHUNK_TRIALS).min(trials);
-            mtti_chunk(&rates, seed, lo, hi)
+            scope.install(|| mtti_chunk(&rates, seed, lo, hi))
         })
         .collect();
     partials.iter().sum::<f64>() / trials as f64

@@ -1,9 +1,11 @@
 //! Simulator-wide telemetry: a [`MetricsRegistry`] of hierarchically named
 //! counters, max-gauges, histograms, top-k tables, and wall-clock timers.
 //!
-//! Instrumented code publishes through the process-global registry behind
-//! an `enabled` flag, so the cost when telemetry is off is a single relaxed
-//! atomic load per instrumentation site:
+//! Instrumented code publishes through [`active`], which resolves to the
+//! innermost *scoped* registry installed on the current thread (see
+//! [`MetricsScope`]) or, when no scope is installed, to the process-global
+//! registry behind an `enabled` flag. The cost when everything is off is a
+//! single relaxed atomic load per instrumentation site:
 //!
 //! ```
 //! use frontier_sim_core::metrics;
@@ -12,6 +14,30 @@
 //!     m.counter("fabric.maxmin.solves").inc();
 //! }
 //! ```
+//!
+//! # Scoped registries
+//!
+//! A [`MetricsScope`] is an RAII guard that pushes an
+//! `Arc<MetricsRegistry>` onto a thread-local scope stack; while it lives,
+//! [`active`] on that thread resolves to it instead of the global
+//! registry. Scopes give each unit of work (a campaign variant, a repro
+//! section, a server request) its own attributable snapshot:
+//!
+//! * **Resolution order**: innermost scope on the current thread first,
+//!   then the global registry if [`enabled`], else `None`. Only the top of
+//!   the stack collects — nested scopes do not fan out to their parents,
+//!   which is what keeps a child scope from leaking counts upward.
+//! * **Opt-in per scope**: an installed scope collects even when the
+//!   global flag is off; installing it *is* the opt-in.
+//! * **Rayon propagation is explicit**: the scope stack is thread-local,
+//!   so closures that run on rayon worker threads do not see the caller's
+//!   scope. Capture a [`Scope`] handle before the parallel region and
+//!   re-install it inside ([`Scope::install`], [`Scope::join`],
+//!   [`Scope::par_map`]).
+//! * **Shared resources**: telemetry whose attribution is race-dependent
+//!   (e.g. which of several concurrent scopes triggers a shared cache
+//!   build) must go through [`shared`], which ignores scopes and records
+//!   globally — keeping per-scope snapshots schedule-independent.
 //!
 //! Names are dot-separated hierarchies (`fabric.maxmin.rounds`,
 //! `bench.cache.dragonfly.requests`); the snapshot sorts them, so related
@@ -45,10 +71,12 @@
 // emitted output.
 
 use crate::json;
+use std::cell::RefCell;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -89,9 +117,28 @@ struct HistMetric {
 
 struct TopKMetric {
     k: usize,
-    /// Full label → running-max map; the k winners are chosen at snapshot
-    /// time so the table is independent of observation order.
-    entries: Mutex<HashMap<String, f64>>,
+    state: Mutex<TopKState>,
+}
+
+/// Full label → running-max map plus the current k winners, maintained
+/// incrementally on observe. Because per-label values only ever rise, the
+/// winner set is an exact function of the map contents regardless of
+/// observation order — and snapshots are O(k) instead of a scan over
+/// every label ever observed (a full machine's link table holds hundreds
+/// of thousands, and scoped sweeps snapshot once per capacity point).
+#[derive(Default)]
+struct TopKState {
+    map: HashMap<String, f64>,
+    /// The k best `(label, value)` pairs in final snapshot order.
+    winners: Vec<(String, f64)>,
+}
+
+/// `(av, al)` sorts strictly before `(bv, bl)` in a top-k table: value
+/// descending, then label ascending — a total order (`total_cmp`), so
+/// ties cannot reorder across runs and a stray NaN cannot poison the
+/// selection.
+fn top_before(av: f64, al: &str, bv: f64, bl: &str) -> bool {
+    av.total_cmp(&bv).reverse().then_with(|| al.cmp(bl)).is_lt()
 }
 
 fn kind_name(m: &Metric) -> &'static str {
@@ -181,11 +228,36 @@ impl TopK {
             return;
         }
         if let Metric::TopK(t) = &*self.0 {
-            let mut map = lock(&t.entries);
-            let slot = map.entry(label.to_string()).or_insert(v);
-            if v > *slot {
+            let mut st = lock(&t.state);
+            // Keyed update with no allocation for already-seen labels.
+            // Values only rise, so an observation at or below the stored
+            // max is a complete no-op — the winners cannot change either.
+            if let Some(slot) = st.map.get_mut(label) {
+                if v <= *slot {
+                    return;
+                }
                 *slot = v;
+            } else {
+                st.map.insert(label.to_string(), v);
             }
+            // Re-seat the label among the winners. A winner whose value
+            // rose stays a winner (nothing else moved); a non-winner
+            // enters only by displacing the current worst.
+            let st = &mut *st;
+            if let Some(i) = st.winners.iter().position(|(l, _)| l == label) {
+                st.winners.remove(i);
+            } else if st.winners.len() == t.k {
+                match st.winners.last() {
+                    Some((wl, wv)) if top_before(v, label, *wv, wl) => {
+                        st.winners.pop();
+                    }
+                    _ => return,
+                }
+            }
+            let pos = st
+                .winners
+                .partition_point(|(bl, bv)| top_before(*bv, bl, v, label));
+            st.winners.insert(pos, (label.to_string(), v));
         }
     }
 }
@@ -302,7 +374,7 @@ impl MetricsRegistry {
         let m = self.typed(name, "top_k", || {
             Metric::TopK(TopKMetric {
                 k,
-                entries: Mutex::new(HashMap::new()),
+                state: Mutex::new(TopKState::default()),
             })
         });
         if let Metric::TopK(t) = &*m {
@@ -367,15 +439,11 @@ impl MetricsRegistry {
                         );
                     }
                     Metric::TopK(t) => {
-                        let map = lock(&t.entries);
-                        let mut entries: Vec<(String, f64)> =
-                            map.iter().map(|(l, &v)| (l.clone(), v)).collect();
-                        // Value descending, then label ascending: a total
-                        // order (total_cmp), so ties cannot reorder across
-                        // runs and a stray NaN cannot poison the sort.
-                        entries.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-                        entries.truncate(t.k);
-                        snap.top.insert(name.clone(), entries);
+                        // The winners are maintained incrementally in
+                        // final order (see [`TopKState`]); the full label
+                        // map is never scanned here.
+                        let st = lock(&t.state);
+                        snap.top.insert(name.clone(), st.winners.clone());
                     }
                     Metric::Wall(samples) => {
                         let samples = lock(samples);
@@ -461,38 +529,10 @@ impl MetricsSnapshot {
         out.push_str("},\n  \"histograms\": {");
         push_entries(
             &mut out,
-            self.histograms.iter().map(|(k, h)| {
-                let buckets: Vec<String> = h.buckets.iter().map(|b| b.to_string()).collect();
-                (
-                    k,
-                    format!(
-                        "{{\"lo\": {}, \"hi\": {}, \"buckets\": [{}], \"underflow\": {}, \"overflow\": {}}}",
-                        json::number(h.lo),
-                        json::number(h.hi),
-                        buckets.join(", "),
-                        h.underflow,
-                        h.overflow
-                    ),
-                )
-            }),
+            self.histograms.iter().map(|(k, h)| (k, hist_json(h))),
         );
         out.push_str("},\n  \"top\": {");
-        push_entries(
-            &mut out,
-            self.top.iter().map(|(k, entries)| {
-                let items: Vec<String> = entries
-                    .iter()
-                    .map(|(label, v)| {
-                        format!(
-                            "{{\"label\": {}, \"value\": {}}}",
-                            json::escape(label),
-                            json::number(*v)
-                        )
-                    })
-                    .collect();
-                (k, format!("[{}]", items.join(", ")))
-            }),
-        );
+        push_entries(&mut out, self.top.iter().map(|(k, e)| (k, top_json(e))));
         out.push_str("},\n  \"wallclock\": {");
         push_entries(
             &mut out,
@@ -521,20 +561,29 @@ impl MetricsSnapshot {
         clone.to_json()
     }
 
-    /// What happened *since* `base`: counters and histogram tallies are
-    /// subtracted (saturating, so a delta against an unrelated snapshot
-    /// degrades to the raw value instead of wrapping); names absent from
-    /// `base` pass through whole; names present only in `base` (a metric
-    /// that stopped being touched) are omitted — their delta is zero.
+    /// What happened *since* `base`, per metric family:
     ///
-    /// This is the scoped-snapshot primitive: take a snapshot before a
-    /// campaign variant (or any bracketed phase), one after, and
-    /// `after.delta_since(&before)` is that phase's own activity even
-    /// though the registry is process-global and monotone.
+    /// * **counters / histograms** — tallies are subtracted (saturating,
+    ///   so a delta against an unrelated snapshot degrades to the raw
+    ///   value instead of wrapping); names absent from `base` pass through
+    ///   whole; names present only in `base` (a metric that stopped being
+    ///   touched) are omitted — their delta is zero. Only a base histogram
+    ///   with the identical shape is subtracted: re-registered bounds or
+    ///   bucket counts mean a different series.
+    /// * **gauges / top-k** — running maxima are not subtractable, so the
+    ///   delta keeps exactly the entries that *changed*: a gauge that rose
+    ///   (or appeared), a top-k row whose max moved (or is new). Entries
+    ///   bit-identical to `base` are omitted — nothing happened to them.
+    ///   Tables with no surviving rows are dropped.
+    /// * **wall-clock** — genuinely non-invertible (samples are summarized
+    ///   at snapshot time); `self`'s series pass through unchanged. Delta
+    ///   consumers must not read `wallclock` as "since base".
     ///
-    /// Gauges, top-k tables, and wall-clock series are *not* invertible —
-    /// a max-gauge or a top-k winner observed before `base` cannot be
-    /// un-observed — so those sections carry `self`'s values unchanged.
+    /// This is the bracketed-phase primitive: snapshot before, snapshot
+    /// after, and `after.delta_since(&before)` is the phase's own activity
+    /// even on a shared monotone registry. (Code that can use a
+    /// [`MetricsScope`] should prefer one — a private registry needs no
+    /// subtraction at all.)
     pub fn delta_since(&self, base: &Self) -> Self {
         let counters = self
             .counters
@@ -551,14 +600,8 @@ impl MetricsSnapshot {
             .iter()
             .map(|(k, h)| {
                 let mut d = h.clone();
-                // Only subtract a base histogram with identical shape:
-                // a re-registered histogram with different bounds or
-                // bucket count is a different series.
                 if let Some(b) = base.histograms.get(k) {
-                    if b.lo.to_bits() == h.lo.to_bits()
-                        && b.hi.to_bits() == h.hi.to_bits()
-                        && b.buckets.len() == h.buckets.len()
-                    {
+                    if same_hist_shape(h, b) {
                         for (cur, old) in d.buckets.iter_mut().zip(&b.buckets) {
                             *cur = cur.saturating_sub(*old);
                         }
@@ -569,13 +612,176 @@ impl MetricsSnapshot {
                 (k.clone(), d)
             })
             .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .filter(|(k, v)| {
+                base.gauges
+                    .get(*k)
+                    .is_none_or(|b| b.to_bits() != v.to_bits())
+            })
+            .map(|(k, &v)| (k.clone(), v))
+            .collect();
+        let top = self
+            .top
+            .iter()
+            .filter_map(|(k, entries)| {
+                let base_tbl = base.top.get(k);
+                let changed: Vec<(String, f64)> = entries
+                    .iter()
+                    .filter(|(label, v)| {
+                        base_tbl
+                            .and_then(|tbl| tbl.iter().find(|(bl, _)| bl == label))
+                            .is_none_or(|(_, bv)| bv.to_bits() != v.to_bits())
+                    })
+                    .cloned()
+                    .collect();
+                (!changed.is_empty()).then(|| (k.clone(), changed))
+            })
+            .collect();
         MetricsSnapshot {
             counters,
-            gauges: self.gauges.clone(),
+            gauges,
             histograms,
-            top: self.top.clone(),
+            top,
             wallclock: self.wallclock.clone(),
         }
+    }
+
+    /// Merge `other` into `self` with each family's commutative combine:
+    /// counters and same-shape histograms add, gauges and top-k rows take
+    /// the per-name/per-label maximum, wall-clock series sum calls and
+    /// total time (the merged median is the max of the two medians — an
+    /// upper bound, since the underlying samples are gone by snapshot
+    /// time). A histogram whose shape disagrees keeps `self`'s series
+    /// untouched, mirroring [`MetricsSnapshot::delta_since`].
+    ///
+    /// Absorbing disjoint scoped snapshots in any order yields the same
+    /// deterministic sections — this is how per-section or per-variant
+    /// scopes roll up into one run-level snapshot.
+    pub fn absorb(&mut self, other: &Self) {
+        for (k, &v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, &v) in &other.gauges {
+            self.gauges
+                .entry(k.clone())
+                .and_modify(|cur| *cur = cur.max(v))
+                .or_insert(v);
+        }
+        for (k, h) in &other.histograms {
+            match self.histograms.get_mut(k) {
+                Some(mine) if same_hist_shape(mine, h) => {
+                    for (cur, add) in mine.buckets.iter_mut().zip(&h.buckets) {
+                        *cur += add;
+                    }
+                    mine.underflow += h.underflow;
+                    mine.overflow += h.overflow;
+                }
+                Some(_) => {} // shape mismatch: different series, keep ours
+                None => {
+                    self.histograms.insert(k.clone(), h.clone());
+                }
+            }
+        }
+        for (k, entries) in &other.top {
+            let mine = self.top.entry(k.clone()).or_default();
+            let mut merged: BTreeMap<String, f64> = mine
+                .iter()
+                .map(|(label, v)| (label.clone(), *v))
+                .collect();
+            for (label, v) in entries {
+                merged
+                    .entry(label.clone())
+                    .and_modify(|cur| *cur = cur.max(*v))
+                    .or_insert(*v);
+            }
+            let mut rows: Vec<(String, f64)> = merged.into_iter().collect();
+            rows.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            *mine = rows;
+        }
+        for (k, w) in &other.wallclock {
+            self.wallclock
+                .entry(k.clone())
+                .and_modify(|cur| {
+                    cur.calls += w.calls;
+                    cur.total_ms += w.total_ms;
+                    cur.median_ms = cur.median_ms.max(w.median_ms);
+                })
+                .or_insert_with(|| w.clone());
+        }
+    }
+
+    /// The deterministic sections as one *single-line* JSON object —
+    /// the shape embedded into JSONL rows (`campaign --variant-metrics`),
+    /// where one row must stay one line and serial/parallel byte-parity
+    /// forbids wall-clock data.
+    pub fn to_compact_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"counters\": {");
+        push_compact(
+            &mut out,
+            self.counters.iter().map(|(k, v)| (k, v.to_string())),
+        );
+        out.push_str("}, \"gauges\": {");
+        push_compact(
+            &mut out,
+            self.gauges.iter().map(|(k, &v)| (k, json::number(v))),
+        );
+        out.push_str("}, \"histograms\": {");
+        push_compact(
+            &mut out,
+            self.histograms.iter().map(|(k, h)| (k, hist_json(h))),
+        );
+        out.push_str("}, \"top\": {");
+        push_compact(&mut out, self.top.iter().map(|(k, e)| (k, top_json(e))));
+        out.push_str("}}");
+        out
+    }
+}
+
+fn same_hist_shape(a: &HistSnapshot, b: &HistSnapshot) -> bool {
+    a.lo.to_bits() == b.lo.to_bits()
+        && a.hi.to_bits() == b.hi.to_bits()
+        && a.buckets.len() == b.buckets.len()
+}
+
+fn hist_json(h: &HistSnapshot) -> String {
+    let buckets: Vec<String> = h.buckets.iter().map(|b| b.to_string()).collect();
+    format!(
+        "{{\"lo\": {}, \"hi\": {}, \"buckets\": [{}], \"underflow\": {}, \"overflow\": {}}}",
+        json::number(h.lo),
+        json::number(h.hi),
+        buckets.join(", "),
+        h.underflow,
+        h.overflow
+    )
+}
+
+fn top_json(entries: &[(String, f64)]) -> String {
+    let items: Vec<String> = entries
+        .iter()
+        .map(|(label, v)| {
+            format!(
+                "{{\"label\": {}, \"value\": {}}}",
+                json::escape(label),
+                json::number(*v)
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(", "))
+}
+
+/// Append `"key": value` entries without any whitespace framing — the
+/// single-line sibling of [`push_entries`].
+fn push_compact<'a>(out: &mut String, entries: impl Iterator<Item = (&'a String, String)>) {
+    for (i, (k, v)) in entries.enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&json::escape(k));
+        out.push_str(": ");
+        out.push_str(&v);
     }
 }
 
@@ -598,35 +804,242 @@ fn push_entries<'a>(out: &mut String, entries: impl Iterator<Item = (&'a String,
     }
 }
 
-static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
-static ENABLED: AtomicBool = AtomicBool::new(false);
+static GLOBAL: OnceLock<Arc<MetricsRegistry>> = OnceLock::new();
+
+/// One packed word gates every instrumentation site: bit 0 is the global
+/// `enabled` flag, the upper bits count live [`MetricsScope`] guards
+/// across all threads (each adds [`SCOPE_UNIT`]). `active()` reads this
+/// once; zero means "everything off" and the thread-local scope stack is
+/// never even touched — preserving the one-relaxed-load-and-branch cost
+/// of disabled telemetry that makes instrumenting hot loops acceptable.
+static ACTIVE_STATE: AtomicU64 = AtomicU64::new(0);
+
+const ENABLED_BIT: u64 = 1;
+const SCOPE_UNIT: u64 = 2;
+
+thread_local! {
+    /// The innermost entry is the registry `active()` resolves to on this
+    /// thread. Plain `Vec` push/pop: scopes nest lexically (RAII).
+    static SCOPE_STACK: RefCell<Vec<ScopeEntry>> = const { RefCell::new(Vec::new()) };
+}
+
+#[derive(Clone)]
+struct ScopeEntry {
+    registry: Arc<MetricsRegistry>,
+    label: Option<Arc<str>>,
+}
 
 /// The process-global registry. Always reachable (e.g. to snapshot after
 /// a run); instrumentation sites should go through [`active`] instead so
 /// disabled telemetry stays off the hot path.
 pub fn global() -> &'static MetricsRegistry {
-    GLOBAL.get_or_init(MetricsRegistry::new)
+    GLOBAL.get_or_init(|| Arc::new(MetricsRegistry::new()))
 }
 
-/// Turn global telemetry collection on or off. Off by default.
+fn global_arc() -> Arc<MetricsRegistry> {
+    Arc::clone(GLOBAL.get_or_init(|| Arc::new(MetricsRegistry::new())))
+}
+
+/// Turn global telemetry collection on or off. Off by default. Scoped
+/// registries are unaffected: installing a [`MetricsScope`] opts that
+/// thread in regardless of this flag.
 pub fn set_enabled(on: bool) {
-    ENABLED.store(on, Ordering::SeqCst);
+    if on {
+        ACTIVE_STATE.fetch_or(ENABLED_BIT, Ordering::SeqCst);
+    } else {
+        ACTIVE_STATE.fetch_and(!ENABLED_BIT, Ordering::SeqCst);
+    }
 }
 
 /// Is global telemetry collection enabled?
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    ACTIVE_STATE.load(Ordering::Relaxed) & ENABLED_BIT != 0
 }
 
-/// The global registry if telemetry is enabled, else `None`. The cost
-/// when disabled is one relaxed load and a branch — no allocation, no
-/// locking — which is what makes instrumenting hot loops acceptable.
+/// The registry instrumentation should record into right now, else
+/// `None`: the innermost scope installed on this thread, falling back to
+/// the global registry when [`enabled`]. The disabled-everywhere cost is
+/// one relaxed load and a branch — no allocation, no locking, no
+/// thread-local access.
 #[inline]
-pub fn active() -> Option<&'static MetricsRegistry> {
+pub fn active() -> Option<Arc<MetricsRegistry>> {
+    let state = ACTIVE_STATE.load(Ordering::Relaxed);
+    if state == 0 {
+        None
+    } else {
+        active_slow(state)
+    }
+}
+
+#[cold]
+#[inline(never)]
+fn active_slow(state: u64) -> Option<Arc<MetricsRegistry>> {
+    if state >= SCOPE_UNIT {
+        // Some thread has a live scope; ours is authoritative if present.
+        // try_with: during thread teardown the stack is gone — fall back.
+        let mine = SCOPE_STACK
+            .try_with(|s| s.borrow().last().map(|e| Arc::clone(&e.registry)))
+            .ok()
+            .flatten();
+        if let Some(reg) = mine {
+            return Some(reg);
+        }
+    }
+    if state & ENABLED_BIT != 0 {
+        Some(global_arc())
+    } else {
+        None
+    }
+}
+
+/// The *global* registry if [`enabled`], ignoring any installed scope.
+///
+/// This is the escape hatch for shared-resource telemetry whose scope
+/// attribution would be race-dependent — e.g. a process-wide cache where
+/// "which caller triggered the build" depends on thread scheduling.
+/// Recording such events into whichever scope happens to be installed
+/// would make per-scope snapshots schedule-dependent; recording them
+/// globally keeps every scope's snapshot deterministic.
+#[inline]
+pub fn shared() -> Option<&'static MetricsRegistry> {
     if enabled() {
         Some(global())
     } else {
         None
+    }
+}
+
+/// The label of the innermost *named* scope on this thread (see
+/// [`MetricsScope::enter_named`]), if any. Cheap when no scope exists
+/// anywhere: one relaxed load. Used by trace recording to tag spans with
+/// the unit of work they belong to.
+pub fn scope_label() -> Option<String> {
+    if ACTIVE_STATE.load(Ordering::Relaxed) < SCOPE_UNIT {
+        return None;
+    }
+    SCOPE_STACK
+        .try_with(|s| {
+            s.borrow()
+                .iter()
+                .rev()
+                .find_map(|e| e.label.as_ref().map(|l| l.to_string()))
+        })
+        .ok()
+        .flatten()
+}
+
+/// RAII guard that makes `registry` the [`active`] registry for the
+/// current thread until dropped. Scopes nest: the innermost wins, and
+/// dropping restores the previous resolution (outer scope, then global).
+///
+/// Not `Send` — a scope must be dropped on the thread that entered it.
+/// For parallel regions, capture a [`Scope`] handle and re-install it on
+/// the workers instead of moving the guard.
+pub struct MetricsScope {
+    _not_send: PhantomData<*const ()>,
+}
+
+impl MetricsScope {
+    /// Install `registry` as this thread's active scope.
+    pub fn enter(registry: Arc<MetricsRegistry>) -> MetricsScope {
+        Self::push(ScopeEntry {
+            registry,
+            label: None,
+        })
+    }
+
+    /// Install `registry` with a human-readable label (`"variant:17"`,
+    /// `"section:fig6"`) that trace spans recorded under this scope can
+    /// pick up via [`scope_label`].
+    pub fn enter_named(label: impl Into<String>, registry: Arc<MetricsRegistry>) -> MetricsScope {
+        Self::push(ScopeEntry {
+            registry,
+            label: Some(Arc::from(label.into().as_str())),
+        })
+    }
+
+    fn push(entry: ScopeEntry) -> MetricsScope {
+        SCOPE_STACK.with(|s| s.borrow_mut().push(entry));
+        ACTIVE_STATE.fetch_add(SCOPE_UNIT, Ordering::SeqCst);
+        MetricsScope {
+            _not_send: PhantomData,
+        }
+    }
+}
+
+impl Drop for MetricsScope {
+    fn drop(&mut self) {
+        ACTIVE_STATE.fetch_sub(SCOPE_UNIT, Ordering::SeqCst);
+        // try_with: thread teardown may have destroyed the stack already.
+        let _ = SCOPE_STACK.try_with(|s| s.borrow_mut().pop());
+    }
+}
+
+/// A capturable, cloneable handle to the current scope — the explicit
+/// propagation primitive for rayon. The scope stack is thread-local, so a
+/// closure running on a worker thread does not inherit the caller's
+/// scope; capture `Scope::current()` before the parallel region and wrap
+/// the worker body in [`Scope::install`] (or use [`Scope::join`] /
+/// [`Scope::par_map`], which do it for you). Re-installing preserves the
+/// scope's label, so traces recorded on workers stay attributed.
+///
+/// A handle captured with no scope installed is a no-op: `install` just
+/// runs the closure, and workers fall back to the global registry exactly
+/// like the caller would.
+#[derive(Clone, Default)]
+pub struct Scope {
+    entry: Option<ScopeEntry>,
+}
+
+impl Scope {
+    /// Capture the innermost scope of the current thread (if any). One
+    /// relaxed load when no scope exists anywhere in the process.
+    pub fn current() -> Scope {
+        if ACTIVE_STATE.load(Ordering::Relaxed) < SCOPE_UNIT {
+            return Scope { entry: None };
+        }
+        Scope {
+            entry: SCOPE_STACK
+                .try_with(|s| s.borrow().last().cloned())
+                .ok()
+                .flatten(),
+        }
+    }
+
+    /// Run `f` with this scope installed on the current thread.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        match &self.entry {
+            Some(e) => {
+                let _guard = MetricsScope::push(e.clone());
+                f()
+            }
+            None => f(),
+        }
+    }
+
+    /// [`rayon::join`] with this scope installed in both arms.
+    pub fn join<RA, RB>(
+        &self,
+        a: impl FnOnce() -> RA + Send,
+        b: impl FnOnce() -> RB + Send,
+    ) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+    {
+        rayon::join(|| self.install(a), || self.install(b))
+    }
+
+    /// Scoped parallel map: `items` mapped through `f` on the rayon pool,
+    /// with this scope installed for every element. Output order matches
+    /// input order.
+    pub fn par_map<T, R>(&self, items: &[T], f: impl Fn(&T) -> R + Send + Sync) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+    {
+        use rayon::prelude::*;
+        items.par_iter().map(|x| self.install(|| f(x))).collect()
     }
 }
 
@@ -786,11 +1199,195 @@ mod tests {
     #[test]
     fn global_toggle_gates_active() {
         // The only unit test touching the global flag, so it cannot race
-        // sibling tests (which all use private registries).
+        // sibling tests (which all use private registries or scopes).
         assert!(active().is_none(), "telemetry must default to off");
+        assert!(shared().is_none(), "shared() follows the global flag");
         set_enabled(true);
         assert!(active().is_some());
+        assert!(shared().is_some());
         set_enabled(false);
         assert!(active().is_none());
+        assert!(shared().is_none());
+    }
+
+    #[test]
+    fn delta_since_keeps_only_changed_gauges_and_top_rows() {
+        let r = MetricsRegistry::new();
+        r.max_gauge("steady").observe(5.0);
+        r.max_gauge("rises").observe(1.0);
+        let t = r.top_k("links", 4);
+        t.observe("l0", 0.9);
+        t.observe("l1", 0.5);
+        let before = r.snapshot();
+
+        r.max_gauge("rises").observe(2.0);
+        r.max_gauge("fresh").observe(7.0);
+        t.observe("l1", 0.8);
+        t.observe("l2", 0.3);
+        let d = r.snapshot().delta_since(&before);
+
+        assert!(!d.gauges.contains_key("steady"), "unchanged gauge dropped");
+        assert_eq!(d.gauges["rises"], 2.0);
+        assert_eq!(d.gauges["fresh"], 7.0);
+        let rows = &d.top["links"];
+        assert!(
+            !rows.iter().any(|(l, _)| l == "l0"),
+            "unmoved top row dropped: {rows:?}"
+        );
+        assert!(rows.contains(&("l1".to_string(), 0.8)));
+        assert!(rows.contains(&("l2".to_string(), 0.3)));
+
+        // A snapshot delta'd against itself has no gauge/top content and
+        // zeroed counters — "nothing happened".
+        let again = r.snapshot();
+        let none = again.delta_since(&again);
+        assert!(none.gauges.is_empty());
+        assert!(none.top.is_empty());
+    }
+
+    #[test]
+    fn absorb_merges_every_family_commutatively() {
+        let a = MetricsRegistry::new();
+        a.counter("ops").add(3);
+        a.max_gauge("peak").observe(1.0);
+        a.histogram("lat", 0.0, 4.0, 4).record(0.5);
+        a.top_k("links", 4).observe("l0", 0.9);
+        {
+            let _t = a.timer("wall");
+        }
+        let b = MetricsRegistry::new();
+        b.counter("ops").add(4);
+        b.counter("other").inc();
+        b.max_gauge("peak").observe(2.5);
+        b.histogram("lat", 0.0, 4.0, 4).record(3.5);
+        b.top_k("links", 4).observe("l0", 0.2);
+        b.top_k("links", 4).observe("l1", 0.6);
+        {
+            let _t = b.timer("wall");
+        }
+
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        let mut ab = sa.clone();
+        ab.absorb(&sb);
+        let mut ba = sb.clone();
+        ba.absorb(&sa);
+
+        assert_eq!(ab.counters["ops"], 7);
+        assert_eq!(ab.counters["other"], 1);
+        assert_eq!(ab.gauges["peak"], 2.5);
+        assert_eq!(ab.histograms["lat"].count(), 2);
+        assert_eq!(
+            ab.top["links"],
+            vec![("l0".to_string(), 0.9), ("l1".to_string(), 0.6)]
+        );
+        assert_eq!(ab.wallclock["wall"].calls, 2);
+        // Order independence on the deterministic sections.
+        assert_eq!(ab.deterministic_json(), ba.deterministic_json());
+    }
+
+    #[test]
+    fn compact_json_is_one_line_without_wallclock() {
+        let r = MetricsRegistry::new();
+        r.counter("b").add(2);
+        r.counter("a").inc();
+        r.max_gauge("g").observe(1.5);
+        {
+            let _t = r.timer("w");
+        }
+        let j = r.snapshot().to_compact_json();
+        assert!(!j.contains('\n'), "compact JSON must be one line: {j}");
+        assert!(!j.contains("\"w\""), "no wallclock in compact JSON");
+        assert!(j.starts_with("{\"counters\": {\"a\": 1, \"b\": 2}"));
+        assert!(j.contains("\"gauges\": {\"g\": 1.5}"));
+    }
+
+    #[test]
+    fn scope_collects_even_when_global_is_off() {
+        // No set_enabled here: installing the scope is the opt-in.
+        let reg = Arc::new(MetricsRegistry::new());
+        {
+            let _scope = MetricsScope::enter(Arc::clone(&reg));
+            if let Some(m) = active() {
+                m.counter("scoped.ops").inc();
+            }
+        }
+        assert_eq!(reg.snapshot().counters["scoped.ops"], 1);
+        // After the guard drops, this thread resolves to global-or-none
+        // again; either way the scoped registry stops growing.
+        if let Some(m) = active() {
+            m.counter("scoped.ops").inc();
+        }
+        assert_eq!(reg.snapshot().counters["scoped.ops"], 1);
+    }
+
+    #[test]
+    fn nested_scopes_resolve_innermost_and_do_not_leak() {
+        let outer = Arc::new(MetricsRegistry::new());
+        let inner = Arc::new(MetricsRegistry::new());
+        let _o = MetricsScope::enter_named("track:0", Arc::clone(&outer));
+        if let Some(m) = active() {
+            m.counter("seen.outer").inc();
+        }
+        {
+            let _i = MetricsScope::enter_named("variant:3", Arc::clone(&inner));
+            assert_eq!(scope_label().as_deref(), Some("variant:3"));
+            if let Some(m) = active() {
+                m.counter("seen.inner").inc();
+            }
+        }
+        assert_eq!(scope_label().as_deref(), Some("track:0"));
+        let (so, si) = (outer.snapshot(), inner.snapshot());
+        assert_eq!(so.counters["seen.outer"], 1);
+        assert!(
+            !so.counters.contains_key("seen.inner"),
+            "inner scope must not fan out to its parent"
+        );
+        assert_eq!(si.counters["seen.inner"], 1);
+        assert_eq!(si.counters.len(), 1);
+    }
+
+    #[test]
+    fn scope_handle_propagates_into_rayon_workers() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let _guard = MetricsScope::enter_named("section:test", Arc::clone(&reg));
+        let scope = Scope::current();
+        let items: Vec<u64> = (0..64).collect();
+        let out = scope.par_map(&items, |&i| {
+            if let Some(m) = active() {
+                m.counter("par.ops").inc();
+                m.counter("par.sum").add(i);
+            }
+            i
+        });
+        assert_eq!(out, items, "par_map preserves input order");
+        let (a, b) = scope.join(
+            || {
+                if let Some(m) = active() {
+                    m.counter("join.ops").inc();
+                }
+                1u64
+            },
+            || {
+                if let Some(m) = active() {
+                    m.counter("join.ops").inc();
+                }
+                2u64
+            },
+        );
+        assert_eq!((a, b), (1, 2));
+        let s = reg.snapshot();
+        assert_eq!(s.counters["par.ops"], 64);
+        assert_eq!(s.counters["par.sum"], (0..64).sum::<u64>());
+        assert_eq!(s.counters["join.ops"], 2);
+    }
+
+    #[test]
+    fn empty_scope_handle_is_a_transparent_wrapper() {
+        // Captured with no scope installed: install/join/par_map run the
+        // closures with unchanged resolution.
+        let scope = Scope::default();
+        assert_eq!(scope.install(|| 41 + 1), 42);
+        let v = scope.par_map(&[1, 2, 3], |x| x * 2);
+        assert_eq!(v, vec![2, 4, 6]);
     }
 }

@@ -7,6 +7,7 @@
 //! examples to explain *where* simulated time went.
 
 use crate::json;
+use crate::metrics;
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
 
@@ -15,6 +16,14 @@ use serde::{Deserialize, Serialize};
 pub struct TraceEvent {
     pub track: String,
     pub label: String,
+    /// The metrics scope the span was recorded under (see
+    /// [`metrics::MetricsScope::enter_named`]) — `"variant:17"`,
+    /// `"section:fig6"` — or empty when no named scope was active.
+    /// Rendered into chrome://tracing `args` so spans are attributable to
+    /// their unit of work. Defaults to empty for traces serialized before
+    /// this field existed.
+    #[serde(default)]
+    pub scope: String,
     pub start: SimTime,
     /// Equal to `start` for point events.
     pub end: SimTime,
@@ -42,7 +51,11 @@ impl Trace {
         self.span(track, label, t, t);
     }
 
-    /// Record a span. Panics if `end < start`.
+    /// Record a span. Panics if `end < start`. The span's scope label is
+    /// taken from the innermost named [`metrics::MetricsScope`] on the
+    /// *recording* thread; use [`Trace::span_scoped`] to attribute a span
+    /// whose scope has already been exited (e.g. spans collected during a
+    /// parallel region and appended afterwards).
     pub fn span(
         &mut self,
         track: impl Into<String>,
@@ -50,10 +63,24 @@ impl Trace {
         start: SimTime,
         end: SimTime,
     ) {
+        let scope = metrics::scope_label().unwrap_or_default();
+        self.span_scoped(track, label, scope, start, end);
+    }
+
+    /// Record a span with an explicit scope label. Panics if `end < start`.
+    pub fn span_scoped(
+        &mut self,
+        track: impl Into<String>,
+        label: impl Into<String>,
+        scope: impl Into<String>,
+        start: SimTime,
+        end: SimTime,
+    ) {
         assert!(end >= start, "span ends before it starts");
         self.events.push(TraceEvent {
             track: track.into(),
             label: label.into(),
+            scope: scope.into(),
             start,
             end,
         });
@@ -121,20 +148,28 @@ impl Trace {
     }
 
     /// chrome://tracing "traceEvents" JSON (complete events, µs units).
-    /// Labels and track names are escaped, so a `"` or `\` in either
-    /// cannot break out of its string and corrupt the document.
+    /// Labels, track names, and scope labels are escaped, so a `"` or `\`
+    /// in any of them cannot break out of its string and corrupt the
+    /// document. Spans with a scope label carry it as `args.scope`, which
+    /// the tracing UI shows in the span's detail pane.
     pub fn to_chrome_json(&self) -> String {
         let mut out = String::from("[");
         for (i, e) in self.events.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
+            let args = if e.scope.is_empty() {
+                String::new()
+            } else {
+                format!(r#","args":{{"scope":{}}}"#, json::escape(&e.scope))
+            };
             out.push_str(&format!(
-                r#"{{"name":{},"cat":"sim","ph":"X","ts":{:.3},"dur":{:.3},"pid":0,"tid":{}}}"#,
+                r#"{{"name":{},"cat":"sim","ph":"X","ts":{:.3},"dur":{:.3},"pid":0,"tid":{}{}}}"#,
                 json::escape(&e.label),
                 e.start.as_micros_f64(),
                 e.duration().as_micros_f64(),
-                json::escape(&e.track)
+                json::escape(&e.track),
+                args
             ));
         }
         out.push(']');
@@ -222,6 +257,48 @@ mod tests {
             }
         }
         assert_eq!(quotes % 2, 0, "unbalanced quotes in {j}");
+    }
+
+    #[test]
+    fn spans_pick_up_the_active_scope_label() {
+        use std::sync::Arc;
+        let reg = Arc::new(metrics::MetricsRegistry::new());
+        let mut tr = Trace::new();
+        {
+            let _scope = metrics::MetricsScope::enter_named("section:fig6", Arc::clone(&reg));
+            tr.span(
+                "worker-0",
+                "render",
+                SimTime::from_micros(0),
+                SimTime::from_micros(3),
+            );
+        }
+        tr.span(
+            "worker-0",
+            "after",
+            SimTime::from_micros(3),
+            SimTime::from_micros(4),
+        );
+        assert_eq!(tr.events()[0].scope, "section:fig6");
+        assert_eq!(tr.events()[1].scope, "");
+        let j = tr.to_chrome_json();
+        assert!(j.contains(r#""args":{"scope":"section:fig6"}"#), "{j}");
+        // Unscoped spans carry no args object at all.
+        assert_eq!(j.matches("\"args\"").count(), 1, "{j}");
+    }
+
+    #[test]
+    fn span_scoped_sets_an_explicit_label() {
+        let mut tr = Trace::new();
+        tr.span_scoped(
+            "t",
+            "work",
+            "variant:17",
+            SimTime::from_nanos(0),
+            SimTime::from_nanos(10),
+        );
+        assert_eq!(tr.events()[0].scope, "variant:17");
+        assert!(tr.to_chrome_json().contains(r#""scope":"variant:17""#));
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub const UNKEYED_RNG: &str = "unkeyed-rng";
 pub const PAR_RAW_ATOMIC: &str = "par-raw-atomic";
 pub const PANIC_IN_LIB: &str = "panic-in-lib";
 pub const BARE_ALLOW: &str = "bare-allow";
+pub const GLOBAL_METRICS: &str = "global-metrics";
 
 pub const RULES: &[Rule] = &[
     Rule {
@@ -67,6 +68,16 @@ pub const RULES: &[Rule] = &[
         summary: "every simlint::allow carries a justification",
         invariant: "suppressions are audit records; an allow without a reason \
                     cannot be reviewed",
+        ratchet: false,
+    },
+    Rule {
+        id: GLOBAL_METRICS,
+        summary: "no metrics::global() in library crates — use active()/shared()",
+        invariant: "library instrumentation resolves through the scope stack \
+                    (metrics::active) or the shared-resource escape hatch \
+                    (metrics::shared); binding the global registry directly \
+                    would bypass scoped attribution and break per-variant and \
+                    per-section snapshots",
         ratchet: false,
     },
 ];
@@ -139,6 +150,7 @@ pub fn check_file(f: &SourceFile, out: &mut Vec<Diagnostic>) {
     check_par_raw_atomic(f, out);
     check_panic_in_lib(f, out);
     check_bare_allow(f, out);
+    check_global_metrics(f, out);
 }
 
 /// Apply suppressions: a diagnostic on an allowed line (or in a file
@@ -332,6 +344,41 @@ fn check_panic_in_lib(f: &SourceFile, out: &mut Vec<Diagnostic>) {
                  invariant and suppress with simlint::allow({PANIC_IN_LIB}): <why>",
                 t.text
             ),
+        ));
+    }
+}
+
+/// R7: `metrics::global()` bound directly in library code. Binaries own
+/// the process and may snapshot/reset the global registry; sim-core is
+/// the scope machinery itself; everyone else records through
+/// `metrics::active()` so a caller-installed scope can claim the update
+/// (or `metrics::shared()` when scope attribution would be a race).
+fn check_global_metrics(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if f.rel.starts_with("crates/sim-core/") {
+        return;
+    }
+    let toks = &f.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if i < 3 || !t.is_ident("global") {
+            continue;
+        }
+        if !(toks[i - 1].is_punct(':')
+            && toks[i - 2].is_punct(':')
+            && toks[i - 3].is_ident("metrics"))
+        {
+            continue;
+        }
+        if !prod_code(f, &[FileKind::Lib], t.line) {
+            continue;
+        }
+        out.push(Diagnostic::new(
+            GLOBAL_METRICS,
+            &f.rel,
+            t.line,
+            "`metrics::global()` in library code bypasses scoped attribution; \
+             record through `metrics::active()` (scope-aware) or \
+             `metrics::shared()` (shared-resource telemetry)"
+                .to_string(),
         ));
     }
 }

@@ -1,0 +1,24 @@
+use frontier_sim_core::metrics;
+
+pub fn record_solve() {
+    if let Some(m) = metrics::active() {
+        m.counter("fabric.solve").inc();
+    }
+}
+
+pub fn record_cache_build() {
+    if let Some(m) = metrics::shared() {
+        m.counter("bench.cache.built").inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_inspect_the_global_registry() {
+        let snap = metrics::global().snapshot();
+        assert!(snap.counters.is_empty());
+    }
+}

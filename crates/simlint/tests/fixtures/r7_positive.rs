@@ -1,0 +1,9 @@
+use frontier_sim_core::metrics;
+
+pub fn record_solve() {
+    metrics::global().counter("fabric.solve").inc();
+}
+
+pub fn snapshot_now() -> metrics::MetricsSnapshot {
+    metrics::global().snapshot()
+}

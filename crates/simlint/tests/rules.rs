@@ -5,7 +5,9 @@
 //! which these tests would then fail to observe as "suppressed").
 
 use simlint::diag::Diagnostic;
-use simlint::rules::{BARE_ALLOW, HASH_ITER, PANIC_IN_LIB, PAR_RAW_ATOMIC, UNKEYED_RNG, WALLCLOCK};
+use simlint::rules::{
+    BARE_ALLOW, GLOBAL_METRICS, HASH_ITER, PANIC_IN_LIB, PAR_RAW_ATOMIC, UNKEYED_RNG, WALLCLOCK,
+};
 
 /// (rule, line, suppressed) triples for compact assertions.
 fn shape(diags: &[Diagnostic]) -> Vec<(&'static str, u32, bool)> {
@@ -169,6 +171,29 @@ fn r5_suppression_and_the_bare_allow_meta_rule() {
             (PANIC_IN_LIB, 8, true)  // ... though it does still suppress
         ]
     );
+}
+
+// ---- R7: global-metrics --------------------------------------------------
+
+#[test]
+fn r7_flags_global_registry_binding_in_lib_code() {
+    let diags = lint(LIB_PATH, include_str!("fixtures/r7_positive.rs"));
+    assert_eq!(
+        shape(&diags),
+        vec![(GLOBAL_METRICS, 4, false), (GLOBAL_METRICS, 8, false)]
+    );
+}
+
+#[test]
+fn r7_spares_active_shared_tests_bins_and_sim_core() {
+    assert!(lint(LIB_PATH, include_str!("fixtures/r7_clean.rs")).is_empty());
+    let positive = include_str!("fixtures/r7_positive.rs");
+    // Binaries own the process-level registry (snapshot/reset at exit).
+    assert!(lint("crates/campaign/src/bin/campaign.rs", positive).is_empty());
+    // Integration tests pin global behavior directly.
+    assert!(lint("crates/fabric/tests/metrics_proptests.rs", positive).is_empty());
+    // sim-core is the scope machinery itself.
+    assert!(lint("crates/sim-core/src/trace.rs", positive).is_empty());
 }
 
 // ---- workspace self-check ------------------------------------------------
