@@ -152,7 +152,9 @@ fn main() {
     // chrome://tracing view.
     // simlint::allow(wallclock): the shared origin for --trace span stamps; determinism diffs never see the trace file
     let t0 = Instant::now();
-    let spans: Mutex<Vec<(String, String, String, u64, u64)>> = Mutex::new(Vec::new());
+    // (track, name, scope, start, end) rows for the chrome trace.
+    type SpanRow = (String, String, String, u64, u64);
+    let spans: Mutex<Vec<SpanRow>> = Mutex::new(Vec::new());
     let want_trace = trace_out.is_some();
 
     let render = |name: &&str| {
@@ -161,7 +163,10 @@ fn main() {
             let (text, snap) = exp::section_text_scoped(name, scale).expect("validated above");
             (text, Some(snap))
         } else {
-            (exp::section_text(name, scale).expect("validated above"), None)
+            (
+                exp::section_text(name, scale).expect("validated above"),
+                None,
+            )
         };
         if want_trace {
             let track = rayon::current_thread_index()

@@ -52,6 +52,10 @@ pub struct Collectives<'a> {
     /// path pool survives) and refilled each round, so steady-state rounds
     /// allocate nothing.
     batch: RefCell<MessageBatch>,
+    /// Run each round on the domain-parallel DES engine
+    /// ([`crate::pdes::simulate_parallel`]) instead of the serial core.
+    /// Results are byte-identical either way; only wall-clock changes.
+    parallel: bool,
 }
 
 impl<'a> Collectives<'a> {
@@ -65,7 +69,16 @@ impl<'a> Collectives<'a> {
             seed,
             paths: RefCell::new(PathCache::new()),
             batch: RefCell::new(MessageBatch::new()),
+            parallel: false,
         }
+    }
+
+    /// Switch round simulation to the domain-parallel engine. The
+    /// parallel engine also returns the round makespan directly (max over
+    /// per-domain makespans), skipping the per-delivery re-scan.
+    pub fn with_parallel_des(mut self) -> Self {
+        self.parallel = true;
+        self
     }
 
     pub fn num_ranks(&self) -> usize {
@@ -91,7 +104,11 @@ impl<'a> Collectives<'a> {
         if batch.is_empty() {
             return SimTime::ZERO;
         }
-        makespan(self.df.topology(), &self.cfg, &batch)
+        if self.parallel {
+            crate::pdes::simulate_parallel(self.df.topology(), &self.cfg, &batch).makespan
+        } else {
+            makespan(self.df.topology(), &self.cfg, &batch)
+        }
     }
 
     /// Allreduce of `size` bytes across all ranks.

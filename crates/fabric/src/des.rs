@@ -258,6 +258,34 @@ impl MessageBatch {
             .map(|(&o, &e)| u64::from(e - o))
             .sum()
     }
+
+    /// The flat link pool (crate-internal: the parallel core reads the
+    /// arenas directly instead of re-slicing per message).
+    pub(crate) fn pool(&self) -> &[LinkId] {
+        &self.path_pool
+    }
+
+    /// Per-message span starts into the pool.
+    pub(crate) fn span_offs(&self) -> &[u32] {
+        &self.span_off
+    }
+
+    /// Per-message span ends (exclusive) into the pool.
+    pub(crate) fn span_ends(&self) -> &[u32] {
+        &self.span_end
+    }
+
+    pub(crate) fn sizes(&self) -> &[Bytes] {
+        &self.sizes
+    }
+
+    pub(crate) fn inject_ats(&self) -> &[SimTime] {
+        &self.inject_at
+    }
+
+    pub(crate) fn tags(&self) -> &[u64] {
+        &self.tags
+    }
 }
 
 /// Delivery record for one message.

@@ -469,6 +469,21 @@ pub fn victim_allreduce_des(df: &Dragonfly, cfg: &GpcnetConfig, size: Bytes) -> 
     c.allreduce(size, AllreduceAlgo::RecursiveDoubling)
 }
 
+/// [`victim_allreduce_des`] with each round simulated on the
+/// domain-parallel DES engine. Bit-identical completion time (the
+/// parallel engine is byte-exact and hands the round makespan back
+/// without a delivery re-scan); metric scopes propagate into the domain
+/// tasks via [`frontier_sim_core::metrics::Scope`].
+pub fn victim_allreduce_des_parallel(df: &Dragonfly, cfg: &GpcnetConfig, size: Bytes) -> SimTime {
+    use crate::collectives::{AllreduceAlgo, Collectives};
+    let total_nodes = cfg.nodes.min(df.params().total_nodes());
+    let (victims, _) = split_nodes(total_nodes, cfg.congestor_fraction);
+    let ranks = victim_rank_endpoints(df, &victims, cfg.ppn);
+    let c =
+        Collectives::new(df, ranks, RoutePolicy::adaptive_default(), cfg.seed).with_parallel_des();
+    c.allreduce(size, AllreduceAlgo::RecursiveDoubling)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -549,6 +564,15 @@ mod tests {
         // Bigger payloads can only take longer.
         let big = victim_allreduce_des(&df, &cfg, Bytes::kib(128));
         assert!(big >= a);
+    }
+
+    #[test]
+    fn victim_allreduce_des_parallel_is_bit_identical() {
+        let cfg = GpcnetConfig::scaled_for_tests();
+        let df = Dragonfly::build(cfg.params.clone());
+        let serial = victim_allreduce_des(&df, &cfg, Bytes::kib(128));
+        let par = victim_allreduce_des_parallel(&df, &cfg, Bytes::kib(128));
+        assert_eq!(serial, par);
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod manager;
 pub mod maxmin;
 pub mod mpigraph;
 pub mod patterns;
+pub mod pdes;
 pub mod routing;
 pub mod solver;
 pub mod topology;

@@ -8,7 +8,7 @@
 //! inside a group (the small ~1.4 % population at 17.5 GB/s), the 57 %
 //! global taper, and non-minimal routing doubling load on global pipes.
 
-use crate::des::{simulate, DesConfig, MessageBatch};
+use crate::des::{simulate, Delivery, DesConfig, MessageBatch};
 use crate::dragonfly::Dragonfly;
 use crate::fattree::FatTree;
 use crate::maxmin::solve_maxmin;
@@ -111,7 +111,26 @@ pub const DES_MESSAGE: Bytes = Bytes::new(1 << 20);
 /// ~150k messages at Frontier scale), which is exactly the workload the
 /// SoA arena + calendar queue are built for.
 pub fn run_des_with_flows(topo: &Topology, flows: &[Flow], seed: u64) -> MpiGraphResult {
-    let cfg = DesConfig::default();
+    let batch = des_batch(flows);
+    let deliveries = simulate(topo, &DesConfig::default(), &batch);
+    des_result(flows.len(), &deliveries, seed)
+}
+
+/// [`run_des_with_flows`] on the domain-parallel engine
+/// ([`crate::pdes::simulate_parallel`]): identical batch, identical
+/// deliveries (the parallel engine is byte-exact), concurrent wall-clock.
+/// The active metric [`frontier_sim_core::metrics::Scope`] is re-installed
+/// inside every domain task, so scoped telemetry attributes exactly as in
+/// the serial run.
+pub fn run_des_with_flows_parallel(topo: &Topology, flows: &[Flow], seed: u64) -> MpiGraphResult {
+    let batch = des_batch(flows);
+    let out = crate::pdes::simulate_parallel(topo, &DesConfig::default(), &batch);
+    des_result(flows.len(), &out.deliveries, seed)
+}
+
+/// The mpiGraph DES workload: every flow injects [`DES_WINDOW`] ×
+/// [`DES_MESSAGE`] back-to-back messages tagged by flow index.
+fn des_batch(flows: &[Flow]) -> MessageBatch {
     let pool: usize = flows.iter().map(|f| f.path.len()).sum();
     let mut batch = MessageBatch::with_capacity(flows.len() * DES_WINDOW, pool);
     for (i, f) in flows.iter().enumerate() {
@@ -120,9 +139,14 @@ pub fn run_des_with_flows(topo: &Topology, flows: &[Flow], seed: u64) -> MpiGrap
             batch.push(span, DES_MESSAGE, SimTime::ZERO, i as u64);
         }
     }
-    let deliveries = simulate(topo, &cfg, &batch);
-    let mut last = vec![SimTime::ZERO; flows.len()];
-    for d in &deliveries {
+    batch
+}
+
+/// Per-pair receive bandwidth from the delivery times of each flow's
+/// window: bytes sent over the arrival of the flow's last message.
+fn des_result(n_flows: usize, deliveries: &[Delivery], seed: u64) -> MpiGraphResult {
+    let mut last = vec![SimTime::ZERO; n_flows];
+    for d in deliveries {
         let i = d.tag as usize;
         last[i] = last[i].max(d.arrival);
     }
@@ -141,6 +165,21 @@ pub fn run_dragonfly_des(df: &Dragonfly, policy: RoutePolicy, seed: u64) -> MpiG
     let router = Router::new(df, policy);
     let flows = router.route_all(&pairs, 0, seed);
     run_des_with_flows(df.topology(), &flows, seed)
+}
+
+/// [`run_dragonfly_des`] on the domain-parallel DES engine: same pairs,
+/// same routing, byte-identical result, parallel wall-clock.
+pub fn run_dragonfly_des_parallel(
+    df: &Dragonfly,
+    policy: RoutePolicy,
+    seed: u64,
+) -> MpiGraphResult {
+    let n = df.params().total_endpoints();
+    let mut rng = StreamRng::for_component(seed, "mpigraph-pairs", 0);
+    let pairs = mpigraph_pairs(n, &mut rng);
+    let router = Router::new(df, policy);
+    let flows = router.route_all(&pairs, 0, seed);
+    run_des_with_flows_parallel(df.topology(), &flows, seed)
 }
 
 /// Run mpiGraph over a fat-tree.
@@ -237,6 +276,14 @@ mod tests {
         let a = run_dragonfly_des(&df, RoutePolicy::adaptive_default(), 5);
         let b = run_dragonfly_des(&df, RoutePolicy::adaptive_default(), 5);
         assert_eq!(a.rates_gb_s, b.rates_gb_s);
+    }
+
+    #[test]
+    fn des_parallel_matches_serial_exactly() {
+        let df = Dragonfly::build(DragonflyParams::scaled(8, 4, 4));
+        let serial = run_dragonfly_des(&df, RoutePolicy::adaptive_default(), 5);
+        let par = run_dragonfly_des_parallel(&df, RoutePolicy::adaptive_default(), 5);
+        assert_eq!(serial.rates_gb_s, par.rates_gb_s);
     }
 
     #[test]

@@ -1,0 +1,668 @@
+//! Conservative parallel DES over link-disjoint domains.
+//!
+//! [`simulate_parallel`] produces output **byte-identical** to the serial
+//! [`crate::des::simulate_with`] — same `Delivery` rows, same order — while
+//! running independent parts of the batch concurrently. Two levels of
+//! parallelism compose:
+//!
+//! 1. **Domain decomposition.** Two messages can only interact through a
+//!    shared link (`free_at` is the sole cross-message state in the FIFO
+//!    store-and-forward model), so union-find over each message's path
+//!    links ([`plan`]) splits the batch into link-disjoint *domains* —
+//!    the same component trick the max-min solver uses. Each domain runs
+//!    on its own scheduler with zero shared state; determinism needs no
+//!    locks, only the observation that per-domain relative `(time, seq)`
+//!    order matches the serial run (injections are pushed in message
+//!    order, and follow-ups inherit the order of their parents by
+//!    induction).
+//!
+//! 2. **Time-windowed execution inside giant domains.** All-to-all
+//!    patterns collapse into one component, so domain decomposition alone
+//!    degenerates to serial. For domains above
+//!    [`WINDOWED_MIN_DOMAIN_HOP_EVENTS`] the executor switches to bounded
+//!    conservative windows: with lookahead `δ = hop_latency + min
+//!    serialization`, every follow-up of an event in `[T, T+δ)` lands at
+//!    `≥ T+δ` (each hop pays at least the minimum serialization plus the
+//!    hop latency, and `SimTime::from_secs_f64` is monotone, so
+//!    `min_size/max_capacity` is a true lower bound). The whole window is
+//!    therefore already in the queue when it opens: drain it in one call
+//!    ([`frontier_sim_core::engine::CalendarQueue::drain_bucket_run`]
+//!    underneath `drain_until`), bucket the events by link — distinct
+//!    links share no state inside a window — process the per-link FIFO
+//!    chains in parallel, then push the follow-ups back *in drain order*
+//!    so the serial push-call sequence (and hence every seq tie-break) is
+//!    reproduced exactly.
+//!
+//! The merge is canonical: arrivals are scattered back to original
+//! message indices and zipped with the input tags, so the output vector
+//! is positionally identical to serial. [`ParallelOutcome`] also carries
+//! the makespan (max over per-domain makespans) so campaign-style loops
+//! do not need a second pass over the deliveries.
+
+use crate::des::{Delivery, DesConfig, MessageBatch, QueueKind, CALENDAR_MIN_HOP_EVENTS};
+use crate::topology::{Topology, UnionFind};
+use frontier_sim_core::metrics::{self, Scope};
+use frontier_sim_core::prelude::*;
+use rayon::prelude::*;
+
+/// Domain size (in hop events) at which the windowed executor engages.
+///
+/// Below it a domain runs serially on the scheduler picked by
+/// [`CALENDAR_MIN_HOP_EVENTS`]; at or above it the domain is executed in
+/// conservative time windows with per-link parallelism. The threshold
+/// reuses the calendar crossover: a domain too small for the calendar
+/// queue is far too small to amortize window bookkeeping.
+pub const WINDOWED_MIN_DOMAIN_HOP_EVENTS: u64 = 8_192;
+
+/// One link-disjoint execution domain of a [`PdesPlan`].
+#[derive(Debug, Clone)]
+pub struct DomainPlan {
+    /// Message indices of the batch in this domain, ascending.
+    pub messages: Vec<u32>,
+    /// Distinct links touched by the domain.
+    pub links: u32,
+    /// Hop events the domain will generate (sum of its path lengths).
+    pub hop_events: u64,
+    /// Whether the windowed executor will run this domain.
+    pub windowed: bool,
+}
+
+/// The decomposition [`simulate_parallel`] executes: link-disjoint
+/// domains in first-message order.
+#[derive(Debug, Clone, Default)]
+pub struct PdesPlan {
+    pub domains: Vec<DomainPlan>,
+    /// Links whose `free_at` timeline is cut across window boundaries —
+    /// the sum of link counts over windowed domains. Zero when every
+    /// domain runs serially (fully disjoint workloads).
+    pub windowed_links: u64,
+}
+
+impl PdesPlan {
+    /// Domains the windowed executor will run.
+    pub fn windowed_domains(&self) -> usize {
+        self.domains.iter().filter(|d| d.windowed).count()
+    }
+}
+
+/// Result of a partitioned run: deliveries in input order (byte-identical
+/// to serial) plus the batch makespan, computed as the max over per-domain
+/// makespans so callers do not re-scan the deliveries.
+#[derive(Debug, Clone)]
+pub struct ParallelOutcome {
+    pub deliveries: Vec<Delivery>,
+    pub makespan: SimTime,
+}
+
+/// Partition `batch` into link-disjoint domains by union-find over each
+/// message's path links. Domains are ordered by their first message;
+/// `messages` within a domain stay ascending, which is what makes the
+/// per-domain injection order match the serial one.
+pub fn plan(batch: &MessageBatch) -> PdesPlan {
+    if batch.is_empty() {
+        return PdesPlan::default();
+    }
+    let pool = batch.pool();
+    let offs = batch.span_offs();
+    let ends = batch.span_ends();
+
+    let num_links = pool.iter().map(|l| l.0).max().map_or(0, |m| m + 1);
+    let mut uf = UnionFind::new(num_links as usize);
+    for i in 0..batch.len() {
+        let span = &pool[offs[i] as usize..ends[i] as usize];
+        let first = span[0].0;
+        for l in &span[1..] {
+            uf.union(first, l.0);
+        }
+    }
+
+    // Slot assignment in first-message order; stamp arrays keep this O(1)
+    // per link without hashing.
+    let mut slot_of_root = vec![u32::MAX; num_links as usize];
+    let mut link_domain = vec![u32::MAX; num_links as usize];
+    let mut domains: Vec<DomainPlan> = Vec::new();
+    for i in 0..batch.len() {
+        let span = &pool[offs[i] as usize..ends[i] as usize];
+        let root = uf.find(span[0].0) as usize;
+        let slot = if slot_of_root[root] == u32::MAX {
+            let s = domains.len() as u32;
+            slot_of_root[root] = s;
+            domains.push(DomainPlan {
+                messages: Vec::new(),
+                links: 0,
+                hop_events: 0,
+                windowed: false,
+            });
+            s
+        } else {
+            slot_of_root[root]
+        };
+        let d = &mut domains[slot as usize];
+        d.messages.push(i as u32);
+        d.hop_events += span.len() as u64;
+        for l in span {
+            let li = l.0 as usize;
+            if link_domain[li] != slot {
+                link_domain[li] = slot;
+                d.links += 1;
+            }
+        }
+    }
+
+    let mut windowed_links = 0u64;
+    for d in &mut domains {
+        d.windowed = d.hop_events >= WINDOWED_MIN_DOMAIN_HOP_EVENTS;
+        if d.windowed {
+            windowed_links += u64::from(d.links);
+        }
+    }
+    PdesPlan {
+        domains,
+        windowed_links,
+    }
+}
+
+/// DES event inside a domain: local message `msg` has reached the link at
+/// local pool index `cursor` of its path. Mirrors `des::Hop`.
+#[derive(Debug, Clone, Copy)]
+struct Hop {
+    msg: u32,
+    cursor: u32,
+}
+
+/// A domain's private struct-of-arrays world: paths remapped to a dense
+/// local link space so `free_at`/`cap_bps` are domain-sized, plus the
+/// original message indices for the canonical merge.
+struct SubBatch {
+    /// Local link index per hop, concatenated per message.
+    pool: Vec<u32>,
+    /// Per-message span start in `pool`.
+    span_off: Vec<u32>,
+    /// Per-message span end (exclusive) in `pool`.
+    span_end: Vec<u32>,
+    size_f64: Vec<f64>,
+    inject_at: Vec<SimTime>,
+    /// Local link capacities, bytes/sec (same pre-conversion as serial so
+    /// the serialization divide is bit-identical).
+    cap_bps: Vec<f64>,
+    /// Original batch index of each local message, ascending.
+    orig: Vec<u32>,
+    hop_events: u64,
+    windowed: bool,
+}
+
+struct DomainResult {
+    /// Arrival per local message.
+    arrivals: Vec<SimTime>,
+    makespan: SimTime,
+    windows: u64,
+}
+
+/// Build the per-domain arenas sequentially (one shared stamp array), so
+/// the parallel phase starts with fully independent inputs.
+fn build_subbatches(topo: &Topology, batch: &MessageBatch, plan: &PdesPlan) -> Vec<SubBatch> {
+    let pool = batch.pool();
+    let offs = batch.span_offs();
+    let ends = batch.span_ends();
+    let sizes = batch.sizes();
+    let injects = batch.inject_ats();
+    let links = topo.links();
+
+    let mut local_of = vec![u32::MAX; topo.num_links() as usize];
+    let mut used: Vec<u32> = Vec::new();
+    plan.domains
+        .iter()
+        .map(|d| {
+            let mut sub = SubBatch {
+                pool: Vec::with_capacity(d.hop_events as usize),
+                span_off: Vec::with_capacity(d.messages.len()),
+                span_end: Vec::with_capacity(d.messages.len()),
+                size_f64: Vec::with_capacity(d.messages.len()),
+                inject_at: Vec::with_capacity(d.messages.len()),
+                cap_bps: Vec::with_capacity(d.links as usize),
+                orig: d.messages.clone(),
+                hop_events: d.hop_events,
+                windowed: d.windowed,
+            };
+            used.clear();
+            for &mi in &d.messages {
+                let i = mi as usize;
+                sub.span_off.push(sub.pool.len() as u32);
+                for l in &pool[offs[i] as usize..ends[i] as usize] {
+                    let gi = l.0;
+                    let local = if local_of[gi as usize] == u32::MAX {
+                        let lo = sub.cap_bps.len() as u32;
+                        local_of[gi as usize] = lo;
+                        sub.cap_bps
+                            .push(links[gi as usize].capacity.as_bytes_per_sec());
+                        used.push(gi);
+                        lo
+                    } else {
+                        local_of[gi as usize]
+                    };
+                    sub.pool.push(local);
+                }
+                sub.span_end.push(sub.pool.len() as u32);
+                sub.size_f64.push(sizes[i].as_f64());
+                sub.inject_at.push(injects[i]);
+            }
+            for &gi in &used {
+                local_of[gi as usize] = u32::MAX;
+            }
+            sub
+        })
+        .collect()
+}
+
+/// Simulate a batch with the domain-parallel engine. Deliveries are
+/// byte-identical to [`crate::des::simulate_with`] under either scheduler;
+/// the makespan comes back alongside so batch-completion callers skip the
+/// delivery re-scan.
+pub fn simulate_parallel(
+    topo: &Topology,
+    cfg: &DesConfig,
+    batch: &MessageBatch,
+) -> ParallelOutcome {
+    if batch.is_empty() {
+        return ParallelOutcome {
+            deliveries: Vec::new(),
+            makespan: SimTime::ZERO,
+        };
+    }
+
+    let plan = plan(batch);
+    let subs = build_subbatches(topo, batch, &plan);
+
+    // `Scope::par_map` re-installs the caller's metric scope inside each
+    // rayon task, so per-domain telemetry lands in the right snapshot.
+    let results = Scope::current().par_map(&subs, |sub| run_domain(cfg, sub));
+
+    let mut arrivals = vec![SimTime::MAX; batch.len()];
+    let mut makespan = SimTime::ZERO;
+    let mut windows = 0u64;
+    for (sub, res) in subs.iter().zip(&results) {
+        for (k, &orig) in sub.orig.iter().enumerate() {
+            arrivals[orig as usize] = res.arrivals[k];
+        }
+        makespan = makespan.max(res.makespan);
+        windows += res.windows;
+    }
+
+    if let Some(m) = metrics::active() {
+        m.counter("fabric.des.messages").add(batch.len() as u64);
+        m.counter("fabric.des.events").add(batch.total_hops());
+        m.max_gauge("fabric.des.makespan_ns_max")
+            .observe(makespan.as_nanos_f64());
+        m.counter("fabric.pdes.domains")
+            .add(plan.domains.len() as u64);
+        m.counter("fabric.pdes.windowed_domains")
+            .add(plan.windowed_domains() as u64);
+        m.counter("fabric.pdes.windowed_links")
+            .add(plan.windowed_links);
+        m.counter("fabric.pdes.windows").add(windows);
+    }
+
+    let deliveries = arrivals
+        .into_iter()
+        .zip(batch.tags())
+        .map(|(arrival, &tag)| Delivery { tag, arrival })
+        .collect();
+    ParallelOutcome {
+        deliveries,
+        makespan,
+    }
+}
+
+fn run_domain(cfg: &DesConfig, sub: &SubBatch) -> DomainResult {
+    if sub.windowed {
+        run_windowed(cfg, sub)
+    } else if sub.hop_events >= CALENDAR_MIN_HOP_EVENTS {
+        run_serial(cfg, sub, CalendarQueue::with_capacity(sub.orig.len()))
+    } else {
+        run_serial(cfg, sub, EventQueue::with_capacity(sub.orig.len()))
+    }
+}
+
+/// Serial per-domain run: the `des::run_hops` hot loop over the local
+/// arenas. Same arithmetic, same `(time, seq)` order, local indices.
+fn run_serial<Q: EventScheduler<Hop>>(cfg: &DesConfig, sub: &SubBatch, queue: Q) -> DomainResult {
+    let mut sim = Simulator::over(queue);
+    for (k, &at) in sub.inject_at.iter().enumerate() {
+        sim.schedule_at(
+            at + cfg.send_overhead,
+            Hop {
+                msg: k as u32,
+                cursor: sub.span_off[k],
+            },
+        );
+    }
+
+    let mut free_at = vec![SimTime::ZERO; sub.cap_bps.len()];
+    let mut arrivals = vec![SimTime::MAX; sub.orig.len()];
+    let pool = &sub.pool[..];
+    let span_end = &sub.span_end[..];
+    let (size_f64, cap_bps) = (&sub.size_f64[..], &sub.cap_bps[..]);
+    sim.run(|sim, t, Hop { msg, cursor }| {
+        let m = msg as usize;
+        let link = pool[cursor as usize] as usize;
+        let start = t.max(free_at[link]);
+        let done = start + SimTime::from_secs_f64(size_f64[m] / cap_bps[link]);
+        free_at[link] = done;
+        let next = cursor + 1;
+        if next < span_end[m] {
+            sim.schedule_at(done + cfg.hop_latency, Hop { msg, cursor: next });
+        } else {
+            arrivals[m] = done + cfg.recv_overhead;
+        }
+        true
+    });
+
+    let makespan = arrivals.iter().fold(SimTime::ZERO, |a, &t| a.max(t));
+    DomainResult {
+        arrivals,
+        makespan,
+        windows: 0,
+    }
+}
+
+/// Conservative time-windowed run of one (giant) domain.
+///
+/// Lookahead: `δ = hop_latency + from_secs_f64(min_size / max_cap)`.
+/// Every hop's serialization is `from_secs_f64(size/cap)` with
+/// `size ≥ min_size` and `cap ≤ max_cap`, and both the divide and the
+/// rounding are monotone, so every follow-up of an event at `t ∈ [T, T+δ)`
+/// lands at `done + hop_latency ≥ t + δ ≥ T + δ` — outside the window.
+/// The window's events are therefore all present at drain time, and
+/// events on distinct links are independent within it.
+fn run_windowed(cfg: &DesConfig, sub: &SubBatch) -> DomainResult {
+    let min_size = sub.size_f64.iter().copied().fold(f64::INFINITY, f64::min);
+    let max_cap = sub.cap_bps.iter().copied().fold(0.0f64, f64::max);
+    let delta = cfg.hop_latency + SimTime::from_secs_f64(min_size / max_cap);
+    if delta == SimTime::ZERO || sub.orig.len() < 2 {
+        // Zero lookahead (degenerate config) or nothing to overlap.
+        return run_serial(cfg, sub, CalendarQueue::with_capacity(sub.orig.len()));
+    }
+
+    let mut queue: CalendarQueue<Hop> = CalendarQueue::with_capacity(sub.orig.len());
+    for (k, &at) in sub.inject_at.iter().enumerate() {
+        queue.push(
+            at + cfg.send_overhead,
+            Hop {
+                msg: k as u32,
+                cursor: sub.span_off[k],
+            },
+        );
+    }
+
+    let mut free_at = vec![SimTime::ZERO; sub.cap_bps.len()];
+    let mut arrivals = vec![SimTime::MAX; sub.orig.len()];
+    let pool = &sub.pool[..];
+    let span_end = &sub.span_end[..];
+    let (size_f64, cap_bps) = (&sub.size_f64[..], &sub.cap_bps[..]);
+
+    // Reused window buffers.
+    let mut drained: Vec<(SimTime, Hop)> = Vec::new();
+    let mut order: Vec<u32> = Vec::new();
+    let mut pos_of: Vec<u32> = Vec::new();
+    let mut done_sorted: Vec<SimTime> = Vec::new();
+    let mut ranges: Vec<(u32, std::ops::Range<usize>)> = Vec::new();
+    let mut windows = 0u64;
+
+    while let Some(t0) = queue.peek_time() {
+        // Half-open window [t0, t0+δ): times are integer picoseconds, so
+        // the inclusive drain deadline is t0+δ minus one pico.
+        let deadline = SimTime::from_picos((t0 + delta).as_picos() - 1);
+        drained.clear();
+        queue.drain_until(deadline, &mut drained);
+        windows += 1;
+        let n = drained.len();
+
+        // Stable bucket-by-link: sort the drain-index permutation by
+        // (link, drain position) so each link keeps its (time, seq) FIFO
+        // order while distinct links become contiguous groups.
+        order.clear();
+        order.extend(0..n as u32);
+        order.sort_unstable_by_key(|&d| (pool[drained[d as usize].1.cursor as usize], d));
+        ranges.clear();
+        let mut at = 0usize;
+        while at < n {
+            let link = pool[drained[order[at] as usize].1.cursor as usize];
+            let mut end = at + 1;
+            while end < n && pool[drained[order[end] as usize].1.cursor as usize] == link {
+                end += 1;
+            }
+            ranges.push((link, at..end));
+            at = end;
+        }
+
+        // Carve one &mut slice of the results buffer per link group, then
+        // process groups in parallel: each group folds its own FIFO chain
+        // over a private `free` cursor — no shared mutable state, no
+        // atomics (free_at itself is only read here, written back below).
+        done_sorted.clear();
+        done_sorted.resize(n, SimTime::ZERO);
+        let mut groups: Vec<(u32, &[u32], &mut [SimTime])> = Vec::with_capacity(ranges.len());
+        let mut rest: &mut [SimTime] = &mut done_sorted;
+        for (link, r) in &ranges {
+            let (head, tail) = rest.split_at_mut(r.len());
+            rest = tail;
+            groups.push((*link, &order[r.clone()], head));
+        }
+        let drained_ref = &drained;
+        let free_ref = &free_at;
+        groups.into_par_iter().for_each(|(link, idxs, out)| {
+            let l = link as usize;
+            let mut free = free_ref[l];
+            for (j, &d) in idxs.iter().enumerate() {
+                let (t, Hop { msg, .. }) = drained_ref[d as usize];
+                let start = t.max(free);
+                free = start + SimTime::from_secs_f64(size_f64[msg as usize] / cap_bps[l]);
+                out[j] = free;
+            }
+        });
+        for (link, r) in &ranges {
+            free_at[*link as usize] = done_sorted[r.end - 1];
+        }
+
+        // Push follow-ups in drain order: this reproduces the serial
+        // push-call sequence exactly, so seq tie-breaking in later
+        // windows is identical to the serial run.
+        pos_of.clear();
+        pos_of.resize(n, 0);
+        for (p, &d) in order.iter().enumerate() {
+            pos_of[d as usize] = p as u32;
+        }
+        for (d, &(_, Hop { msg, cursor })) in drained.iter().enumerate() {
+            let m = msg as usize;
+            let done = done_sorted[pos_of[d] as usize];
+            let next = cursor + 1;
+            if next < span_end[m] {
+                queue.push(done + cfg.hop_latency, Hop { msg, cursor: next });
+            } else {
+                arrivals[m] = done + cfg.recv_overhead;
+            }
+        }
+    }
+
+    let makespan = arrivals.iter().fold(SimTime::ZERO, |a, &t| a.max(t));
+    DomainResult {
+        arrivals,
+        makespan,
+        windows,
+    }
+}
+
+/// [`simulate_parallel`] restricted to the serial engine, for apples-to-
+/// apples parity and speedup measurement: same partitioning and merge,
+/// but every domain forced through the serial scheduler `kind`.
+pub fn simulate_partitioned_serial(
+    topo: &Topology,
+    cfg: &DesConfig,
+    batch: &MessageBatch,
+    kind: QueueKind,
+) -> ParallelOutcome {
+    if batch.is_empty() {
+        return ParallelOutcome {
+            deliveries: Vec::new(),
+            makespan: SimTime::ZERO,
+        };
+    }
+    let plan = plan(batch);
+    let subs = build_subbatches(topo, batch, &plan);
+    let results: Vec<DomainResult> = subs
+        .iter()
+        .map(|sub| match kind {
+            QueueKind::Calendar => {
+                run_serial(cfg, sub, CalendarQueue::with_capacity(sub.orig.len()))
+            }
+            QueueKind::BinaryHeap => {
+                run_serial(cfg, sub, EventQueue::with_capacity(sub.orig.len()))
+            }
+        })
+        .collect();
+    let mut arrivals = vec![SimTime::MAX; batch.len()];
+    let mut makespan = SimTime::ZERO;
+    for (sub, res) in subs.iter().zip(&results) {
+        for (k, &orig) in sub.orig.iter().enumerate() {
+            arrivals[orig as usize] = res.arrivals[k];
+        }
+        makespan = makespan.max(res.makespan);
+    }
+    let deliveries = arrivals
+        .into_iter()
+        .zip(batch.tags())
+        .map(|(arrival, &tag)| Delivery { tag, arrival })
+        .collect();
+    ParallelOutcome {
+        deliveries,
+        makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::des::{simulate_with, QueueKind};
+    use crate::topology::{LinkId, SwitchId};
+
+    fn star(pairs: usize) -> (Topology, Vec<Vec<LinkId>>) {
+        let mut t = Topology::new();
+        t.add_switches(1);
+        let mut paths = Vec::new();
+        for _ in 0..pairs {
+            let a = t.add_endpoint(SwitchId(0), Bandwidth::gb_s(10.0));
+            let b = t.add_endpoint(SwitchId(0), Bandwidth::gb_s(10.0));
+            paths.push(vec![t.injection_link(a), t.ejection_link(b)]);
+        }
+        (t, paths)
+    }
+
+    #[test]
+    fn disjoint_pairs_make_one_domain_each() {
+        let (_, paths) = star(4);
+        let mut batch = MessageBatch::new();
+        for (i, p) in paths.iter().enumerate() {
+            batch.push_path(p, Bytes::kib(64), SimTime::ZERO, i as u64);
+        }
+        let plan = plan(&batch);
+        assert_eq!(plan.domains.len(), 4);
+        assert!(plan.domains.iter().all(|d| !d.windowed && d.links == 2));
+        assert_eq!(plan.windowed_links, 0);
+    }
+
+    #[test]
+    fn shared_link_merges_domains() {
+        let (t, paths) = star(2);
+        let mut batch = MessageBatch::new();
+        batch.push_path(&paths[0], Bytes::kib(64), SimTime::ZERO, 0);
+        batch.push_path(&paths[1], Bytes::kib(64), SimTime::ZERO, 1);
+        // A third message bridging both pairs' links.
+        let bridge = vec![paths[0][0], paths[1][1]];
+        batch.push_path(&bridge, Bytes::kib(64), SimTime::ZERO, 2);
+        let plan = plan(&batch);
+        assert_eq!(plan.domains.len(), 1);
+        assert_eq!(plan.domains[0].messages, vec![0, 1, 2]);
+        let out = simulate_parallel(&t, &DesConfig::default(), &batch);
+        let serial = simulate_with(&t, &DesConfig::default(), &batch, QueueKind::Calendar);
+        assert_eq!(out.deliveries, serial);
+    }
+
+    #[test]
+    fn parallel_matches_serial_and_returns_makespan() {
+        let (t, paths) = star(8);
+        let cfg = DesConfig::default();
+        let mut batch = MessageBatch::new();
+        for (i, p) in paths.iter().enumerate() {
+            for k in 0..6u64 {
+                batch.push_path(
+                    p,
+                    Bytes::kib(1 + (i as u64 * 37 + k * 11) % 512),
+                    SimTime::from_nanos(k % 4),
+                    i as u64 * 10 + k,
+                );
+            }
+        }
+        let out = simulate_parallel(&t, &cfg, &batch);
+        let serial = simulate_with(&t, &cfg, &batch, QueueKind::BinaryHeap);
+        assert_eq!(out.deliveries, serial);
+        let scan = serial
+            .iter()
+            .map(|d| d.arrival)
+            .fold(SimTime::ZERO, SimTime::max);
+        assert_eq!(out.makespan, scan);
+    }
+
+    #[test]
+    fn empty_batch_is_empty_outcome() {
+        let (t, _) = star(1);
+        let out = simulate_parallel(&t, &DesConfig::default(), &MessageBatch::new());
+        assert!(out.deliveries.is_empty());
+        assert_eq!(out.makespan, SimTime::ZERO);
+    }
+
+    #[test]
+    fn windowed_executor_is_exact_on_contended_link() {
+        // One shared pair pushed over the windowed threshold: every
+        // message contends on the same two links, so the windowed
+        // executor's per-link chains and follow-up ordering are fully
+        // exercised against the serial oracle.
+        let (t, paths) = star(1);
+        let cfg = DesConfig::default();
+        let mut batch = MessageBatch::new();
+        let span = batch.intern(&paths[0]);
+        let msgs = WINDOWED_MIN_DOMAIN_HOP_EVENTS / 2 + 64;
+        for i in 0..msgs {
+            batch.push(
+                span,
+                Bytes::kib(1 + (i * 37) % 512),
+                SimTime::from_nanos((i * 13) % 2_000),
+                i,
+            );
+        }
+        let p = plan(&batch);
+        assert_eq!(p.domains.len(), 1);
+        assert!(p.domains[0].windowed, "domain must engage windowed mode");
+        let out = simulate_parallel(&t, &cfg, &batch);
+        let serial = simulate_with(&t, &cfg, &batch, QueueKind::Calendar);
+        assert_eq!(out.deliveries, serial);
+    }
+
+    #[test]
+    fn windowed_crossover_pins_threshold() {
+        let (_, paths) = star(1);
+        let mut batch = MessageBatch::new();
+        let span = batch.intern(&paths[0]);
+        let below = WINDOWED_MIN_DOMAIN_HOP_EVENTS / paths[0].len() as u64 - 1;
+        for i in 0..below {
+            batch.push(span, Bytes::kib(4), SimTime::ZERO, i);
+        }
+        let p = plan(&batch);
+        assert!(!p.domains[0].windowed);
+        for i in 0..paths[0].len() as u64 {
+            batch.push(span, Bytes::kib(4), SimTime::ZERO, below + i);
+        }
+        let p = plan(&batch);
+        assert!(p.domains[0].windowed);
+        assert_eq!(p.windowed_links, u64::from(p.domains[0].links));
+    }
+}

@@ -1,0 +1,227 @@
+//! Property-based parity tests for the domain-parallel DES engine.
+//!
+//! The contract is stronger than "statistically close": every delivery of
+//! [`frontier_fabric::pdes::simulate_parallel`] must be **byte-identical**
+//! to the serial [`simulate_with`] under both schedulers, across the three
+//! structural regimes the partitioner produces — fully link-disjoint
+//! batches (many domains), overlapping batches (few merged domains), and
+//! single-component all-to-all style batches (the windowed executor).
+
+use frontier_fabric::des::{simulate_with, DesConfig, Message, MessageBatch, QueueKind};
+use frontier_fabric::dragonfly::{Dragonfly, DragonflyParams};
+use frontier_fabric::pdes::{
+    plan, simulate_parallel, simulate_partitioned_serial, WINDOWED_MIN_DOMAIN_HOP_EVENTS,
+};
+use frontier_fabric::routing::{RoutePolicy, Router};
+use frontier_fabric::topology::EndpointId;
+use frontier_sim_core::prelude::*;
+use proptest::prelude::*;
+
+fn df() -> Dragonfly {
+    Dragonfly::build(DragonflyParams::scaled(4, 4, 4))
+}
+
+/// Route `n_msgs` random messages over the dragonfly (same generator as
+/// `des_proptests::random_batch`): sources/destinations collide freely, so
+/// domains overlap and merge unpredictably.
+fn random_batch(
+    df: &Dragonfly,
+    n_msgs: usize,
+    size_kib: u64,
+    max_skew_ns: u64,
+    seed: u64,
+) -> MessageBatch {
+    let router = Router::new(df, RoutePolicy::Minimal);
+    let mut rng = StreamRng::from_seed(seed);
+    let ne = df.params().total_endpoints();
+    let msgs: Vec<Message> = (0..n_msgs)
+        .map(|i| {
+            let s = rng.index(ne);
+            let mut d = rng.index(ne);
+            if d == s {
+                d = (d + 1) % ne;
+            }
+            let inject = if max_skew_ns == 0 {
+                SimTime::ZERO
+            } else {
+                SimTime::from_nanos(rng.int_range(0, max_skew_ns + 1))
+            };
+            Message {
+                path: router
+                    .route(EndpointId(s as u32), EndpointId(d as u32), &mut rng)
+                    .into(),
+                size: Bytes::kib(size_kib),
+                inject_at: inject,
+                tag: i as u64,
+            }
+        })
+        .collect();
+    MessageBatch::from_messages(&msgs)
+}
+
+/// Disjoint regime: distinct (src, dst) pairs with non-overlapping
+/// endpoints, so injection/ejection links never collide and minimal paths
+/// rarely share fabric links — the partitioner should find many domains.
+fn disjoint_batch(df: &Dragonfly, n_pairs: usize, size_kib: u64, seed: u64) -> MessageBatch {
+    let router = Router::new(df, RoutePolicy::Minimal);
+    let mut rng = StreamRng::from_seed(seed);
+    let ne = df.params().total_endpoints();
+    let mut batch = MessageBatch::new();
+    for i in 0..n_pairs.min(ne / 2) {
+        let s = (2 * i) as u32;
+        let d = (2 * i + 1) as u32;
+        let path = router.route(EndpointId(s), EndpointId(d), &mut rng);
+        batch.push_path(&path, Bytes::kib(size_kib), SimTime::ZERO, i as u64);
+    }
+    batch
+}
+
+/// Single-component regime: every message crosses one shared hot pair, so
+/// union-find collapses the batch into one domain; above the hop-event
+/// threshold the windowed executor engages.
+fn hot_batch(df: &Dragonfly, n_msgs: u64, size_kib: u64, skew_ns: u64, seed: u64) -> MessageBatch {
+    let router = Router::new(df, RoutePolicy::Minimal);
+    let mut rng = StreamRng::from_seed(seed);
+    let mut batch = MessageBatch::new();
+    let span = batch.intern(&router.route(EndpointId(0), EndpointId(1), &mut rng));
+    for i in 0..n_msgs {
+        let inject = if skew_ns == 0 {
+            SimTime::ZERO
+        } else {
+            SimTime::from_nanos(rng.int_range(0, skew_ns + 1))
+        };
+        batch.push(span, Bytes::kib(size_kib), inject, i);
+    }
+    batch
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Overlapping random batches: parallel output equals serial under
+    /// BOTH schedulers, and the returned makespan equals the delivery
+    /// scan.
+    #[test]
+    fn parallel_matches_serial_on_random_batches(
+        n_msgs in 1usize..48,
+        size_kib in 1u64..4_096,
+        skew_ns in 0u64..2_000,
+        seed in 0u64..1_000,
+    ) {
+        let df = df();
+        let cfg = DesConfig::default();
+        let batch = random_batch(&df, n_msgs, size_kib, skew_ns, seed);
+        let out = simulate_parallel(df.topology(), &cfg, &batch);
+        let cal = simulate_with(df.topology(), &cfg, &batch, QueueKind::Calendar);
+        let heap = simulate_with(df.topology(), &cfg, &batch, QueueKind::BinaryHeap);
+        prop_assert_eq!(&out.deliveries, &cal);
+        prop_assert_eq!(&out.deliveries, &heap);
+        let scan = cal.iter().map(|d| d.arrival).fold(SimTime::ZERO, SimTime::max);
+        prop_assert_eq!(out.makespan, scan);
+    }
+
+    /// Link-disjoint batches decompose into one domain per pair and still
+    /// merge back byte-identically.
+    #[test]
+    fn parallel_matches_serial_on_disjoint_batches(
+        n_pairs in 1usize..16,
+        size_kib in 1u64..2_048,
+        seed in 0u64..500,
+    ) {
+        let df = df();
+        let cfg = DesConfig::default();
+        let batch = disjoint_batch(&df, n_pairs, size_kib, seed);
+        let p = plan(&batch);
+        prop_assert!(!p.domains.is_empty());
+        let out = simulate_parallel(df.topology(), &cfg, &batch);
+        let serial = simulate_with(df.topology(), &cfg, &batch, QueueKind::BinaryHeap);
+        prop_assert_eq!(out.deliveries, serial);
+    }
+
+    /// Single-component batches large enough to engage the windowed
+    /// executor stay exact: window draining, per-link chains, and
+    /// follow-up re-insertion reproduce the serial `free_at` timeline.
+    #[test]
+    fn windowed_single_component_is_exact(
+        extra in 0u64..256,
+        size_kib in 1u64..512,
+        skew_ns in 0u64..50_000,
+        seed in 0u64..200,
+    ) {
+        let df = df();
+        let cfg = DesConfig::default();
+        // Enough messages that hop_events crosses the windowed threshold.
+        let hops_per_msg = hot_batch(&df, 1, 4, 0, seed).total_hops();
+        let n = WINDOWED_MIN_DOMAIN_HOP_EVENTS / hops_per_msg + extra;
+        let batch = hot_batch(&df, n, size_kib, skew_ns, seed);
+        let p = plan(&batch);
+        prop_assert_eq!(p.domains.len(), 1);
+        prop_assert!(p.domains[0].windowed, "hot batch must be windowed");
+        let out = simulate_parallel(df.topology(), &cfg, &batch);
+        let serial = simulate_with(df.topology(), &cfg, &batch, QueueKind::Calendar);
+        prop_assert_eq!(out.deliveries, serial);
+    }
+
+    /// The partition itself is sound independent of windowing: forcing
+    /// every domain through either serial scheduler reproduces the
+    /// un-partitioned run, and the partition covers each message exactly
+    /// once.
+    #[test]
+    fn partition_is_exact_and_covering(
+        n_msgs in 1usize..48,
+        size_kib in 1u64..2_048,
+        skew_ns in 0u64..2_000,
+        seed in 0u64..1_000,
+    ) {
+        let df = df();
+        let cfg = DesConfig::default();
+        let batch = random_batch(&df, n_msgs, size_kib, skew_ns, seed);
+        let p = plan(&batch);
+        let mut seen = vec![false; batch.len()];
+        for d in &p.domains {
+            for &m in &d.messages {
+                prop_assert!(!seen[m as usize], "message {} in two domains", m);
+                seen[m as usize] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        let serial = simulate_with(df.topology(), &cfg, &batch, QueueKind::Calendar);
+        for kind in [QueueKind::Calendar, QueueKind::BinaryHeap] {
+            let part = simulate_partitioned_serial(df.topology(), &cfg, &batch, kind);
+            prop_assert_eq!(&part.deliveries, &serial);
+        }
+    }
+}
+
+/// Crossover pin (not a proptest: the boundary is deterministic). A
+/// single-component batch one hop-event below
+/// [`WINDOWED_MIN_DOMAIN_HOP_EVENTS`] runs serially; at the threshold the
+/// windowed executor engages — and both sides stay byte-exact.
+#[test]
+fn windowed_crossover_is_pinned_and_exact() {
+    let df = df();
+    let cfg = DesConfig::default();
+    let hops_per_msg = {
+        let probe = hot_batch(&df, 1, 4, 0, 9);
+        probe.total_hops()
+    };
+    let below_n = WINDOWED_MIN_DOMAIN_HOP_EVENTS / hops_per_msg - 1;
+    let below = hot_batch(&df, below_n, 4, 0, 9);
+    assert!(below.total_hops() < WINDOWED_MIN_DOMAIN_HOP_EVENTS);
+    let p = plan(&below);
+    assert_eq!(p.domains.len(), 1);
+    assert!(!p.domains[0].windowed);
+    assert_eq!(p.windowed_links, 0);
+
+    let at = hot_batch(&df, below_n + 1, 4, 0, 9);
+    assert!(at.total_hops() >= WINDOWED_MIN_DOMAIN_HOP_EVENTS);
+    let p = plan(&at);
+    assert!(p.domains[0].windowed);
+    assert!(p.windowed_links > 0);
+
+    for batch in [&below, &at] {
+        let out = simulate_parallel(df.topology(), &cfg, batch);
+        let serial = simulate_with(df.topology(), &cfg, batch, QueueKind::Calendar);
+        assert_eq!(out.deliveries, serial);
+    }
+}

@@ -75,6 +75,27 @@ pub trait EventScheduler<E> {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+    /// Pop every event due at or before `deadline` into `out`, preserving
+    /// the global `(time, seq)` delivery order. Returns how many were
+    /// drained. This is the window primitive of conservative parallel
+    /// execution: a caller with a lookahead bound drains one bounded
+    /// window, processes it out of line, and pushes the follow-ups back.
+    ///
+    /// The default is pop-at-a-time; implementations with cheaper batch
+    /// extraction (see [`CalendarQueue::drain_bucket_run`]) override it.
+    fn drain_until(&mut self, deadline: SimTime, out: &mut Vec<(SimTime, E)>) -> usize {
+        let mut n = 0;
+        while self.peek_time().is_some_and(|t| t <= deadline) {
+            match self.pop() {
+                Some(ev) => {
+                    out.push(ev);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
 }
 
 /// A deterministic priority queue of timestamped events.
@@ -249,6 +270,16 @@ impl<E> Bucket<E> {
         }
     }
 
+    /// Pop the bucket's `(time, seq)` minimum only if it is due exactly at
+    /// `t`. Lets a run drain stop at a timestamp boundary without a
+    /// separate peek.
+    fn pop_if_time(&mut self, t: SimTime) -> Option<Scheduled<E>> {
+        match self.peek() {
+            Some(top) if top.time == t => self.pop(),
+            _ => None,
+        }
+    }
+
     /// Move every event into `out` (arbitrary order), keeping both
     /// halves' allocations for reuse.
     fn drain_into(&mut self, out: &mut Vec<Scheduled<E>>) {
@@ -310,6 +341,22 @@ pub struct CalendarQueue<E> {
     /// eager [`CAL_PROVISIONAL_WASTE`] budget instead of the lax
     /// [`CAL_WASTE_FACTOR`]-based one.
     width_provisional: bool,
+    /// `(bucket, time)` of the current global minimum, when known.
+    /// `None` means *unknown*, not *empty* (`len` answers that). Pushes
+    /// keep a known minimum fresh in O(1) (a new event either beats it
+    /// or cannot be it); pops re-validate in O(1) when the drained
+    /// bucket still holds events of the current year, and otherwise
+    /// leave the cache unknown so the locating sweep runs at the *next*
+    /// pop — after any follow-up pushes have landed, which keeps the
+    /// sweep as short as it was before the cache existed. Makes
+    /// [`CalendarQueue::peek_time`] a pure `&self` read (falling back to
+    /// a non-mutating scan while unknown), so the [`EventScheduler`]
+    /// trait needs no mutable peek and generic window code can inspect
+    /// the head without exclusive access.
+    ///
+    /// Invariant: whenever this is `Some((b, t))`, `t` is the true
+    /// global minimum, `b` is its bucket, and `cur_year` is `t`'s year.
+    cached_next: Option<(usize, SimTime)>,
 }
 
 impl<E> Default for CalendarQueue<E> {
@@ -331,6 +378,7 @@ impl<E> CalendarQueue<E> {
             calibrate_at: usize::MAX,
             waste: 0,
             width_provisional: true,
+            cached_next: None,
         }
     }
 
@@ -350,6 +398,7 @@ impl<E> CalendarQueue<E> {
             calibrate_at: (n / 2).max(CAL_MIN_BUCKETS),
             waste: 0,
             width_provisional: true,
+            cached_next: None,
         }
     }
 
@@ -399,6 +448,17 @@ impl<E> CalendarQueue<E> {
         let b = self.bucket_of(ps);
         self.buckets[b].push(Scheduled { time, seq, payload });
         self.len += 1;
+        // A new event is the minimum iff it beats a known minimum; equal
+        // times keep the incumbent (its seq is lower — and equal times
+        // land in the same bucket anyway). An unknown cache stays
+        // unknown: one push can't reveal the rest of the queue. The sole
+        // event of a previously empty queue is trivially the minimum.
+        match self.cached_next {
+            Some((_, t)) if time >= t => {}
+            Some(_) => self.cached_next = Some((b, time)),
+            None if self.len == 1 => self.cached_next = Some((b, time)),
+            None => {}
+        }
         if self.len > 4 * self.buckets.len() && self.buckets.len() < CAL_MAX_BUCKETS {
             let target = self.buckets.len() * 2;
             self.resize(target);
@@ -411,15 +471,64 @@ impl<E> CalendarQueue<E> {
 
     /// Remove and return the earliest event (ties by insertion order).
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let b = self.find_next()?;
-        // find_next guarantees a populated bucket whose top is the queue
-        // minimum and has set cur_year to its year.
+        // A known cache names the bucket holding the global minimum, so
+        // the extraction is O(1); otherwise locate it with the sweep.
+        // Sweeping here — not when the previous pop invalidated the
+        // cache — matters: the events pushed in between (a DES step's
+        // follow-ups) usually land just ahead of the drained instant and
+        // stop the sweep almost immediately.
+        let b = match self.cached_next {
+            Some((b, _)) => b,
+            None => self.find_next()?,
+        };
         let s = self.buckets[b].pop()?;
         self.len -= 1;
+        self.after_remove(b);
+        Some((s.time, s.payload))
+    }
+
+    /// Pop the entire same-timestamp run at the head of the queue — every
+    /// pending event due at the earliest instant — appending
+    /// `(time, payload)` pairs to `out` in `(time, seq)` order. Returns
+    /// the run length (0 on an empty queue).
+    ///
+    /// Equal timestamps hash to the same bucket, so the whole run lives in
+    /// one bucket and drains with one sweep's worth of bookkeeping instead
+    /// of one per event. Injection bursts and barrier-synchronized rounds
+    /// produce exactly these runs; the windowed parallel executor
+    /// ([`EventScheduler::drain_until`]) is built on it.
+    pub fn drain_bucket_run(&mut self, out: &mut Vec<(SimTime, E)>) -> usize {
+        let Some((b, t0)) = self.ensure_cached() else {
+            return 0;
+        };
+        let mut n = 0;
+        while let Some(s) = self.buckets[b].pop_if_time(t0) {
+            out.push((s.time, s.payload));
+            n += 1;
+        }
+        self.len -= n;
+        self.after_remove(b);
+        n
+    }
+
+    /// Post-removal bookkeeping shared by [`CalendarQueue::pop`] and
+    /// [`CalendarQueue::drain_bucket_run`]: shrink or recalibrate if the
+    /// structure has gone stale, and re-validate the cached minimum —
+    /// O(1) when bucket `b` (which held the removed minimum) still has
+    /// events of the current year, since that year lives only in `b` and
+    /// everything else in the queue is later. Otherwise the cache goes
+    /// unknown and the next access pays the sweep.
+    fn after_remove(&mut self, b: usize) {
         if self.len * 4 < self.buckets.len() && self.buckets.len() > CAL_MIN_BUCKETS {
             let target = (self.buckets.len() / 2).max(CAL_MIN_BUCKETS);
             self.resize(target);
         } else {
+            self.cached_next = match self.buckets[b].peek() {
+                Some(top) if top.time.as_picos() / self.width == self.cur_year => {
+                    Some((b, top.time))
+                }
+                _ => None,
+            };
             let budget = if self.width_provisional {
                 CAL_PROVISIONAL_WASTE
             } else {
@@ -435,13 +544,46 @@ impl<E> CalendarQueue<E> {
                 self.resize(target);
             }
         }
-        Some((s.time, s.payload))
     }
 
-    /// The delivery instant of the earliest pending event.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        let b = self.find_next()?;
-        self.buckets[b].peek().map(|s| s.time)
+    /// Make the cached minimum known (paying the sweep if necessary) and
+    /// return it; `None` only on an empty queue.
+    fn ensure_cached(&mut self) -> Option<(usize, SimTime)> {
+        if self.cached_next.is_none() {
+            let b = self.find_next()?;
+            self.cached_next = self.buckets[b].peek().map(|s| (b, s.time));
+        }
+        self.cached_next
+    }
+
+    /// The delivery instant of the earliest pending event. O(1) while
+    /// the cached minimum is known (pushes and same-year pops keep it
+    /// so); otherwise a pure `&self` scan of the same structure the
+    /// mutating sweep walks, without advancing the sweep cursor.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        if let Some((_, t)) = self.cached_next {
+            return Some(t);
+        }
+        if self.len == 0 {
+            return None;
+        }
+        let nb = self.buckets.len();
+        let mask = (nb - 1) as u64;
+        for step in 0..nb as u64 {
+            if let Some(year) = self.cur_year.checked_add(step) {
+                let b = (year & mask) as usize;
+                if let Some(top) = self.buckets[b].peek() {
+                    if top.time.as_picos() / self.width == year {
+                        return Some(top.time);
+                    }
+                }
+            }
+        }
+        self.buckets
+            .iter()
+            .filter_map(|b| b.peek().map(|s| (s.time, s.seq)))
+            .min()
+            .map(|(t, _)| t)
     }
 
     /// Locate the bucket holding the global minimum `(time, seq)` event and
@@ -539,6 +681,11 @@ impl<E> CalendarQueue<E> {
         }
         self.cur_year = if all.is_empty() { 0 } else { lo / self.width };
         self.waste = 0;
+        // The sorted population's head is the global minimum: cache it
+        // directly instead of paying a sweep.
+        self.cached_next = all
+            .first()
+            .map(|s| (self.bucket_of(s.time.as_picos()), s.time));
         for s in all {
             let b = self.bucket_of(s.time.as_picos());
             self.buckets[b].push(s);
@@ -554,31 +701,21 @@ impl<E> EventScheduler<E> for CalendarQueue<E> {
         CalendarQueue::pop(self)
     }
     fn peek_time(&self) -> Option<SimTime> {
-        // Trait peek borrows immutably; run the bucket location without
-        // advancing the sweep cursor (a pure scan of the same structure).
-        if self.len == 0 {
-            return None;
-        }
-        let nb = self.buckets.len();
-        let mask = (nb - 1) as u64;
-        for step in 0..nb as u64 {
-            if let Some(year) = self.cur_year.checked_add(step) {
-                let b = (year & mask) as usize;
-                if let Some(top) = self.buckets[b].peek() {
-                    if top.time.as_picos() / self.width == year {
-                        return Some(top.time);
-                    }
-                }
-            }
-        }
-        self.buckets
-            .iter()
-            .filter_map(|b| b.peek().map(|s| (s.time, s.seq)))
-            .min()
-            .map(|(t, _)| t)
+        CalendarQueue::peek_time(self)
     }
     fn len(&self) -> usize {
         self.len
+    }
+    fn drain_until(&mut self, deadline: SimTime, out: &mut Vec<(SimTime, E)>) -> usize {
+        // Window drains pull whole same-timestamp runs per iteration —
+        // one sweep of bookkeeping per run instead of per event. A run
+        // never straddles the deadline (all its events share one
+        // instant), so the boundary check stays per-run too.
+        let mut n = 0;
+        while self.ensure_cached().is_some_and(|(_, t)| t <= deadline) {
+            n += self.drain_bucket_run(out);
+        }
+        n
     }
 }
 
@@ -849,6 +986,87 @@ mod tests {
         let mut sim: Simulator<u64> = Simulator::with_capacity(64);
         sim.schedule_at(SimTime::from_nanos(1), 1);
         assert_eq!(sim.pop(), Some((SimTime::from_nanos(1), 1)));
+    }
+
+    #[test]
+    fn calendar_peek_time_is_immutable_and_exact() {
+        // The trait peek and the inherent peek are the same &self read,
+        // and stay correct across pushes (including out-of-order ones),
+        // pops, and resizes.
+        let mut q: CalendarQueue<u32> = CalendarQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_micros(5), 5);
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(5)));
+        q.push(SimTime::from_micros(2), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(2)));
+        q.push(SimTime::from_micros(9), 9);
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(2)));
+        // Force growth resizes and keep checking against a heap oracle.
+        let mut oracle: EventQueue<u32> = EventQueue::new();
+        for v in [5u32, 2, 9] {
+            oracle.push(SimTime::from_micros(u64::from(v)), v);
+        }
+        for i in 0..2_000u32 {
+            let t = SimTime::from_nanos(u64::from(i * 37 % 1_999));
+            q.push(t, i);
+            oracle.push(t, i);
+            assert_eq!(q.peek_time(), oracle.peek_time());
+        }
+        while let Some(got) = q.pop() {
+            assert_eq!(Some(got), oracle.pop());
+            assert_eq!(q.peek_time(), oracle.peek_time());
+        }
+        assert!(oracle.is_empty());
+    }
+
+    #[test]
+    fn drain_bucket_run_pops_whole_same_time_runs() {
+        let mut q: CalendarQueue<u32> = CalendarQueue::new();
+        let t1 = SimTime::from_nanos(10);
+        let t2 = SimTime::from_nanos(20);
+        for i in 0..5 {
+            q.push(t1, i);
+        }
+        for i in 5..8 {
+            q.push(t2, i);
+        }
+        let mut out = Vec::new();
+        assert_eq!(q.drain_bucket_run(&mut out), 5);
+        assert_eq!(out, (0..5).map(|i| (t1, i)).collect::<Vec<_>>());
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek_time(), Some(t2));
+        out.clear();
+        assert_eq!(q.drain_bucket_run(&mut out), 3);
+        assert_eq!(out, (5..8).map(|i| (t2, i)).collect::<Vec<_>>());
+        assert_eq!(q.drain_bucket_run(&mut out), 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drain_until_matches_pop_loop_on_both_schedulers() {
+        let times: Vec<u64> = (0..500).map(|i| (i * 13) % 97).collect();
+        let mut cal: CalendarQueue<usize> = CalendarQueue::new();
+        let mut heap: EventQueue<usize> = EventQueue::new();
+        for (i, &ns) in times.iter().enumerate() {
+            cal.push(SimTime::from_nanos(ns), i);
+            heap.push(SimTime::from_nanos(ns), i);
+        }
+        let deadline = SimTime::from_nanos(48);
+        let mut from_cal = Vec::new();
+        let mut from_heap = Vec::new();
+        let nc = EventScheduler::drain_until(&mut cal, deadline, &mut from_cal);
+        let nh = EventScheduler::drain_until(&mut heap, deadline, &mut from_heap);
+        assert_eq!(nc, nh);
+        assert_eq!(from_cal, from_heap);
+        assert!(from_cal.iter().all(|&(t, _)| t <= deadline));
+        assert_eq!(cal.peek_time(), heap.peek_time());
+        // The remainders drain identically too.
+        let mut rc = Vec::new();
+        let mut rh = Vec::new();
+        EventScheduler::drain_until(&mut cal, SimTime::MAX, &mut rc);
+        EventScheduler::drain_until(&mut heap, SimTime::MAX, &mut rh);
+        assert_eq!(rc, rh);
+        assert!(cal.is_empty() && heap.is_empty());
     }
 
     #[test]

@@ -12,3 +12,15 @@ pub fn metric_tally(v: &[u64], c: &frontier_sim_core::metrics::Counter) {
         c.add(*x);
     });
 }
+
+// The pdes window shape: disjoint &mut result slices per link group,
+// each task folding a private accumulator — no shared atomics.
+pub fn windowed_groups(groups: Vec<(&[u64], &mut [u64])>) {
+    groups.into_par_iter().for_each(|(idxs, out)| {
+        let mut acc = 0u64;
+        for (j, x) in idxs.iter().enumerate() {
+            acc = acc.max(*x);
+            out[j] = acc;
+        }
+    });
+}

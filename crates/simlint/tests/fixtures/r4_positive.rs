@@ -14,3 +14,13 @@ pub fn race_max(v: &[u64], hi: &AtomicU64) -> u64 {
     );
     hi.load(Ordering::SeqCst)
 }
+
+// A window executor that races per-link state through a raw atomic
+// instead of carving disjoint &mut group slices.
+pub fn windowed_race(groups: Vec<&[u64]>, busy: &AtomicU64) {
+    groups.into_par_iter().for_each(|g| {
+        for x in g {
+            busy.fetch_max(*x, Ordering::Relaxed);
+        }
+    });
+}

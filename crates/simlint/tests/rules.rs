@@ -126,7 +126,8 @@ fn r4_flags_raw_rmw_inside_rayon_constructs() {
         vec![
             (PAR_RAW_ATOMIC, 6, false),  // fetch_add in par_iter closure
             (PAR_RAW_ATOMIC, 12, false), // fetch_max in rayon::join arm
-            (PAR_RAW_ATOMIC, 13, false)
+            (PAR_RAW_ATOMIC, 13, false),
+            (PAR_RAW_ATOMIC, 23, false) // fetch_max in windowed into_par_iter group
         ]
     );
 }
