@@ -178,10 +178,12 @@ pub fn fig5_text() -> String {
 /// Figure 6: mpiGraph receive-bandwidth histograms, Frontier vs Summit.
 pub fn fig6_text(scale: Scale) -> String {
     // The two machines are independent sub-experiments; running them as a
-    // `rayon::join` overlaps the Summit fat-tree run with the dominant
-    // Frontier mega-solve, so the *section* scales with `--jobs` even when
-    // one machine's solve does not decompose further.
-    let (frontier, summit) = rayon::join(
+    // join overlaps the Summit fat-tree run with the dominant Frontier
+    // mega-solve, so the *section* scales with `--jobs` even when one
+    // machine's solve does not decompose further. Routed through the
+    // metrics Scope so the section scope survives onto stolen workers
+    // (both arms record fabric counters via `metrics::active()`).
+    let (frontier, summit) = metrics::Scope::current().join(
         || {
             let df = scale.dragonfly();
             mpigraph::run_dragonfly(&df, RoutePolicy::adaptive_default(), 0xF16)
@@ -678,7 +680,8 @@ pub fn section_text_scoped(name: &str, scale: Scale) -> Option<(String, metrics:
         return None;
     }
     let registry = Arc::new(metrics::MetricsRegistry::new());
-    let scope = metrics::MetricsScope::enter_named(format!("section:{name}"), Arc::clone(&registry));
+    let scope =
+        metrics::MetricsScope::enter_named(format!("section:{name}"), Arc::clone(&registry));
     let text = section_text(name, scale)?;
     drop(scope);
     Some((text, registry.snapshot()))

@@ -49,7 +49,6 @@ use frontier_core::resilience::fit::{FitModel, Inventory};
 use frontier_core::resilience::mtti::analytic_mtti;
 use frontier_core::sim_core::metrics::{self, MetricsRegistry, MetricsScope, MetricsSnapshot};
 use frontier_core::sim_core::rng::StreamRng;
-use rayon::prelude::*;
 use std::sync::Arc;
 
 /// Execution strategy. Output is identical either way; `Parallel` runs
@@ -169,10 +168,12 @@ pub fn run_with(spec: &CampaignSpec, cfg: &RunConfig) -> CampaignResult {
             .iter()
             .map(|(i, t)| run_track(spec, t, *i, cfg.variant_metrics))
             .collect(),
-        Mode::Parallel => indexed
-            .par_iter()
-            .map(|(i, t)| run_track(spec, t, *i, cfg.variant_metrics))
-            .collect(),
+        // Routed through the metrics Scope so a caller-installed scope
+        // (e.g. a campaign-wide section) still claims track updates on
+        // stolen workers; each track then nests its own `track:N` scope.
+        Mode::Parallel => metrics::Scope::current().par_map(&indexed, |&(i, t)| {
+            run_track(spec, t, i, cfg.variant_metrics)
+        }),
     };
     let mut rows = Vec::with_capacity(spec.variant_count());
     let mut stats = SweepStats::default();
@@ -341,9 +342,9 @@ fn run_track(
             // The variant scope covers only the overlay arithmetic; the
             // row snapshot is step work + variant work, merged.
             let var_registry = variant_metrics.then(|| Arc::new(MetricsRegistry::new()));
-            let var_scope = var_registry.as_ref().map(|r| {
-                MetricsScope::enter_named(format!("variant:{}", v.index), Arc::clone(r))
-            });
+            let var_scope = var_registry
+                .as_ref()
+                .map(|r| MetricsScope::enter_named(format!("variant:{}", v.index), Arc::clone(r)));
             if let Some(m) = metrics::active() {
                 m.counter("campaign.variant.overlay_evals").inc();
             }

@@ -20,12 +20,12 @@ use crate::solver::{ResolveDelta, Solver};
 use crate::topology::{EndpointId, Flow, LinkId};
 use frontier_sim_core::prelude::*;
 use rayon::prelude::*;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// The fabric manager's view of the network.
 pub struct FabricManager<'a> {
     df: &'a Dragonfly,
-    dead_links: HashSet<LinkId>,
+    dead_links: BTreeSet<LinkId>,
     /// Routing-table generation, bumped on every sweep that finds changes.
     generation: u64,
 }
@@ -34,7 +34,7 @@ impl<'a> FabricManager<'a> {
     pub fn new(df: &'a Dragonfly) -> Self {
         FabricManager {
             df,
-            dead_links: HashSet::new(),
+            dead_links: BTreeSet::new(),
             generation: 0,
         }
     }
@@ -167,11 +167,9 @@ impl<'a> FabricManager<'a> {
         let changed = self.plan_reroutes(solver.flows(), seed);
         let rerouted = changed.len();
         let delta = ResolveDelta {
-            removed_links: {
-                let mut dead: Vec<LinkId> = self.dead_links.iter().copied().collect();
-                dead.sort_unstable();
-                dead
-            },
+            // BTreeSet iterates in LinkId order, so the delta is
+            // deterministic without an explicit sort.
+            removed_links: self.dead_links.iter().copied().collect(),
             changed_flows: changed,
             removed_flows: Vec::new(),
             changed_capacities: Vec::new(),

@@ -100,8 +100,8 @@ pub fn execute(streams: &[GpuStream]) -> ExecReport {
     // Event fire times, discovered iteratively: because WaitEvent may
     // reference an event recorded later on another stream, we fix-point
     // over passes (programs are small; cycles = deadlock).
-    use std::collections::HashMap;
-    let mut fired: HashMap<EventId, SimTime> = HashMap::new();
+    use std::collections::BTreeMap;
+    let mut fired: BTreeMap<EventId, SimTime> = BTreeMap::new();
     let mut stream_done = vec![SimTime::ZERO; streams.len()];
 
     for _pass in 0..=streams.len() {

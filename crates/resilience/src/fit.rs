@@ -105,11 +105,11 @@ impl FitModel {
     }
 
     pub fn fit(&self, class: ComponentClass) -> f64 {
-        self.rates
-            .iter()
-            .find(|(c, _)| *c == class)
-            .expect("every class has a rate")
-            .1
+        // Every constructor builds `rates` in `ComponentClass::ALL`
+        // (= discriminant) order, so the class is its own index.
+        let (c, rate) = self.rates[class as usize];
+        debug_assert!(c == class, "rates out of ComponentClass::ALL order");
+        rate
     }
 
     /// Failure rate of one component, per hour.
@@ -181,11 +181,10 @@ impl Inventory {
     }
 
     pub fn count(&self, class: ComponentClass) -> u64 {
-        self.counts
-            .iter()
-            .find(|(c, _)| *c == class)
-            .expect("every class has a count")
-            .1
+        // Same `ComponentClass::ALL` ordering invariant as `FitModel::fit`.
+        let (c, count) = self.counts[class as usize];
+        debug_assert!(c == class, "counts out of ComponentClass::ALL order");
+        count
     }
 
     pub fn total_components(&self) -> u64 {

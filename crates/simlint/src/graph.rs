@@ -1,0 +1,285 @@
+//! The workspace call graph: one node per `fn` definition (plus a
+//! module-level pseudo-node per file), edges from call sites resolved by
+//! name. Resolution is deliberately over-approximate — a call to `solve`
+//! edges to *every* fn named `solve` in the workspace, and a path call
+//! `Type::f(...)` prefers fns defined in an `impl Type` block anywhere —
+//! which is the safe direction for reachability-based determinism rules:
+//! a false edge can only make a rule look harder, never miss a real
+//! data flow.
+//!
+//! Everything is index- or `BTree`-ordered, so reachability sets, the
+//! `--graph-json` dump, and every diagnostic derived from the graph are
+//! byte-stable across runs and thread counts (simlint obeys its own
+//! hash-order rule).
+
+use crate::diag::json_escape;
+use crate::parse::ParsedFile;
+use crate::source::{FileKind, SourceFile};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// Index of a node in [`Graph::nodes`].
+pub type NodeId = usize;
+
+/// One call-graph node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Workspace-relative path of the defining file.
+    pub file: String,
+    pub file_kind: FileKind,
+    /// Simple fn name, or [`TOPLEVEL`] for the per-file pseudo-node that
+    /// owns module-level code (`use` lines, consts, statics).
+    pub name: String,
+    /// `Type::name` for methods, `name` for free fns.
+    pub qual: String,
+    /// 1-based line of the `fn` keyword (1 for the pseudo-node).
+    pub line: u32,
+    /// Inclusive token span of the body in the defining file. The
+    /// pseudo-node's span is `None`: it owns every token outside all fn
+    /// bodies.
+    pub body: Option<(usize, usize)>,
+}
+
+/// Name of the per-file module-level pseudo-node.
+pub const TOPLEVEL: &str = "<toplevel>";
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct Graph {
+    pub nodes: Vec<Node>,
+    /// Adjacency: callees of each node, sorted.
+    pub edges: Vec<BTreeSet<NodeId>>,
+    /// Simple name → defining nodes, for call resolution.
+    name_index: BTreeMap<String, Vec<NodeId>>,
+    /// `Type::name` → defining nodes.
+    qual_index: BTreeMap<String, Vec<NodeId>>,
+    /// File → pseudo-node id.
+    toplevel: BTreeMap<String, NodeId>,
+    /// (file, fn index within that file's `ParsedFile`) → node id.
+    fn_node: BTreeMap<(String, usize), NodeId>,
+}
+
+impl Graph {
+    /// Build the graph over files sorted by workspace-relative path.
+    /// The input order is the node-id order, so ids are deterministic.
+    pub fn build(files: &[(SourceFile, ParsedFile)]) -> Graph {
+        let mut g = Graph::default();
+        for (f, p) in files {
+            let top = g.nodes.len();
+            g.toplevel.insert(f.rel.clone(), top);
+            g.nodes.push(Node {
+                file: f.rel.clone(),
+                file_kind: f.kind,
+                name: TOPLEVEL.to_string(),
+                qual: TOPLEVEL.to_string(),
+                line: 1,
+                body: None,
+            });
+            for (idx, d) in p.fns.iter().enumerate() {
+                let id = g.nodes.len();
+                g.fn_node.insert((f.rel.clone(), idx), id);
+                g.nodes.push(Node {
+                    file: f.rel.clone(),
+                    file_kind: f.kind,
+                    name: d.name.clone(),
+                    qual: d.qual(),
+                    line: d.line,
+                    body: d.body,
+                });
+            }
+        }
+        for (id, n) in g.nodes.iter().enumerate() {
+            g.name_index.entry(n.name.clone()).or_default().push(id);
+            g.qual_index.entry(n.qual.clone()).or_default().push(id);
+        }
+        g.edges = vec![BTreeSet::new(); g.nodes.len()];
+        for (f, p) in files {
+            for c in &p.calls {
+                let from = match c.in_fn {
+                    Some(idx) => g.fn_node[&(f.rel.clone(), idx)],
+                    None => g.toplevel[&f.rel],
+                };
+                for to in g.resolve(&c.callee, c.qualifier.as_deref()) {
+                    g.edges[from].insert(to);
+                }
+            }
+        }
+        g
+    }
+
+    /// Nodes a call to `callee` (optionally `Qualifier::callee`) may
+    /// target. Qualified calls prefer an exact `Type::callee` match and
+    /// fall back to every fn named `callee` (module-path qualifiers like
+    /// `mpigraph::run` resolve by simple name across crates).
+    pub fn resolve(&self, callee: &str, qualifier: Option<&str>) -> Vec<NodeId> {
+        if let Some(q) = qualifier {
+            if let Some(ids) = self.qual_index.get(&format!("{q}::{callee}")) {
+                return ids.clone();
+            }
+        }
+        self.name_index.get(callee).cloned().unwrap_or_default()
+    }
+
+    /// Node id of fn `idx` of `file` (as indexed in its [`ParsedFile`]).
+    pub fn fn_node(&self, file: &str, idx: usize) -> Option<NodeId> {
+        self.fn_node.get(&(file.to_string(), idx)).copied()
+    }
+
+    /// Pseudo-node id of `file`'s module-level code.
+    pub fn toplevel_node(&self, file: &str) -> Option<NodeId> {
+        self.toplevel.get(file).copied()
+    }
+
+    /// Forward reachability from `seeds` (inclusive), as a map from each
+    /// reached node to the seed it was first reached from. Seeds are
+    /// visited in sorted order and adjacency sets iterate sorted, so the
+    /// provenance map is deterministic.
+    pub fn reachable_from(&self, seeds: &BTreeSet<NodeId>) -> BTreeMap<NodeId, NodeId> {
+        let mut via: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+        let mut queue: std::collections::VecDeque<NodeId> = std::collections::VecDeque::new();
+        for &s in seeds {
+            via.insert(s, s);
+            queue.push_back(s);
+        }
+        while let Some(at) = queue.pop_front() {
+            let seed = via[&at];
+            for &next in &self.edges[at] {
+                via.entry(next).or_insert_with(|| {
+                    queue.push_back(next);
+                    seed
+                });
+            }
+        }
+        via
+    }
+
+    /// Deterministic JSON dump of the graph (for `--graph-json` and the
+    /// CI byte-identity gate): nodes in id order, edges sorted, plus the
+    /// render-sink seeds and the sink-reachability provenance.
+    pub fn to_json(&self, sinks: &BTreeSet<NodeId>, reach: &BTreeMap<NodeId, NodeId>) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"nodes\": [");
+        for (id, n) in self.nodes.iter().enumerate() {
+            if id > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"id\": {id}, \"file\": {}, \"qual\": {}, \"line\": {}, \
+                 \"sink\": {}, \"reaches_from_sink\": {}}}",
+                json_escape(&n.file),
+                json_escape(&n.qual),
+                n.line,
+                sinks.contains(&id),
+                reach.contains_key(&id)
+            );
+        }
+        if !self.nodes.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"edges\": [");
+        let mut first = true;
+        for (from, tos) in self.edges.iter().enumerate() {
+            for &to in tos {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(out, "\n    [{from}, {to}]");
+            }
+        }
+        if !first {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use crate::source::SourceFile;
+
+    fn build(files: &[(&str, &str)]) -> Graph {
+        let parsed: Vec<(SourceFile, ParsedFile)> = files
+            .iter()
+            .map(|(rel, src)| {
+                let f = SourceFile::parse(rel, src);
+                let p = parse::parse(&f);
+                (f, p)
+            })
+            .collect();
+        Graph::build(&parsed)
+    }
+
+    #[test]
+    fn cross_file_edges_resolve_by_name() {
+        let g = build(&[
+            ("crates/a/src/lib.rs", "pub fn entry() { helper(); }\n"),
+            (
+                "crates/b/src/lib.rs",
+                "pub fn helper() { leaf(); }\nfn leaf() {}\n",
+            ),
+        ]);
+        let entry = g.fn_node("crates/a/src/lib.rs", 0).unwrap();
+        let helper = g.fn_node("crates/b/src/lib.rs", 0).unwrap();
+        let leaf = g.fn_node("crates/b/src/lib.rs", 1).unwrap();
+        assert!(g.edges[entry].contains(&helper));
+        let reach = g.reachable_from(&BTreeSet::from([entry]));
+        assert!(reach.contains_key(&leaf));
+        assert_eq!(reach[&leaf], entry, "provenance points at the seed");
+    }
+
+    #[test]
+    fn qualified_calls_prefer_the_impl_type() {
+        let g = build(&[(
+            "crates/a/src/lib.rs",
+            "impl A { fn go(&self) {} }\nimpl B { fn go(&self) {} }\nfn f() { A::go(); }\n",
+        )]);
+        let a_go = g.fn_node("crates/a/src/lib.rs", 0).unwrap();
+        let b_go = g.fn_node("crates/a/src/lib.rs", 1).unwrap();
+        let f = g.fn_node("crates/a/src/lib.rs", 2).unwrap();
+        assert!(g.edges[f].contains(&a_go));
+        assert!(!g.edges[f].contains(&b_go), "qualified call is exact");
+    }
+
+    #[test]
+    fn method_calls_over_approximate_across_impls() {
+        let g = build(&[(
+            "crates/a/src/lib.rs",
+            "impl A { fn go(&self) {} }\nimpl B { fn go(&self) {} }\nfn f(x: &A) { x.go(); }\n",
+        )]);
+        let f = g.fn_node("crates/a/src/lib.rs", 2).unwrap();
+        assert_eq!(
+            g.edges[f].len(),
+            2,
+            "unqualified method edges to every `go`"
+        );
+    }
+
+    #[test]
+    fn cycles_terminate_and_reach_everything() {
+        let g = build(&[(
+            "crates/a/src/lib.rs",
+            "fn a() { b(); }\nfn b() { c(); }\nfn c() { a(); }\n",
+        )]);
+        let a = g.fn_node("crates/a/src/lib.rs", 0).unwrap();
+        let reach = g.reachable_from(&BTreeSet::from([a]));
+        assert_eq!(reach.len(), 3);
+    }
+
+    #[test]
+    fn graph_json_is_identical_across_builds() {
+        let files = [
+            ("crates/a/src/lib.rs", "fn a() { b(); }\nfn b() {}\n"),
+            ("crates/b/src/lib.rs", "fn c() { a(); }\n"),
+        ];
+        let g1 = build(&files);
+        let g2 = build(&files);
+        let seeds = BTreeSet::from([g1.fn_node("crates/b/src/lib.rs", 0).unwrap()]);
+        let r1 = g1.reachable_from(&seeds);
+        let r2 = g2.reachable_from(&seeds);
+        assert_eq!(g1.to_json(&seeds, &r1), g2.to_json(&seeds, &r2));
+    }
+}

@@ -200,9 +200,14 @@ pub fn lex(src: &str) -> Lexed {
             let next = chars.get(i + 1).copied().unwrap_or(' ');
             let after = chars.get(i + 2).copied().unwrap_or(' ');
             if next == '\\' {
-                // Escaped char literal: consume through closing quote.
-                i += 2;
+                // Escaped char literal: skip the tick, backslash, and the
+                // escaped char itself (so `'\''` does not stop at its own
+                // escaped quote), then consume through the closing quote.
+                i += 3;
                 while i < n && chars[i] != '\'' {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
                     i += 1;
                 }
                 i += 1;

@@ -6,7 +6,11 @@
 //! dynamically by the CI `cmp` gate on one small-scale run. This crate
 //! enforces the *source-level* discipline that makes the guarantee hold
 //! at every scale, on every code path, including the ones a small run
-//! never exercises:
+//! never exercises.
+//!
+//! # Two analysis tiers
+//!
+//! **Per-file token rules** see one lexed file at a time:
 //!
 //! * [`rules::HASH_ITER`] — no hash-ordered containers in render paths;
 //! * [`rules::WALLCLOCK`] — wall-clock reads only in `sim-core::metrics`;
@@ -15,7 +19,21 @@
 //!   rayon closures;
 //! * [`rules::PANIC_IN_LIB`] — panic budget in library crates, ratcheted
 //!   downward via `simlint.ratchet`;
-//! * [`rules::BARE_ALLOW`] — every suppression carries a justification.
+//! * [`rules::BARE_ALLOW`] — every suppression carries a justification;
+//! * [`rules::GLOBAL_METRICS`] — no `metrics::global()` in libraries.
+//!
+//! **Graph rules** run after every file is parsed ([`parse`]) into a
+//! workspace call graph ([`graph`]), so a violation in one crate can be
+//! traced to a sink in another:
+//!
+//! * [`rules::HASH_ITER_REACH`] — hash-ordered iteration *reachable
+//!   from* a render/snapshot sink anywhere in the workspace (subsumes
+//!   the path heuristic of `hash-iter-render`);
+//! * [`rules::SCOPE_DROP`] — raw rayon forks whose call graph records
+//!   `metrics::active()` without routing through
+//!   `Scope::{install,join,par_map}`;
+//! * [`rules::FLOAT_ORDER`] — order-sensitive float reductions in
+//!   parallel regions.
 //!
 //! The analysis is a hand-rolled token-level pass (see [`lexer`]): the
 //! workspace builds offline with no proc-macro stack available, and a
@@ -24,14 +42,42 @@
 //!
 //! Run it with `cargo run -p simlint`; suppress a justified finding with
 //! `// simlint::allow(<rule>): <why this is sound>`.
+//!
+//! # Writing a new rule
+//!
+//! 1. Add an id const and a [`rules::Rule`] entry (summary, invariant,
+//!    `explain` text for `--explain`, and whether pre-existing debt is
+//!    tolerated via the ratchet).
+//! 2. Implement the check. A per-file rule is a
+//!    `fn(&SourceFile, &mut Vec<Diagnostic>)` wired into
+//!    [`rules::check_file`]; it can use token text, [`source::FileKind`],
+//!    `in_test_region`, and `par_ranges`. A graph rule is wired into
+//!    [`rules::check_graph`] and additionally gets the [`parse::ParsedFile`]
+//!    (fn defs + call sites) and the workspace [`graph::Graph`] — seed a
+//!    node set, call `reachable_from`, and name the provenance node in
+//!    the message so the finding is actionable.
+//! 3. Keep it deterministic: `BTree*` collections only, iterate tokens
+//!    in index order — the self-check runs simlint on itself.
+//! 4. Add fixture tests in `tests/rules.rs` (positive, clean, and
+//!    suppressed shapes), then audit the workspace: fix every real
+//!    finding or justify it with `simlint::allow(<rule>): why`, so the
+//!    self-check stays clean.
+//! 5. Over-approximate in the flagging direction. A lint for a
+//!    determinism guarantee must not miss real flows; a false positive
+//!    costs one reviewed `allow` comment, a false negative costs a
+//!    nondeterministic artifact nobody notices.
 
 pub mod diag;
+pub mod graph;
 pub mod lexer;
+pub mod parse;
 pub mod ratchet;
 pub mod rules;
+pub mod sarif;
 pub mod source;
 
 use diag::Diagnostic;
+use parse::ParsedFile;
 use ratchet::{Ratchet, RatchetDelta};
 use source::SourceFile;
 use std::path::{Path, PathBuf};
@@ -51,6 +97,9 @@ pub struct Outcome {
     pub ratchet_delta: RatchetDelta,
     /// Current ratchetable debt (what `--update-ratchet` would write).
     pub current_debt: Ratchet,
+    /// Deterministic call-graph dump (`--graph-json`): nodes, edges,
+    /// render sinks, and sink reachability.
+    pub graph_json: String,
 }
 
 impl Outcome {
@@ -96,16 +145,49 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Result of analyzing a set of sources together: suppression-evaluated
+/// diagnostics plus the deterministic graph dump.
+pub struct Analysis {
+    pub diagnostics: Vec<Diagnostic>,
+    pub graph_json: String,
+}
+
+/// Lint a set of `(workspace-relative path, source)` files as one
+/// workspace: per-file rules on each, then the call graph and the graph
+/// rules across all of them. Inputs must be pre-sorted by path for
+/// deterministic node ids (callers that read from [`collect_sources`]
+/// already are).
+pub fn analyze_files(inputs: &[(String, String)]) -> Analysis {
+    let files: Vec<(SourceFile, ParsedFile)> = inputs
+        .iter()
+        .map(|(rel, src)| {
+            let f = SourceFile::parse(rel, src);
+            let p = parse::parse(&f);
+            (f, p)
+        })
+        .collect();
+    let g = graph::Graph::build(&files);
+
+    let mut diags = Vec::new();
+    for (f, _) in &files {
+        rules::check_file(f, &mut diags);
+    }
+    let ga = rules::check_graph(&files, &g, &mut diags);
+    rules::apply_suppressions(&files, &mut diags);
+    diag::sort(&mut diags);
+
+    Analysis {
+        diagnostics: diags,
+        graph_json: g.to_json(&ga.sinks, &ga.reach),
+    }
+}
+
 /// Lint one source text under its workspace-relative path. This is the
 /// fixture-test entry point: the path determines the file's kind and
-/// which path-scoped rules apply.
+/// which path-scoped rules apply, and the file forms a one-file
+/// workspace for the graph rules.
 pub fn analyze_source(rel: &str, src: &str) -> Vec<Diagnostic> {
-    let f = SourceFile::parse(rel, src);
-    let mut diags = Vec::new();
-    rules::check_file(&f, &mut diags);
-    rules::apply_suppressions(&f, &mut diags);
-    diag::sort(&mut diags);
-    diags
+    analyze_files(&[(rel.to_string(), src.to_string())]).diagnostics
 }
 
 /// Lint the whole workspace at `root` against its `simlint.ratchet`
@@ -115,7 +197,7 @@ pub fn run_workspace(root: &Path) -> std::io::Result<Outcome> {
         std::fs::read_to_string(root.join(ratchet::RATCHET_FILE)).unwrap_or_default();
     let ratchet = Ratchet::parse(&ratchet_text);
 
-    let mut diags = Vec::new();
+    let mut inputs: Vec<(String, String)> = Vec::new();
     for path in collect_sources(root)? {
         let rel = path
             .strip_prefix(root)
@@ -125,13 +207,10 @@ pub fn run_workspace(root: &Path) -> std::io::Result<Outcome> {
             .collect::<Vec<_>>()
             .join("/");
         let src = std::fs::read_to_string(&path)?;
-        let f = SourceFile::parse(&rel, &src);
-        let mut file_diags = Vec::new();
-        rules::check_file(&f, &mut file_diags);
-        rules::apply_suppressions(&f, &mut file_diags);
-        diags.append(&mut file_diags);
+        inputs.push((rel, src));
     }
-    diag::sort(&mut diags);
+    let analysis = analyze_files(&inputs);
+    let mut diags = analysis.diagnostics;
 
     let ratchet_delta = ratchet.apply(&mut diags);
     let current_debt = Ratchet::current(&diags);
@@ -139,6 +218,7 @@ pub fn run_workspace(root: &Path) -> std::io::Result<Outcome> {
         diagnostics: diags,
         ratchet_delta,
         current_debt,
+        graph_json: analysis.graph_json,
     })
 }
 

@@ -6,27 +6,65 @@
 // A linter CLI reports to stdout/stderr by design.
 #![allow(clippy::print_stdout, clippy::print_stderr)]
 
-use simlint::{diag, ratchet, rules};
+use simlint::{diag, ratchet, rules, sarif};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: simlint [--root DIR] [--json FILE] [--update-ratchet] [--list-rules]\n\n\
+        "usage: simlint [--root DIR] [--json FILE] [--sarif FILE] [--graph-json FILE]\n\
+         \x20              [--update-ratchet] [--list-rules] [--explain RULE]\n\
+         \x20              [--github-annotations]\n\n\
          Workspace-wide determinism & soundness lints (see DESIGN.md §3.8).\n\n\
          options:\n  \
-         --root DIR        workspace root (default: this workspace)\n  \
-         --json FILE       write the full diagnostic report as JSON\n  \
-         --update-ratchet  rewrite simlint.ratchet with the current debt\n  \
-         --list-rules      print every rule and the invariant it protects"
+         --root DIR            workspace root (default: this workspace)\n  \
+         --json FILE           write the full diagnostic report as JSON\n  \
+         --sarif FILE          write the report as SARIF 2.1.0 (CI annotations)\n  \
+         --graph-json FILE     write the workspace call graph (deterministic)\n  \
+         --update-ratchet      rewrite simlint.ratchet with the current debt\n  \
+         --list-rules          print every rule and the invariant it protects\n  \
+         --explain RULE        print the long-form rationale for one rule\n  \
+         --github-annotations  emit ::error workflow commands for failures"
     );
     ExitCode::from(2)
+}
+
+fn explain(rule_id: &str) -> ExitCode {
+    match rules::rule(rule_id) {
+        Some(r) => {
+            println!("{} — {}", r.id, r.summary);
+            println!("\ninvariant: {}", r.invariant);
+            println!("\n{}", r.explain);
+            if r.ratchet {
+                println!(
+                    "\nPre-existing debt for this rule is frozen per (rule, file) in \
+                     {}; it may shrink but never grow.",
+                    ratchet::RATCHET_FILE
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!(
+                "simlint: unknown rule `{rule_id}`; known rules: {}",
+                rules::RULES
+                    .iter()
+                    .map(|r| r.id)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut json_out: Option<PathBuf> = None;
+    let mut sarif_out: Option<PathBuf> = None;
+    let mut graph_out: Option<PathBuf> = None;
     let mut update_ratchet = false;
+    let mut github_annotations = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -39,7 +77,20 @@ fn main() -> ExitCode {
                 Some(f) => json_out = Some(PathBuf::from(f)),
                 None => return usage(),
             },
+            "--sarif" => match args.next() {
+                Some(f) => sarif_out = Some(PathBuf::from(f)),
+                None => return usage(),
+            },
+            "--graph-json" => match args.next() {
+                Some(f) => graph_out = Some(PathBuf::from(f)),
+                None => return usage(),
+            },
             "--update-ratchet" => update_ratchet = true,
+            "--github-annotations" => github_annotations = true,
+            "--explain" => match args.next() {
+                Some(r) => return explain(&r),
+                None => return usage(),
+            },
             "--list-rules" => {
                 for r in rules::RULES {
                     println!("{:<16} {}", r.id, r.summary);
@@ -85,6 +136,30 @@ fn main() -> ExitCode {
         if let Err(e) = std::fs::write(path, json) {
             eprintln!("simlint: cannot write {}: {e}", path.display());
             return ExitCode::from(2);
+        }
+    }
+
+    if let Some(path) = &sarif_out {
+        if let Err(e) = std::fs::write(path, sarif::render(&outcome.diagnostics)) {
+            eprintln!("simlint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if let Some(path) = &graph_out {
+        if let Err(e) = std::fs::write(path, &outcome.graph_json) {
+            eprintln!("simlint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if github_annotations {
+        for d in outcome.failures() {
+            // GitHub workflow commands strip newlines; messages are one line.
+            println!(
+                "::error file={},line={},title=simlint {}::{}",
+                d.file, d.line, d.rule, d.message
+            );
         }
     }
 

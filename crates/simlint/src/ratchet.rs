@@ -50,14 +50,18 @@ impl Ratchet {
         Ratchet { counts }
     }
 
-    /// Serialize in the canonical sorted form.
+    /// Serialize in the canonical sorted form. Fully-resolved entries
+    /// (count 0) are dropped, so `--update-ratchet` never leaves stale
+    /// zero-count lines behind once a file's debt is burned down.
     pub fn render(&self) -> String {
         let mut out = String::from(
             "# simlint ratchet: tolerated pre-existing diagnostics per (rule, file).\n\
              # Counts may only decrease; regenerate with `cargo run -p simlint -- --update-ratchet`.\n",
         );
         for ((rule, file), n) in &self.counts {
-            out.push_str(&format!("{rule} {file} {n}\n"));
+            if *n > 0 {
+                out.push_str(&format!("{rule} {file} {n}\n"));
+            }
         }
         out
     }
@@ -135,6 +139,17 @@ mod tests {
         assert_eq!(r.counts.len(), 2);
         let r2 = Ratchet::parse(&r.render());
         assert_eq!(r, r2);
+    }
+
+    #[test]
+    fn render_drops_fully_resolved_entries() {
+        let r = Ratchet::parse("panic-in-lib a.rs 0\npanic-in-lib b.rs 1\n");
+        let rendered = r.render();
+        assert!(
+            !rendered.contains("a.rs"),
+            "zero-count line must be dropped"
+        );
+        assert!(rendered.contains("panic-in-lib b.rs 1"));
     }
 
     #[test]

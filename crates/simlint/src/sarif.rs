@@ -1,0 +1,103 @@
+//! Minimal SARIF 2.1.0 emitter for CI annotation surfaces (GitHub code
+//! scanning, `--sarif`). Hand-rolled like the JSON report: the output is
+//! deterministic — diagnostics arrive pre-sorted, rules render in
+//! registry order — so two consecutive runs are byte-identical and CI
+//! can `cmp` them.
+
+use crate::diag::{json_escape, Diagnostic};
+use crate::rules;
+use std::fmt::Write as _;
+
+const SCHEMA: &str =
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json";
+
+/// SARIF severity for one diagnostic: gating findings are errors;
+/// suppressed and ratcheted ones are notes (visible, non-blocking).
+fn level(d: &Diagnostic) -> &'static str {
+    if d.is_failure() {
+        "error"
+    } else {
+        "note"
+    }
+}
+
+/// Render the full report as a SARIF 2.1.0 log with one run.
+pub fn render(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n  \"$schema\": {},\n  \"version\": \"2.1.0\",\n  \"runs\": [\n    {{\n      \
+         \"tool\": {{\n        \"driver\": {{\n          \"name\": \"simlint\",\n          \
+         \"informationUri\": \"DESIGN.md#38-simlint\",\n          \"rules\": [",
+        json_escape(SCHEMA)
+    );
+    for (i, r) in rules::RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}, \
+             \"fullDescription\": {{\"text\": {}}}}}",
+            json_escape(r.id),
+            json_escape(r.summary),
+            json_escape(r.invariant)
+        );
+    }
+    out.push_str("\n          ]\n        }\n      },\n      \"results\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n        {{\"ruleId\": {}, \"level\": \"{}\", \"message\": {{\"text\": {}}}, \
+             \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}}}, \
+             \"region\": {{\"startLine\": {}}}}}}}]}}",
+            json_escape(d.rule),
+            level(d),
+            json_escape(&d.message),
+            json_escape(&d.file),
+            d.line
+        );
+    }
+    if !diags.is_empty() {
+        out.push_str("\n      ");
+    }
+    out.push_str("]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sarif_is_valid_shape_and_deterministic() {
+        let mut d = vec![
+            Diagnostic::new("wallclock", "a.rs", 3, "clock read".into()),
+            Diagnostic::new("panic-in-lib", "b.rs", 7, "unwrap".into()),
+        ];
+        d[1].ratcheted = true;
+        let s1 = render(&d);
+        let s2 = render(&d);
+        assert_eq!(s1, s2);
+        assert!(s1.contains("\"version\": \"2.1.0\""));
+        assert!(s1.contains("\"ruleId\": \"wallclock\""));
+        assert!(s1.contains("\"level\": \"error\""));
+        assert!(
+            s1.contains("\"level\": \"note\""),
+            "ratcheted renders as note"
+        );
+        assert!(s1.contains("\"startLine\": 3"));
+    }
+
+    #[test]
+    fn empty_report_still_lists_every_rule() {
+        let s = render(&[]);
+        for r in rules::RULES {
+            assert!(s.contains(&format!("\"id\": {}", json_escape(r.id))));
+        }
+        assert!(s.contains("\"results\": []"));
+    }
+}

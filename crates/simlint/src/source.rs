@@ -150,6 +150,12 @@ impl SourceFile {
         !self.par_ranges.is_empty()
     }
 
+    /// Inclusive token-index ranges of rayon parallel constructs, for
+    /// rules that inspect each region as a unit (scope-drop, float-order).
+    pub fn par_ranges(&self) -> &[(usize, usize)] {
+        &self.par_ranges
+    }
+
     /// Is `rule` suppressed at `line` (or file-wide)?
     pub fn suppressed(&self, rule: &str, line: u32) -> bool {
         self.file_allows.contains(rule)

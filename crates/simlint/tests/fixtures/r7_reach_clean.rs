@@ -1,0 +1,19 @@
+use std::collections::HashMap;
+
+fn tally() -> u64 {
+    let m: HashMap<String, u64> = HashMap::new();
+    let mut total = 0;
+    for (_k, v) in &m {
+        total += v;
+    }
+    total
+}
+
+pub fn total_sum() -> u64 {
+    tally()
+}
+
+pub fn snapshot_one(key: &str) -> u64 {
+    let m: HashMap<String, u64> = HashMap::new();
+    m.get(key).copied().unwrap_or(0)
+}

@@ -1,0 +1,14 @@
+use std::collections::HashMap;
+
+fn tally() -> u64 {
+    let m: HashMap<String, u64> = HashMap::new();
+    let mut total = 0;
+    for (_k, v) in &m {
+        total += v;
+    }
+    total
+}
+
+pub fn snapshot_totals() -> u64 {
+    tally()
+}

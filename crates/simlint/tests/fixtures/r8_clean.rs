@@ -1,0 +1,16 @@
+use frontier_sim_core::metrics;
+use rayon::prelude::*;
+
+fn record(x: u64) {
+    if let Some(m) = metrics::active() {
+        m.counter("fabric.swept").add(x);
+    }
+}
+
+pub fn sweep(xs: &[u64]) {
+    metrics::Scope::current().par_map(xs, |x| record(*x));
+}
+
+pub fn sum_sq(xs: &[u64]) -> u64 {
+    xs.par_iter().map(|x| x * x).sum()
+}

@@ -1,0 +1,12 @@
+use frontier_sim_core::metrics;
+use rayon::prelude::*;
+
+fn record(x: u64) {
+    if let Some(m) = metrics::active() {
+        m.counter("fabric.swept").add(x);
+    }
+}
+
+pub fn sweep(xs: &[u64]) {
+    xs.par_iter().for_each(|x| record(*x));
+}

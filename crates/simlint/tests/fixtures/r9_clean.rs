@@ -1,0 +1,13 @@
+use rayon::prelude::*;
+
+pub fn total(xs: &[u64]) -> u64 {
+    xs.par_iter().sum::<u64>()
+}
+
+pub fn coldest(xs: &[f64]) -> f64 {
+    xs.par_iter().copied().reduce(|| f64::INFINITY, f64::min)
+}
+
+pub fn hottest(xs: &[f64]) -> Option<f64> {
+    xs.par_iter().copied().max_by(|a, b| a.total_cmp(b))
+}

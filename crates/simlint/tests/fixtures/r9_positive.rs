@@ -1,0 +1,16 @@
+use rayon::prelude::*;
+
+pub fn mean(xs: &[f64]) -> f64 {
+    let total = xs.par_iter().sum::<f64>();
+    total / xs.len() as f64
+}
+
+pub fn spread(xs: &[f64]) -> f64 {
+    xs.par_iter().copied().reduce(|| 0.0, |a, b| a + b)
+}
+
+pub fn max_latency(xs: &[f64]) -> Option<f64> {
+    xs.par_iter()
+        .copied()
+        .max_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+}

@@ -1,0 +1,130 @@
+//! Integration tests for the workspace call graph: cross-crate edge
+//! resolution, method-vs-free-fn disambiguation, cycle termination, and
+//! run-to-run determinism of the serialized graph.
+
+use std::collections::BTreeSet;
+
+use simlint::graph::{Graph, NodeId, TOPLEVEL};
+use simlint::parse::{self, ParsedFile};
+use simlint::source::SourceFile;
+
+fn file(rel: &str, src: &str) -> (SourceFile, ParsedFile) {
+    let f = SourceFile::parse(rel, src);
+    let p = parse::parse(&f);
+    (f, p)
+}
+
+fn node_named(g: &Graph, qual: &str) -> NodeId {
+    g.nodes
+        .iter()
+        .position(|n| n.qual == qual)
+        .unwrap_or_else(|| panic!("no node `{qual}` in {:?}", quals(g)))
+}
+
+fn quals(g: &Graph) -> Vec<&str> {
+    g.nodes.iter().map(|n| n.qual.as_str()).collect()
+}
+
+#[test]
+fn cross_crate_calls_are_reachable_with_provenance() {
+    let files = vec![
+        file("crates/a/src/lib.rs", "pub fn entry() { helper(); }\n"),
+        file(
+            "crates/b/src/lib.rs",
+            "pub fn helper() { leaf(); }\nfn leaf() {}\n",
+        ),
+    ];
+    let g = Graph::build(&files);
+    let entry = node_named(&g, "entry");
+    let helper = node_named(&g, "helper");
+    let leaf = node_named(&g, "leaf");
+
+    let seeds: BTreeSet<NodeId> = [entry].into_iter().collect();
+    let reach = g.reachable_from(&seeds);
+    assert_eq!(reach.get(&helper), Some(&entry), "edge crosses the crate");
+    assert_eq!(reach.get(&leaf), Some(&entry), "transitive, same seed");
+}
+
+#[test]
+fn qualified_calls_prefer_the_impl_type_over_free_fns() {
+    let files = vec![
+        file("crates/a/src/lib.rs", "pub fn step() {}\n"),
+        file(
+            "crates/b/src/lib.rs",
+            "pub struct Solver;\nimpl Solver { pub fn step(&self) {} }\n",
+        ),
+        file(
+            "crates/c/src/lib.rs",
+            "pub fn run(s: &Solver) { Solver::step(s); }\n",
+        ),
+    ];
+    let g = Graph::build(&files);
+    let method = node_named(&g, "Solver::step");
+    let free = node_named(&g, "step");
+
+    // Qualified resolution pins the impl type; unqualified (including
+    // `.step()` method syntax) over-approximates to every definer.
+    assert_eq!(g.resolve("step", Some("Solver")), vec![method]);
+    let unqual = g.resolve("step", None);
+    assert!(
+        unqual.contains(&method) && unqual.contains(&free),
+        "{unqual:?}"
+    );
+
+    // And the `run` node's outgoing edge lands on the method only.
+    let run = node_named(&g, "run");
+    assert!(g.edges[run].contains(&method));
+    assert!(!g.edges[run].contains(&free));
+}
+
+#[test]
+fn call_cycles_terminate_and_stay_reachable() {
+    let files = vec![file(
+        "crates/a/src/lib.rs",
+        "pub fn ping() { pong(); }\npub fn pong() { ping(); }\n",
+    )];
+    let g = Graph::build(&files);
+    let ping = node_named(&g, "ping");
+    let pong = node_named(&g, "pong");
+    let seeds: BTreeSet<NodeId> = [ping].into_iter().collect();
+    let reach = g.reachable_from(&seeds);
+    assert!(reach.contains_key(&ping) && reach.contains_key(&pong));
+}
+
+#[test]
+fn module_level_calls_attach_to_the_toplevel_pseudo_node() {
+    let files = vec![file(
+        "crates/a/src/lib.rs",
+        "static SEED: u64 = derive_seed();\nfn derive_seed() -> u64 { 7 }\n",
+    )];
+    let g = Graph::build(&files);
+    let top = g
+        .toplevel_node("crates/a/src/lib.rs")
+        .unwrap_or_else(|| panic!("no toplevel node in {:?}", quals(&g)));
+    assert_eq!(g.nodes[top].name, TOPLEVEL);
+    let derive = node_named(&g, "derive_seed");
+    assert!(g.edges[top].contains(&derive));
+}
+
+#[test]
+fn graph_json_is_byte_stable_across_builds() {
+    let srcs = [
+        (
+            "crates/b/src/lib.rs",
+            "pub fn helper() { leaf(); }\nfn leaf() {}\n",
+        ),
+        (
+            "crates/a/src/render.rs",
+            "pub fn render_all() { helper(); }\n",
+        ),
+    ];
+    let build = || {
+        let files: Vec<_> = srcs.iter().map(|(r, s)| file(r, s)).collect();
+        Graph::build(&files)
+    };
+    let (g1, g2) = (build(), build());
+    let sinks: BTreeSet<NodeId> = [node_named(&g1, "render_all")].into_iter().collect();
+    let reach = g1.reachable_from(&sinks);
+    let reach2 = g2.reachable_from(&sinks);
+    assert_eq!(g1.to_json(&sinks, &reach), g2.to_json(&sinks, &reach2));
+}

@@ -1,0 +1,146 @@
+//! Property tests for the hand-rolled lexer, plus fixture cases for the
+//! constructs that historically break token-level linters: raw strings
+//! with hash fences, nested block comments, lifetimes inside generic
+//! argument lists, and escaped char literals.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use simlint::lexer::{lex, TokKind};
+
+/// Alphabet weighted toward the characters that open or close lexer
+/// modes (quotes, slashes, hash fences, ticks, escapes), so random
+/// inputs actually exercise the string/comment/char-literal machinery.
+const ALPHABET: &[char] = &[
+    '"', '\'', '/', '*', '#', 'r', 'b', '\\', '\n', '{', '}', '(', ')', ':', '.', '<', '>', '_',
+    'a', 'z', 'A', '0', '9', ' ', '\t', ';', '=', '&', '!',
+];
+
+/// Map a sampled code onto the alphabet, with the tail of the range
+/// passing through as raw unicode for coverage beyond ASCII.
+fn chr(c: u32) -> char {
+    match char::from_u32(c) {
+        Some(ch) if c >= 512 => ch,
+        _ => ALPHABET[(c as usize) % ALPHABET.len()],
+    }
+}
+
+fn src_of(codes: &[u32]) -> String {
+    codes.iter().map(|&c| chr(c)).collect()
+}
+
+proptest! {
+    /// The lexer must never panic and must report sane, monotonically
+    /// nondecreasing line numbers on arbitrary input — it runs on every
+    /// file in the workspace, including ones mid-edit.
+    #[test]
+    fn lex_never_panics_and_lines_are_monotonic(codes in vec(0u32..1200, 0..160)) {
+        let src = src_of(&codes);
+        let lexed = lex(&src);
+        let mut last = 1u32;
+        for t in &lexed.tokens {
+            prop_assert!(t.line >= 1);
+            prop_assert!(t.line >= last, "line went backwards at {:?}", t);
+            last = t.line;
+        }
+        for c in &lexed.comments {
+            prop_assert!(c.line >= 1);
+        }
+    }
+
+    /// Round-trip stability: token texts are idents and single puncts,
+    /// so re-lexing the space-joined token stream must reproduce the
+    /// same (kind, text) sequence. This pins down that no token text
+    /// smuggles construct-forming characters (quotes, comment openers)
+    /// out of the lexer.
+    #[test]
+    fn spaced_relex_is_stable(codes in vec(0u32..1200, 0..160)) {
+        let src = src_of(&codes);
+        let first = lex(&src);
+        let joined = first
+            .tokens
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect::<Vec<_>>()
+            .join(" ");
+        let second = lex(&joined);
+        let a: Vec<(TokKind, &str)> =
+            first.tokens.iter().map(|t| (t.kind, t.text.as_str())).collect();
+        let b: Vec<(TokKind, &str)> =
+            second.tokens.iter().map(|t| (t.kind, t.text.as_str())).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Lexing is a pure function: same input, same output.
+    #[test]
+    fn lex_is_deterministic(codes in vec(0u32..1200, 0..160)) {
+        let src = src_of(&codes);
+        let a = lex(&src);
+        let b = lex(&src);
+        let ka: Vec<(TokKind, &str, u32)> =
+            a.tokens.iter().map(|t| (t.kind, t.text.as_str(), t.line)).collect();
+        let kb: Vec<(TokKind, &str, u32)> =
+            b.tokens.iter().map(|t| (t.kind, t.text.as_str(), t.line)).collect();
+        prop_assert_eq!(ka, kb);
+        prop_assert_eq!(a.comments.len(), b.comments.len());
+    }
+}
+
+fn idents(src: &str) -> Vec<String> {
+    lex(src)
+        .tokens
+        .into_iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text)
+        .collect()
+}
+
+#[test]
+fn raw_strings_with_hash_fences_are_opaque() {
+    // Quotes and a fake `HashMap` inside the raw string must not leak
+    // into the token stream; lexing resumes cleanly after the fence.
+    let src = "let s = r#\"quote \" and HashMap inside\"#;\nnext(1);\n";
+    let toks = idents(src);
+    assert_eq!(toks, vec!["let", "s", "next", "1"]);
+    let lexed = lex(src);
+    let next = lexed.tokens.iter().find(|t| t.is_ident("next"));
+    assert_eq!(next.map(|t| t.line), Some(2));
+}
+
+#[test]
+fn raw_byte_strings_count_embedded_newlines() {
+    let src = "let s = br##\"line\nline\"# not the end\n\"##;\nafter();\n";
+    let lexed = lex(src);
+    let after = lexed.tokens.iter().find(|t| t.is_ident("after"));
+    assert_eq!(after.map(|t| t.line), Some(4));
+}
+
+#[test]
+fn nested_block_comments_close_at_matching_depth() {
+    let src = "/* outer /* inner */ still comment */ fn f() {}\n";
+    let lexed = lex(src);
+    assert_eq!(lexed.comments.len(), 1);
+    let toks: Vec<&str> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+    assert_eq!(toks, vec!["fn", "f", "(", ")", "{", "}"]);
+}
+
+#[test]
+fn static_lifetime_in_generics_is_not_a_char_literal() {
+    // `'s` must not open a char literal and swallow the rest of the
+    // signature; the lifetime tick drops and `static` lexes as an ident.
+    let src = "fn f<'a, T: 'static>(x: &'a str, y: &'static [u8]) -> T { g(x, y) }\n";
+    let toks = idents(src);
+    assert!(toks.contains(&"static".to_string()), "{toks:?}");
+    assert!(
+        toks.contains(&"g".to_string()),
+        "lexer lost the body: {toks:?}"
+    );
+    assert!(lex(src).tokens.iter().all(|t| !t.text.contains('\'')));
+}
+
+#[test]
+fn escaped_char_literals_do_not_desync() {
+    // `'\''` ends at the real closing quote, not the escaped one.
+    let src = "let q = '\\''; let nl = '\\n'; done();\n";
+    let toks = idents(src);
+    assert_eq!(toks, vec!["let", "q", "let", "nl", "done"]);
+}

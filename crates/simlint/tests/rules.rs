@@ -6,7 +6,8 @@
 
 use simlint::diag::Diagnostic;
 use simlint::rules::{
-    BARE_ALLOW, GLOBAL_METRICS, HASH_ITER, PANIC_IN_LIB, PAR_RAW_ATOMIC, UNKEYED_RNG, WALLCLOCK,
+    BARE_ALLOW, FLOAT_ORDER, GLOBAL_METRICS, HASH_ITER, HASH_ITER_REACH, PANIC_IN_LIB,
+    PAR_RAW_ATOMIC, SCOPE_DROP, UNKEYED_RNG, WALLCLOCK,
 };
 
 /// (rule, line, suppressed) triples for compact assertions.
@@ -24,37 +25,61 @@ fn lint(rel: &str, src: &str) -> Vec<Diagnostic> {
 const RENDER_PATH: &str = "crates/sim-core/src/table.rs";
 const LIB_PATH: &str = "crates/fabric/src/solver.rs";
 
-// ---- R1: hash-iter-render ------------------------------------------------
+// ---- R1: hash-iter-render (+ R7 subsumption on render paths) -------------
 
 #[test]
 fn r1_flags_decls_and_iteration_in_render_paths() {
+    // Every r1 hit in a render-path file is also an r7 hit: the graph
+    // rule strictly subsumes the path heuristic there. `hash-iter-reach`
+    // sorts before `hash-iter-render` at the same line.
     let diags = lint(RENDER_PATH, include_str!("fixtures/r1_positive.rs"));
     assert_eq!(
         shape(&diags),
         vec![
-            (HASH_ITER, 1, false),  // use std::collections::HashMap
-            (HASH_ITER, 4, false),  // let m: HashMap<..> = HashMap::new()
-            (HASH_ITER, 6, false),  // for (k, v) in &m
-            (HASH_ITER, 10, false)  // m.keys()
+            (HASH_ITER_REACH, 1, false), // use std::collections::HashMap
+            (HASH_ITER, 1, false),
+            (HASH_ITER_REACH, 4, false), // let m: HashMap<..> = HashMap::new()
+            (HASH_ITER, 4, false),
+            (HASH_ITER_REACH, 6, false), // for (k, v) in &m
+            (HASH_ITER, 6, false),
+            (HASH_ITER_REACH, 10, false), // m.keys()
+            (HASH_ITER, 10, false)
         ]
     );
 }
 
 #[test]
-fn r1_ignores_btreemap_test_mods_and_non_render_paths() {
+fn r1_ignores_btreemap_and_test_mods() {
     let clean = include_str!("fixtures/r1_clean.rs");
     assert!(lint(RENDER_PATH, clean).is_empty());
-    // The same hashy code outside a render path is not this rule's business.
+}
+
+#[test]
+fn r7_extends_r1_beyond_render_paths() {
+    // Outside a render path r1 stays silent, but the fixture's fn is
+    // named `render` — a name sink — so r7 still flags the *iteration*
+    // sites (decls and keyed lookups leak no order there).
     let positive = include_str!("fixtures/r1_positive.rs");
-    assert!(lint("crates/fabric/src/topology.rs", positive).is_empty());
+    let diags = lint("crates/fabric/src/topology.rs", positive);
+    assert_eq!(
+        shape(&diags),
+        vec![(HASH_ITER_REACH, 6, false), (HASH_ITER_REACH, 10, false)]
+    );
 }
 
 #[test]
 fn r1_suppressions_mark_but_do_not_gate() {
+    // An allow(hash-iter-render) carries over to hash-iter-reach at the
+    // same site — fixing for r1 must not re-open the finding under r7.
     let diags = lint(RENDER_PATH, include_str!("fixtures/r1_suppressed.rs"));
     assert_eq!(
         shape(&diags),
-        vec![(HASH_ITER, 2, true), (HASH_ITER, 6, true)]
+        vec![
+            (HASH_ITER_REACH, 2, true),
+            (HASH_ITER, 2, true),
+            (HASH_ITER_REACH, 6, true),
+            (HASH_ITER, 6, true)
+        ]
     );
     assert!(diags.iter().all(|d| !d.is_failure()));
 }
@@ -174,11 +199,80 @@ fn r5_suppression_and_the_bare_allow_meta_rule() {
     );
 }
 
-// ---- R7: global-metrics --------------------------------------------------
+// ---- R7: hash-iter-reach (graph rule) ------------------------------------
 
 #[test]
-fn r7_flags_global_registry_binding_in_lib_code() {
-    let diags = lint(LIB_PATH, include_str!("fixtures/r7_positive.rs"));
+fn r7_flags_hash_iteration_reachable_from_a_name_sink() {
+    let diags = lint(LIB_PATH, include_str!("fixtures/r7_reach_positive.rs"));
+    assert_eq!(shape(&diags), vec![(HASH_ITER_REACH, 6, false)]);
+    // The message carries sink provenance: which emitter reaches the
+    // iteration, and where it lives.
+    assert!(
+        diags[0].message.contains("snapshot_totals"),
+        "{}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn r7_unreachable_iteration_and_keyed_lookups_are_clean() {
+    // Same hashy helper, but no sink calls it — and the sink that does
+    // exist only does a keyed lookup, which leaks no order.
+    let diags = lint(LIB_PATH, include_str!("fixtures/r7_reach_clean.rs"));
+    assert!(diags.is_empty(), "{:?}", shape(&diags));
+}
+
+// ---- R8: scope-drop (graph rule) -----------------------------------------
+
+#[test]
+fn r8_flags_raw_rayon_that_reaches_a_metrics_recorder() {
+    let diags = lint(LIB_PATH, include_str!("fixtures/r8_positive.rs"));
+    assert_eq!(shape(&diags), vec![(SCOPE_DROP, 11, false)]);
+    assert!(diags[0].message.contains("record"), "{}", diags[0].message);
+}
+
+#[test]
+fn r8_scope_routed_and_recorder_free_regions_are_clean() {
+    let diags = lint(LIB_PATH, include_str!("fixtures/r8_clean.rs"));
+    assert!(diags.is_empty(), "{:?}", shape(&diags));
+    // sim-core is the scope machinery itself and is exempt.
+    let positive = include_str!("fixtures/r8_positive.rs");
+    assert!(lint("crates/sim-core/src/metrics.rs", positive).is_empty());
+}
+
+#[test]
+fn r8_suppression_with_justification() {
+    let diags = lint(LIB_PATH, include_str!("fixtures/r8_suppressed.rs"));
+    assert_eq!(shape(&diags), vec![(SCOPE_DROP, 12, true)]);
+    assert!(diags.iter().all(|d| !d.is_failure()));
+}
+
+// ---- R9: float-order -----------------------------------------------------
+
+#[test]
+fn r9_flags_order_sensitive_float_reductions_in_par_regions() {
+    let diags = lint(LIB_PATH, include_str!("fixtures/r9_positive.rs"));
+    assert_eq!(
+        shape(&diags),
+        vec![
+            (FLOAT_ORDER, 4, false),  // .sum::<f64>()
+            (FLOAT_ORDER, 9, false),  // float reduce closure
+            (FLOAT_ORDER, 15, false)  // partial_cmp comparator
+        ]
+    );
+}
+
+#[test]
+fn r9_integer_sums_and_assoc_minmax_reducers_are_clean() {
+    let diags = lint(LIB_PATH, include_str!("fixtures/r9_clean.rs"));
+    assert!(diags.is_empty(), "{:?}", shape(&diags));
+}
+
+// ---- R10: global-metrics -------------------------------------------------
+
+#[test]
+fn r10_flags_global_registry_binding_in_lib_code() {
+    let diags = lint(LIB_PATH, include_str!("fixtures/r10_positive.rs"));
     assert_eq!(
         shape(&diags),
         vec![(GLOBAL_METRICS, 4, false), (GLOBAL_METRICS, 8, false)]
@@ -186,9 +280,9 @@ fn r7_flags_global_registry_binding_in_lib_code() {
 }
 
 #[test]
-fn r7_spares_active_shared_tests_bins_and_sim_core() {
-    assert!(lint(LIB_PATH, include_str!("fixtures/r7_clean.rs")).is_empty());
-    let positive = include_str!("fixtures/r7_positive.rs");
+fn r10_spares_active_shared_tests_bins_and_sim_core() {
+    assert!(lint(LIB_PATH, include_str!("fixtures/r10_clean.rs")).is_empty());
+    let positive = include_str!("fixtures/r10_positive.rs");
     // Binaries own the process-level registry (snapshot/reset at exit).
     assert!(lint("crates/campaign/src/bin/campaign.rs", positive).is_empty());
     // Integration tests pin global behavior directly.
@@ -236,7 +330,13 @@ fn workspace_rules_are_live_not_vacuous() {
     // The workspace carries real, justified suppressions for these rules;
     // deleting any one allow comment turns the suppressed diagnostic into
     // a gating failure (see workspace_is_clean).
-    for rule in [HASH_ITER, WALLCLOCK, PANIC_IN_LIB] {
+    for rule in [
+        HASH_ITER,
+        HASH_ITER_REACH,
+        SCOPE_DROP,
+        WALLCLOCK,
+        PANIC_IN_LIB,
+    ] {
         assert!(
             suppressed_rules.contains(&rule),
             "expected at least one justified suppression for `{rule}` in the workspace"
@@ -247,4 +347,13 @@ fn workspace_rules_are_live_not_vacuous() {
         outcome.diagnostics.iter().any(|d| d.ratcheted),
         "expected ratcheted panic-in-lib debt outside fabric/sim-core"
     );
+}
+
+#[test]
+fn workspace_graph_json_is_deterministic() {
+    let root = simlint::default_root();
+    let a = simlint::run_workspace(&root).expect("scan workspace");
+    let b = simlint::run_workspace(&root).expect("scan workspace");
+    assert_eq!(a.graph_json, b.graph_json, "graph JSON must be run-stable");
+    assert!(a.graph_json.contains("\"sink\""));
 }
